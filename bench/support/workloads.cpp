@@ -1,0 +1,122 @@
+#include "support/workloads.hpp"
+
+#include "circuits/bv.hpp"
+#include "circuits/coupling.hpp"
+#include "circuits/qaoa_circuit.hpp"
+#include "common/logging.hpp"
+#include "graph/generators.hpp"
+#include "graph/maxcut.hpp"
+#include "noise/channel_sampler.hpp"
+
+namespace hammer::bench {
+
+using common::Bits;
+using common::Rng;
+
+BvInstance
+makeBvInstance(int key_bits, Bits key, const std::string &machine)
+{
+    const auto circuit = circuits::bernsteinVazirani(key_bits, key);
+    const auto coupling = circuits::CouplingMap::line(key_bits + 1);
+    return {key_bits, key, circuits::transpile(circuit, coupling),
+            machine};
+}
+
+std::vector<BvInstance>
+makeBvWorkload(const std::vector<int> &sizes, int keys_per_size,
+               const std::vector<std::string> &machines, Rng &rng)
+{
+    common::require(!machines.empty(), "makeBvWorkload: no machines");
+    std::vector<BvInstance> workload;
+    std::size_t machine_index = 0;
+    for (int n : sizes) {
+        for (int k = 0; k < keys_per_size; ++k) {
+            // Avoid the empty key (no oracle, trivially noise-free).
+            Bits key = 0;
+            while (key == 0)
+                key = rng.uniformInt(Bits{1} << n);
+            workload.push_back(makeBvInstance(
+                n, key, machines[machine_index % machines.size()]));
+            ++machine_index;
+        }
+    }
+    return workload;
+}
+
+QaoaInstance
+makeQaoaInstance(const graph::Graph &g, int layers, bool grid_device,
+                 int grid_rows, int grid_cols, const std::string &family)
+{
+    const auto params = circuits::linearRampParams(layers);
+    const auto circuit = circuits::qaoaCircuit(g, params);
+    const auto coupling = grid_device
+        ? circuits::CouplingMap::grid(grid_rows, grid_cols)
+        : circuits::CouplingMap::line(g.numVertices());
+    const auto opt = graph::bruteForceOptimum(g);
+    return {g, layers, circuits::transpile(circuit, coupling),
+            opt.minCost, opt.bestCuts, family};
+}
+
+std::vector<QaoaInstance>
+makeQaoa3RegWorkload(const std::vector<int> &sizes,
+                     const std::vector<int> &layer_counts,
+                     int instances_per_config, Rng &rng)
+{
+    std::vector<QaoaInstance> workload;
+    for (int n : sizes) {
+        for (int p : layer_counts) {
+            for (int i = 0; i < instances_per_config; ++i) {
+                const auto g = graph::kRegular(n, 3, rng);
+                workload.push_back(
+                    makeQaoaInstance(g, p, false, 0, 0, "3reg"));
+            }
+        }
+    }
+    return workload;
+}
+
+std::vector<QaoaInstance>
+makeQaoaGridWorkload(const std::vector<std::pair<int, int>> &shapes,
+                     const std::vector<int> &layer_counts)
+{
+    std::vector<QaoaInstance> workload;
+    for (const auto &[rows, cols] : shapes) {
+        for (int p : layer_counts) {
+            const auto g = graph::grid(rows, cols);
+            workload.push_back(
+                makeQaoaInstance(g, p, true, rows, cols, "grid"));
+        }
+    }
+    return workload;
+}
+
+std::vector<QaoaInstance>
+makeQaoaRandWorkload(const std::vector<int> &sizes,
+                     const std::vector<int> &layer_counts,
+                     int instances_per_config, Rng &rng)
+{
+    std::vector<QaoaInstance> workload;
+    for (int n : sizes) {
+        for (int p : layer_counts) {
+            for (int i = 0; i < instances_per_config; ++i) {
+                // Edge density 0.2-0.8 as in the paper's Table 2
+                // methodology.
+                const double density = rng.uniform(0.2, 0.8);
+                const auto g = graph::erdosRenyi(n, density, rng);
+                workload.push_back(
+                    makeQaoaInstance(g, p, false, 0, 0, "rand"));
+            }
+        }
+    }
+    return workload;
+}
+
+core::Distribution
+sampleNoisy(const circuits::RoutedCircuit &routed, int measured_qubits,
+            const noise::NoiseModel &model, int shots, Rng &rng)
+{
+    noise::ChannelSampler sampler(model);
+    return sampler.sample(routed, measured_qubits, shots, rng);
+}
+
+} // namespace hammer::bench

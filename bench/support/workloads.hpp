@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared workload builders for the benchmark harness: the BV and
+ * QAOA circuit families of Tables 1-2, routed onto device coupling
+ * maps and executed through the noisy samplers.
+ */
+
+#ifndef HAMMER_BENCH_SUPPORT_WORKLOADS_HPP
+#define HAMMER_BENCH_SUPPORT_WORKLOADS_HPP
+
+#include <string>
+#include <vector>
+
+#include "circuits/transpiler.hpp"
+#include "common/rng.hpp"
+#include "core/distribution.hpp"
+#include "graph/graph.hpp"
+#include "noise/noise_model.hpp"
+
+namespace hammer::bench {
+
+/** A ready-to-run BV experiment. */
+struct BvInstance
+{
+    int keyBits;                        ///< Measured width n.
+    common::Bits key;                   ///< Secret key.
+    circuits::RoutedCircuit routed;     ///< Routed onto a line device.
+    std::string machine;                ///< Noise preset name.
+};
+
+/** A ready-to-run QAOA max-cut experiment. */
+struct QaoaInstance
+{
+    graph::Graph graph;                 ///< Problem instance.
+    int layers;                         ///< p.
+    circuits::RoutedCircuit routed;     ///< Routed circuit.
+    double minCost;                     ///< Brute-force C_min.
+    std::vector<common::Bits> bestCuts; ///< Optimal assignments.
+    std::string family;                 ///< "3reg" | "grid" | "rand".
+};
+
+/**
+ * Build a batch of BV instances with random keys.
+ *
+ * @param sizes Key widths to include.
+ * @param keys_per_size Random keys generated per width.
+ * @param machines Noise presets cycled over the instances.
+ * @param rng Random source.
+ */
+std::vector<BvInstance>
+makeBvWorkload(const std::vector<int> &sizes, int keys_per_size,
+               const std::vector<std::string> &machines,
+               common::Rng &rng);
+
+/** Build one routed BV instance on a line device. */
+BvInstance makeBvInstance(int key_bits, common::Bits key,
+                          const std::string &machine);
+
+/**
+ * QAOA on random 3-regular graphs routed onto a line device (worst
+ * case routing, as on the paper's heavy-hex IBM machines).
+ */
+std::vector<QaoaInstance>
+makeQaoa3RegWorkload(const std::vector<int> &sizes,
+                     const std::vector<int> &layer_counts,
+                     int instances_per_config, common::Rng &rng);
+
+/**
+ * QAOA on grid graphs routed onto a matching grid device (SWAP-free,
+ * like the hardware-native Sycamore instances).
+ */
+std::vector<QaoaInstance>
+makeQaoaGridWorkload(const std::vector<std::pair<int, int>> &shapes,
+                     const std::vector<int> &layer_counts);
+
+/**
+ * QAOA on Erdos-Renyi random graphs (Table 2's "Rand Graphs" rows)
+ * routed onto a line device.
+ */
+std::vector<QaoaInstance>
+makeQaoaRandWorkload(const std::vector<int> &sizes,
+                     const std::vector<int> &layer_counts,
+                     int instances_per_config,
+                     common::Rng &rng);
+
+/** Build one routed QAOA instance from a graph. */
+QaoaInstance makeQaoaInstance(const graph::Graph &g, int layers,
+                              bool grid_device, int grid_rows,
+                              int grid_cols, const std::string &family);
+
+/**
+ * Execute an instance on the fast channel backend and return the
+ * measured histogram over the logical output bits.
+ */
+core::Distribution sampleNoisy(const circuits::RoutedCircuit &routed,
+                               int measured_qubits,
+                               const noise::NoiseModel &model, int shots,
+                               common::Rng &rng);
+
+} // namespace hammer::bench
+
+#endif // HAMMER_BENCH_SUPPORT_WORKLOADS_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Domain example 3: using the analysis API to characterise a
+ * device's error structure — the Section 3 / Section 7 methodology
+ * as a library workflow.
+ *
+ * Runs mirror benchmarks of increasing depth, measures entanglement
+ * entropy, fidelity, EHD and the Hamming spectrum, and prints the
+ * correlations — the diagnostics a practitioner would use to decide
+ * whether HAMMER will help on their hardware.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "circuits/mirror.hpp"
+#include "circuits/transpiler.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/ehd.hpp"
+#include "core/spectrum.hpp"
+#include "noise/trajectory_sampler.hpp"
+#include "sim/entropy.hpp"
+#include "sim/simulator.hpp"
+
+int
+main()
+{
+    using namespace hammer;
+    const int n = 8;
+
+    common::Rng rng(23);
+    noise::TrajectorySampler machine(
+        noise::machinePreset("machineB"), 60);
+
+    std::puts("mirror-benchmark device characterisation (n = 8)");
+    common::Table table({"depth", "entropy", "fidelity", "EHD",
+                         "EHD/uniform"});
+    std::vector<double> depths, ehds, fidelities;
+    for (int depth : {2, 4, 8, 12, 16, 20, 24}) {
+        const auto mirror = circuits::randomMirrorCircuit(
+            n, depth, 0.5, rng);
+        const double entropy = sim::entanglementEntropy(
+            sim::runCircuit(mirror.firstHalf));
+
+        auto shot_rng = rng.split();
+        const auto dist = machine.sample(
+            circuits::trivialRouting(mirror.full), n, 3000, shot_rng);
+        const double fidelity = dist.probability(0);
+        const double ehd = core::expectedHammingDistance(dist, {0});
+
+        depths.push_back(depth);
+        ehds.push_back(ehd);
+        fidelities.push_back(fidelity);
+        table.addRow({common::Table::fmt(
+                          static_cast<long long>(depth)),
+                      common::Table::fmt(entropy, 3),
+                      common::Table::fmt(fidelity, 3),
+                      common::Table::fmt(ehd, 3),
+                      common::Table::fmt(
+                          ehd / core::uniformModelEhd(n), 3)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nspearman(depth, EHD)    = %+.3f "
+                "(structure decays with depth)\n",
+                common::spearman(depths, ehds));
+    std::printf("spearman(fidelity, EHD) = %+.3f "
+                "(strong negative, paper Fig. 11)\n",
+                common::spearman(fidelities, ehds));
+
+    // Spectrum of the deepest circuit: where does the error mass sit?
+    const auto mirror = circuits::randomMirrorCircuit(n, 24, 0.5, rng);
+    auto shot_rng = rng.split();
+    const auto dist = machine.sample(
+        circuits::trivialRouting(mirror.full), n, 3000, shot_rng);
+    const auto spectrum = core::hammingSpectrum(dist, {0});
+    std::puts("\nHamming spectrum at depth 24:");
+    for (std::size_t d = 0; d < spectrum.binTotal.size(); ++d) {
+        if (spectrum.binCount[d] == 0)
+            continue;
+        std::printf("  bin %zu: %.4f over %d outcomes\n", d,
+                    spectrum.binTotal[d], spectrum.binCount[d]);
+    }
+    std::puts("\nif the low bins dominate, HAMMER will help on this "
+              "device.");
+    return 0;
+}

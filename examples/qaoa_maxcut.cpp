@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Domain example 2: a full variational QAOA max-cut loop on a noisy
+ * machine, with HAMMER inside the loop.
+ *
+ * The classical optimiser minimises the expected Ising cost of the
+ * measured distribution.  Noise flattens that objective; HAMMER
+ * sharpens it (paper Figs. 1c / 10b), so the optimiser converges to
+ * better angles and the final sampled cut is closer to optimal.
+ */
+
+#include <cstdio>
+
+#include "circuits/coupling.hpp"
+#include "circuits/qaoa_circuit.hpp"
+#include "circuits/transpiler.hpp"
+#include "core/hammer.hpp"
+#include "graph/generators.hpp"
+#include "graph/maxcut.hpp"
+#include "noise/channel_sampler.hpp"
+#include "qaoa/cost.hpp"
+#include "qaoa/optimizer.hpp"
+
+namespace {
+
+using namespace hammer;
+
+/** One noisy objective evaluation at (beta, gamma). */
+core::Distribution
+execute(const graph::Graph &g, double beta, double gamma,
+        noise::ChannelSampler &machine, common::Rng &rng)
+{
+    circuits::QaoaParams params;
+    params.betas = {beta};
+    params.gammas = {gamma};
+    const auto routed = circuits::transpile(
+        circuits::qaoaCircuit(g, params),
+        circuits::CouplingMap::line(g.numVertices()));
+    return machine.sample(routed, g.numVertices(), 4096, rng);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hammer;
+
+    common::Rng rng(11);
+    const auto g = graph::kRegular(10, 3, rng);
+    const auto opt = graph::bruteForceOptimum(g);
+    std::printf("max-cut instance: 10 vertices, %zu edges, "
+                "C_min = %.1f\n",
+                g.numEdges(), opt.minCost);
+
+    noise::ChannelSampler machine(
+        noise::machinePreset("sycamore").scaled(2.0));
+
+    // Variational loop: coarse grid seed, then Nelder-Mead, twice —
+    // once on the raw noisy objective, once with HAMMER applied
+    // before the cost is evaluated.
+    auto run_loop = [&](bool use_hammer) {
+        int evaluations = 0;
+        const qaoa::Objective objective =
+            [&](const std::vector<double> &x) {
+                ++evaluations;
+                auto dist = execute(g, x[0], x[1], machine, rng);
+                if (use_hammer)
+                    dist = core::reconstruct(dist);
+                return qaoa::costExpectation(dist, g);
+            };
+        const auto seed = qaoa::gridSearch(
+            objective, {-0.8, -1.6}, {0.8, 0.0}, 5);
+        qaoa::NelderMeadOptions options;
+        options.maxEvaluations = 60;
+        const auto result = qaoa::nelderMead(objective, seed.best,
+                                             options);
+
+        // Judge the final angles by the *raw* machine output (what a
+        // user would actually sample), post-processed with HAMMER
+        // when enabled.
+        auto final_dist = execute(g, result.best[0], result.best[1],
+                                  machine, rng);
+        if (use_hammer)
+            final_dist = core::reconstruct(final_dist);
+        std::printf("  %-12s beta %+6.3f gamma %+6.3f  "
+                    "(%3d evals)  CR %.3f\n",
+                    use_hammer ? "with HAMMER:" : "baseline:",
+                    result.best[0], result.best[1], evaluations,
+                    qaoa::costRatio(final_dist, g, opt.minCost));
+        return final_dist;
+    };
+
+    std::puts("\nvariational optimisation (p = 1):");
+    run_loop(false);
+    const auto final_dist = run_loop(true);
+
+    // Report the best cut actually sampled.
+    const auto top = final_dist.topOutcome();
+    std::printf("\nmost probable cut %s: cost %.1f (optimal %.1f)\n",
+                common::toBitstring(top.outcome, 10).c_str(),
+                graph::isingCost(g, top.outcome), opt.minCost);
+    return 0;
+}

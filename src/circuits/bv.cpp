@@ -1,0 +1,44 @@
+#include "circuits/bv.hpp"
+
+#include "common/logging.hpp"
+
+namespace hammer::circuits {
+
+using common::Bits;
+using common::require;
+
+sim::Circuit
+bernsteinVazirani(int key_bits, Bits key)
+{
+    require(key_bits >= 1 && key_bits <= 23,
+            "bernsteinVazirani: key width must be in [1, 23]");
+    require(key < (Bits{1} << key_bits),
+            "bernsteinVazirani: key wider than key_bits");
+
+    // Qubits 0..key_bits-1 hold the key; the last qubit is the oracle
+    // ancilla prepared in |-> for phase kickback.
+    const int n = key_bits + 1;
+    const int ancilla = key_bits;
+    sim::Circuit circuit(n);
+
+    for (int q = 0; q < key_bits; ++q)
+        circuit.h(q);
+    circuit.x(ancilla);
+    circuit.h(ancilla);
+
+    // Oracle: f(x) = key . x, realised as CX from each key qubit.
+    for (int q = 0; q < key_bits; ++q) {
+        if ((key >> q) & 1ull)
+            circuit.cx(q, ancilla);
+    }
+
+    for (int q = 0; q < key_bits; ++q)
+        circuit.h(q);
+    // Uncompute the ancilla so the measured state is |key>|0>.
+    circuit.h(ancilla);
+    circuit.x(ancilla);
+
+    return circuit;
+}
+
+} // namespace hammer::circuits

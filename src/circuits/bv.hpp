@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Bernstein-Vazirani benchmark circuits (paper Table 2, Figs. 1a, 3b,
+ * 7, 8).  The circuit encodes a secret key and, on an ideal machine,
+ * returns it with probability 1 in a single query.
+ */
+
+#ifndef HAMMER_CIRCUITS_BV_HPP
+#define HAMMER_CIRCUITS_BV_HPP
+
+#include "common/bitops.hpp"
+#include "sim/circuit.hpp"
+
+namespace hammer::circuits {
+
+/**
+ * Build the Bernstein-Vazirani circuit for @p key.
+ *
+ * Uses the standard ancilla construction (key_bits + 1 qubits, CX
+ * from each set key bit into a |-> ancilla) so the two-qubit gate
+ * count scales with the key weight — the property that makes deep BV
+ * circuits lose Hamming structure faster than QAOA in the paper's
+ * Section 7.  The ancilla is uncomputed; the measured output on the
+ * first key_bits qubits is the key.
+ *
+ * @param key_bits Number of key bits (the circuit uses key_bits + 1
+ *        qubits).
+ * @param key The secret key (low key_bits bits).
+ */
+sim::Circuit bernsteinVazirani(int key_bits, common::Bits key);
+
+} // namespace hammer::circuits
+
+#endif // HAMMER_CIRCUITS_BV_HPP

@@ -1,0 +1,139 @@
+#include "circuits/coupling.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hpp"
+
+namespace hammer::circuits {
+
+using common::require;
+
+CouplingMap::CouplingMap(int num_qubits)
+    : numQubits_(num_qubits),
+      adjacency_(static_cast<std::size_t>(std::max(num_qubits, 0)))
+{
+    require(num_qubits >= 1 && num_qubits <= 64,
+            "CouplingMap: qubit count must be in [1, 64]");
+}
+
+CouplingMap
+CouplingMap::line(int num_qubits)
+{
+    CouplingMap map(num_qubits);
+    for (int q = 0; q + 1 < num_qubits; ++q)
+        map.addEdge(q, q + 1);
+    return map;
+}
+
+CouplingMap
+CouplingMap::ring(int num_qubits)
+{
+    require(num_qubits >= 3, "CouplingMap::ring: need >= 3 qubits");
+    CouplingMap map = line(num_qubits);
+    map.addEdge(num_qubits - 1, 0);
+    return map;
+}
+
+CouplingMap
+CouplingMap::grid(int rows, int cols)
+{
+    require(rows >= 1 && cols >= 1, "CouplingMap::grid: bad shape");
+    CouplingMap map(rows * cols);
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                map.addEdge(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                map.addEdge(id(r, c), id(r + 1, c));
+        }
+    }
+    return map;
+}
+
+CouplingMap
+CouplingMap::full(int num_qubits)
+{
+    CouplingMap map(num_qubits);
+    for (int a = 0; a < num_qubits; ++a) {
+        for (int b = a + 1; b < num_qubits; ++b)
+            map.addEdge(a, b);
+    }
+    return map;
+}
+
+void
+CouplingMap::addEdge(int a, int b)
+{
+    require(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_ &&
+            a != b, "CouplingMap::addEdge: bad pair");
+    if (connected(a, b))
+        return;
+    adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    adjacency_[static_cast<std::size_t>(b)].push_back(a);
+}
+
+bool
+CouplingMap::connected(int a, int b) const
+{
+    if (a < 0 || a >= numQubits_ || b < 0 || b >= numQubits_)
+        return false;
+    const auto &adj = adjacency_[static_cast<std::size_t>(a)];
+    return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+const std::vector<int> &
+CouplingMap::neighbors(int q) const
+{
+    require(q >= 0 && q < numQubits_,
+            "CouplingMap::neighbors: out of range");
+    return adjacency_[static_cast<std::size_t>(q)];
+}
+
+std::vector<int>
+CouplingMap::shortestPath(int from, int to) const
+{
+    require(from >= 0 && from < numQubits_ &&
+            to >= 0 && to < numQubits_,
+            "CouplingMap::shortestPath: out of range");
+    if (from == to)
+        return {from};
+
+    std::vector<int> parent(static_cast<std::size_t>(numQubits_), -1);
+    std::queue<int> frontier;
+    frontier.push(from);
+    parent[static_cast<std::size_t>(from)] = from;
+    while (!frontier.empty()) {
+        const int u = frontier.front();
+        frontier.pop();
+        for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+            if (parent[static_cast<std::size_t>(v)] != -1)
+                continue;
+            parent[static_cast<std::size_t>(v)] = u;
+            if (v == to) {
+                std::vector<int> path{to};
+                int cur = to;
+                while (cur != from) {
+                    cur = parent[static_cast<std::size_t>(cur)];
+                    path.push_back(cur);
+                }
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            frontier.push(v);
+        }
+    }
+    return {};
+}
+
+int
+CouplingMap::distance(int from, int to) const
+{
+    const auto path = shortestPath(from, to);
+    if (path.empty())
+        return -1;
+    return static_cast<int>(path.size()) - 1;
+}
+
+} // namespace hammer::circuits

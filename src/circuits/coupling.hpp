@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Device coupling maps.
+ *
+ * Real machines restrict two-qubit gates to connected physical qubit
+ * pairs; circuits whose interaction graph does not embed must be
+ * routed with SWAPs.  This is the mechanism behind the paper's
+ * observation that grid-QAOA circuits are shallower and higher
+ * fidelity than 3-regular-QAOA circuits on the same hardware
+ * (Section 6.4).
+ */
+
+#ifndef HAMMER_CIRCUITS_COUPLING_HPP
+#define HAMMER_CIRCUITS_COUPLING_HPP
+
+#include <vector>
+
+namespace hammer::circuits {
+
+/**
+ * Undirected connectivity graph of a device's physical qubits.
+ */
+class CouplingMap
+{
+  public:
+    /** Create a map over @p num_qubits disconnected physical qubits. */
+    explicit CouplingMap(int num_qubits);
+
+    /** Linear chain 0-1-2-...-(n-1). */
+    static CouplingMap line(int num_qubits);
+
+    /** Ring (line plus the closing edge). */
+    static CouplingMap ring(int num_qubits);
+
+    /** rows x cols rectangular lattice. */
+    static CouplingMap grid(int rows, int cols);
+
+    /** Fully connected device (routing becomes a no-op). */
+    static CouplingMap full(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+
+    /** Declare physical qubits @p a and @p b connected. */
+    void addEdge(int a, int b);
+
+    /** True when a two-qubit gate may act on (a, b) directly. */
+    bool connected(int a, int b) const;
+
+    /** Neighbours of physical qubit @p q. */
+    const std::vector<int> &neighbors(int q) const;
+
+    /**
+     * Shortest path between two physical qubits (BFS), inclusive of
+     * both endpoints.  Empty when unreachable.
+     */
+    std::vector<int> shortestPath(int from, int to) const;
+
+    /** BFS distance (number of edges); -1 when unreachable. */
+    int distance(int from, int to) const;
+
+  private:
+    int numQubits_;
+    std::vector<std::vector<int>> adjacency_;
+};
+
+} // namespace hammer::circuits
+
+#endif // HAMMER_CIRCUITS_COUPLING_HPP

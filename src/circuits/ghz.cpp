@@ -1,0 +1,19 @@
+#include "circuits/ghz.hpp"
+
+#include "common/logging.hpp"
+
+namespace hammer::circuits {
+
+sim::Circuit
+ghz(int num_qubits)
+{
+    common::require(num_qubits >= 2 && num_qubits <= 24,
+                    "ghz: qubit count must be in [2, 24]");
+    sim::Circuit circuit(num_qubits);
+    circuit.h(0);
+    for (int q = 0; q + 1 < num_qubits; ++q)
+        circuit.cx(q, q + 1);
+    return circuit;
+}
+
+} // namespace hammer::circuits

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * GHZ state preparation (paper Section 3.1 uses GHZ-10 to first
+ * exhibit the Hamming structure of errors).
+ */
+
+#ifndef HAMMER_CIRCUITS_GHZ_HPP
+#define HAMMER_CIRCUITS_GHZ_HPP
+
+#include "sim/circuit.hpp"
+
+namespace hammer::circuits {
+
+/**
+ * Build the n-qubit GHZ circuit: H on qubit 0 followed by a CX chain.
+ * Ideal output is (|0...0> + |1...1>)/sqrt(2), i.e. two correct
+ * outcomes with probability 1/2 each.
+ */
+sim::Circuit ghz(int num_qubits);
+
+} // namespace hammer::circuits
+
+#endif // HAMMER_CIRCUITS_GHZ_HPP

@@ -1,0 +1,60 @@
+#include "circuits/mirror.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace hammer::circuits {
+
+using common::require;
+using common::Rng;
+using sim::Circuit;
+using sim::GateKind;
+
+MirrorCircuit
+randomMirrorCircuit(int num_qubits, int depth, double two_qubit_density,
+                    Rng &rng, double angle_scale)
+{
+    require(num_qubits >= 2 && num_qubits <= 24,
+            "randomMirrorCircuit: width must be in [2, 24]");
+    require(depth >= 1, "randomMirrorCircuit: depth must be positive");
+    require(two_qubit_density >= 0.0 && two_qubit_density <= 1.0,
+            "randomMirrorCircuit: density must be in [0, 1]");
+    require(angle_scale >= 0.0 && angle_scale <= 1.0,
+            "randomMirrorCircuit: angle scale must be in [0, 1]");
+
+    Circuit ur(num_qubits);
+    for (int layer = 0; layer < depth; ++layer) {
+        for (int q = 0; q < num_qubits; ++q) {
+            const GateKind kinds[] = {GateKind::Rx, GateKind::Ry,
+                                      GateKind::Rz};
+            const auto kind = kinds[rng.uniformInt(3)];
+            ur.append({kind, q, -1,
+                       rng.uniform(0.0, angle_scale * 2.0 * M_PI)});
+        }
+        // Random disjoint neighbouring pairs, alternating parity per
+        // layer (brickwork pattern).
+        const int start = layer % 2;
+        for (int q = start; q + 1 < num_qubits; q += 2) {
+            if (rng.bernoulli(two_qubit_density)) {
+                if (rng.bernoulli(0.5))
+                    ur.cx(q, q + 1);
+                else
+                    ur.cz(q, q + 1);
+            }
+        }
+    }
+
+    MirrorCircuit mirror{Circuit(num_qubits), Circuit(num_qubits)};
+    for (int q = 0; q < num_qubits; ++q)
+        mirror.firstHalf.h(q);
+    mirror.firstHalf.appendCircuit(ur);
+
+    mirror.full = mirror.firstHalf;
+    mirror.full.appendCircuit(ur.inverse());
+    for (int q = 0; q < num_qubits; ++q)
+        mirror.full.h(q);
+    return mirror;
+}
+
+} // namespace hammer::circuits

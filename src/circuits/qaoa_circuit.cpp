@@ -1,0 +1,55 @@
+#include "circuits/qaoa_circuit.hpp"
+
+#include "common/logging.hpp"
+
+namespace hammer::circuits {
+
+using common::require;
+
+QaoaParams
+linearRampParams(int layers)
+{
+    require(layers >= 1, "linearRampParams: need at least one layer");
+    QaoaParams params;
+    const double p = layers;
+    for (int l = 1; l <= layers; ++l) {
+        // Gamma ramps up in magnitude, beta anneals down; the signs
+        // (gamma < 0, beta > 0) put the schedule in the low-cost
+        // basin of the Ising convention used by graph::isingCost.
+        const double f = static_cast<double>(l) / (p + 1.0);
+        params.gammas.push_back(-0.8 * f);
+        params.betas.push_back(0.8 * (1.0 - f));
+    }
+    return params;
+}
+
+sim::Circuit
+qaoaCircuit(const graph::Graph &g, const QaoaParams &params)
+{
+    require(params.layers() >= 1, "qaoaCircuit: need at least one layer");
+    require(params.gammas.size() == params.betas.size(),
+            "qaoaCircuit: gamma/beta length mismatch");
+
+    const int n = g.numVertices();
+    sim::Circuit circuit(n);
+
+    for (int q = 0; q < n; ++q)
+        circuit.h(q);
+
+    for (int layer = 0; layer < params.layers(); ++layer) {
+        const double gamma = params.gammas[static_cast<std::size_t>(layer)];
+        const double beta = params.betas[static_cast<std::size_t>(layer)];
+        // Cost unitary: exp(-i gamma w Z_u Z_v) per edge.
+        for (const graph::Edge &e : g.edges()) {
+            circuit.cx(e.u, e.v);
+            circuit.rz(e.v, 2.0 * gamma * e.weight);
+            circuit.cx(e.u, e.v);
+        }
+        // Mixer.
+        for (int q = 0; q < n; ++q)
+            circuit.rx(q, 2.0 * beta);
+    }
+    return circuit;
+}
+
+} // namespace hammer::circuits

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * QAOA max-cut circuits (paper Tables 1-2; Figs. 1b, 3c, 5, 9, 10,
+ * 12).
+ *
+ * The standard p-layer ansatz: Hadamards on every qubit, then per
+ * layer a cost unitary exp(-i gamma_l C) realised edge-by-edge as
+ * CX - Rz(2 gamma w) - CX, followed by the mixer Rx(2 beta_l) on
+ * every qubit.
+ */
+
+#ifndef HAMMER_CIRCUITS_QAOA_CIRCUIT_HPP
+#define HAMMER_CIRCUITS_QAOA_CIRCUIT_HPP
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/circuit.hpp"
+
+namespace hammer::circuits {
+
+/** QAOA variational parameters for p layers. */
+struct QaoaParams
+{
+    std::vector<double> gammas; ///< Cost angles, one per layer.
+    std::vector<double> betas;  ///< Mixer angles, one per layer.
+
+    /** Number of layers p. */
+    int layers() const { return static_cast<int>(gammas.size()); }
+};
+
+/**
+ * Sensible fixed angles for a p-layer schedule: a linear ramp
+ * (gamma ramps up, beta ramps down), the common initialisation used
+ * when no optimised parameters are available.
+ */
+QaoaParams linearRampParams(int layers);
+
+/**
+ * Build the QAOA circuit for max-cut on @p g with parameters
+ * @p params.  One qubit per graph vertex.
+ */
+sim::Circuit qaoaCircuit(const graph::Graph &g, const QaoaParams &params);
+
+} // namespace hammer::circuits
+
+#endif // HAMMER_CIRCUITS_QAOA_CIRCUIT_HPP

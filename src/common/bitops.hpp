@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bitstring utilities used throughout the Hamming-space machinery.
+ *
+ * Measurement outcomes are stored as the low @c n bits of a
+ * std::uint64_t (qubit i -> bit i), which supports circuits of up to 64
+ * measured qubits — far beyond the <= 24-qubit scale the paper studies.
+ */
+
+#ifndef HAMMER_COMMON_BITOPS_HPP
+#define HAMMER_COMMON_BITOPS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hammer::common {
+
+/** Measurement outcome: qubit i occupies bit i. */
+using Bits = std::uint64_t;
+
+/** Number of set bits in @p x. */
+int popcount(Bits x);
+
+/** Hamming distance between two outcomes. */
+int hammingDistance(Bits a, Bits b);
+
+/**
+ * Smallest Hamming distance from @p x to any outcome in @p targets.
+ *
+ * The paper uses the shortest distance when a circuit has several
+ * correct answers (Section 3.2).
+ *
+ * @pre targets is non-empty.
+ */
+int minHammingDistance(Bits x, const std::vector<Bits> &targets);
+
+/**
+ * Render the low @p n bits of @p x as a bitstring.
+ *
+ * Qubit n-1 is the leftmost character, matching the textbook
+ * convention used in the paper's figures ("1111" for key 0b1111).
+ */
+std::string toBitstring(Bits x, int n);
+
+/**
+ * Parse a bitstring back into an outcome.
+ *
+ * @param s String of '0'/'1'; leftmost character is the highest qubit.
+ */
+Bits fromBitstring(const std::string &s);
+
+/**
+ * Enumerate every n-bit value at Hamming distance exactly @p d from
+ * @p center.
+ *
+ * The result has size C(n, d); the caller is expected to keep d small
+ * (the library uses this for exhaustive neighbourhood checks in tests
+ * and for the Fig. 5 distance-landscape experiment).
+ */
+std::vector<Bits> neighborsAtDistance(Bits center, int n, int d);
+
+/** Binomial coefficient C(n, k) as a double (exact for small n). */
+double binomial(int n, int k);
+
+} // namespace hammer::common
+
+#endif // HAMMER_COMMON_BITOPS_HPP

@@ -1,0 +1,125 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace hammer::common {
+
+double
+mean(const std::vector<double> &xs)
+{
+    require(!xs.empty(), "mean: empty input");
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+median(std::vector<double> xs)
+{
+    require(!xs.empty(), "median: empty input");
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    require(!xs.empty(), "geomean: empty input");
+    double logsum = 0.0;
+    for (double x : xs) {
+        require(x > 0.0, "geomean: non-positive input");
+        logsum += std::log(x);
+    }
+    return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double
+minimum(const std::vector<double> &xs)
+{
+    require(!xs.empty(), "minimum: empty input");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maximum(const std::vector<double> &xs)
+{
+    require(!xs.empty(), "maximum: empty input");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<double>
+ranks(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+    std::vector<double> out(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        // Find the run of tied values and give each the average rank.
+        std::size_t j = i;
+        while (j + 1 < n && xs[order[j + 1]] == xs[order[i]])
+            ++j;
+        const double avg_rank =
+            0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+        for (std::size_t k = i; k <= j; ++k)
+            out[order[k]] = avg_rank;
+        i = j + 1;
+    }
+    return out;
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    require(xs.size() == ys.size(), "pearson: size mismatch");
+    require(xs.size() >= 2, "pearson: need at least two samples");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+spearman(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    return pearson(ranks(xs), ranks(ys));
+}
+
+} // namespace hammer::common

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Descriptive statistics used by the evaluation harness: means,
+ * geometric means (for speedup-style ratios), rank correlation
+ * (Spearman, used in the Fig. 11 entanglement study) and friends.
+ */
+
+#ifndef HAMMER_COMMON_STATS_HPP
+#define HAMMER_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace hammer::common {
+
+/** Arithmetic mean. @pre xs non-empty. */
+double mean(const std::vector<double> &xs);
+
+/** Sample variance (n-1 denominator); 0 for fewer than two samples. */
+double variance(const std::vector<double> &xs);
+
+/** Sample standard deviation. */
+double stddev(const std::vector<double> &xs);
+
+/** Median (averages the two middle elements for even sizes). */
+double median(std::vector<double> xs);
+
+/**
+ * Geometric mean.
+ *
+ * The paper reports improvement factors as gmeans (Fig. 8);
+ * all inputs must be strictly positive.
+ */
+double geomean(const std::vector<double> &xs);
+
+/** Smallest element. @pre xs non-empty. */
+double minimum(const std::vector<double> &xs);
+
+/** Largest element. @pre xs non-empty. */
+double maximum(const std::vector<double> &xs);
+
+/**
+ * Fractional ranks (average rank for ties), 1-based.
+ *
+ * E.g. ranks of {10, 20, 20, 30} are {1, 2.5, 2.5, 4}.
+ */
+std::vector<double> ranks(const std::vector<double> &xs);
+
+/** Pearson linear correlation coefficient. @pre sizes match, >= 2. */
+double pearson(const std::vector<double> &xs,
+               const std::vector<double> &ys);
+
+/**
+ * Spearman rank correlation coefficient.
+ *
+ * Computed as the Pearson correlation of the fractional ranks, which
+ * handles ties correctly.
+ */
+double spearman(const std::vector<double> &xs,
+                const std::vector<double> &ys);
+
+} // namespace hammer::common
+
+#endif // HAMMER_COMMON_STATS_HPP

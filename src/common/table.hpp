@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fixed-width table printing for the benchmark harness.
+ *
+ * Every bench binary reports paper-figure data as aligned text tables
+ * (and optionally CSV) so the series can be compared against the
+ * paper's plots by eye or piped into a plotting tool.
+ */
+
+#ifndef HAMMER_COMMON_TABLE_HPP
+#define HAMMER_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hammer::common {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"n", "EHD", "EHD(uniform)"});
+ *   t.addRow({"8", "1.92", "4.00"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string fmt(double value, int precision = 4);
+
+    /** Convenience: format an integer. */
+    static std::string fmt(long long value);
+
+    /** Number of data rows currently in the table. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render the aligned table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hammer::common
+
+#endif // HAMMER_COMMON_TABLE_HPP

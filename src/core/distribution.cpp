@@ -1,0 +1,176 @@
+#include "core/distribution.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace hammer::core {
+
+using common::Bits;
+using common::require;
+
+Distribution::Distribution(int num_bits)
+    : numBits_(num_bits)
+{
+    require(num_bits >= 1 && num_bits <= 64,
+            "Distribution: bit width must be in [1, 64]");
+}
+
+Distribution
+Distribution::fromCounts(int num_bits,
+                         const std::map<Bits, std::uint64_t> &counts)
+{
+    Distribution dist(num_bits);
+    std::uint64_t total = 0;
+    for (const auto &[outcome, count] : counts)
+        total += count;
+    require(total > 0, "Distribution::fromCounts: no shots");
+    dist.entries_.reserve(counts.size());
+    for (const auto &[outcome, count] : counts) {
+        if (count > 0) {
+            dist.entries_.push_back(
+                {outcome, static_cast<double>(count) /
+                          static_cast<double>(total)});
+        }
+    }
+    return dist;
+}
+
+Distribution
+Distribution::fromShots(int num_bits, const std::vector<Bits> &shots)
+{
+    std::map<Bits, std::uint64_t> counts;
+    for (Bits shot : shots)
+        ++counts[shot];
+    return fromCounts(num_bits, counts);
+}
+
+Distribution
+Distribution::fromDense(int num_bits, const std::vector<double> &probs,
+                        double threshold)
+{
+    require(num_bits <= 30, "Distribution::fromDense: width too large");
+    require(probs.size() == (std::size_t{1} << num_bits),
+            "Distribution::fromDense: length must be 2^num_bits");
+    Distribution dist(num_bits);
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        require(probs[i] >= -1e-12,
+                "Distribution::fromDense: negative probability");
+        if (probs[i] > threshold)
+            dist.entries_.push_back({i, probs[i]});
+    }
+    return dist;
+}
+
+double
+Distribution::probability(Bits outcome) const
+{
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), outcome,
+        [](const Entry &e, Bits o) { return e.outcome < o; });
+    if (it != entries_.end() && it->outcome == outcome)
+        return it->probability;
+    return 0.0;
+}
+
+void
+Distribution::set(Bits outcome, double probability)
+{
+    require(probability >= 0.0, "Distribution::set: negative probability");
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), outcome,
+        [](const Entry &e, Bits o) { return e.outcome < o; });
+    if (it != entries_.end() && it->outcome == outcome) {
+        it->probability = probability;
+    } else {
+        entries_.insert(it, {outcome, probability});
+    }
+}
+
+void
+Distribution::add(Bits outcome, double probability)
+{
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), outcome,
+        [](const Entry &e, Bits o) { return e.outcome < o; });
+    if (it != entries_.end() && it->outcome == outcome) {
+        it->probability += probability;
+        require(it->probability >= 0.0,
+                "Distribution::add: probability went negative");
+    } else {
+        require(probability >= 0.0,
+                "Distribution::add: negative probability");
+        entries_.insert(it, {outcome, probability});
+    }
+}
+
+double
+Distribution::totalMass() const
+{
+    double total = 0.0;
+    for (const Entry &e : entries_)
+        total += e.probability;
+    return total;
+}
+
+bool
+Distribution::normalized(double tol) const
+{
+    return std::abs(totalMass() - 1.0) <= tol;
+}
+
+void
+Distribution::normalize()
+{
+    const double total = totalMass();
+    require(total > 0.0, "Distribution::normalize: zero mass");
+    for (Entry &e : entries_)
+        e.probability /= total;
+}
+
+Entry
+Distribution::topOutcome() const
+{
+    require(!entries_.empty(), "Distribution::topOutcome: empty");
+    const auto it = std::max_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry &a, const Entry &b) {
+            return a.probability < b.probability;
+        });
+    return *it;
+}
+
+std::vector<Entry>
+Distribution::sortedByProbability() const
+{
+    std::vector<Entry> sorted = entries_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.probability != b.probability)
+                      return a.probability > b.probability;
+                  return a.outcome < b.outcome;
+              });
+    return sorted;
+}
+
+std::string
+Distribution::toString(int max_rows) const
+{
+    std::string out;
+    int row = 0;
+    for (const Entry &e : sortedByProbability()) {
+        if (row++ >= max_rows) {
+            out += "...\n";
+            break;
+        }
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s  %.6f\n",
+                      common::toBitstring(e.outcome, numBits_).c_str(),
+                      e.probability);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace hammer::core

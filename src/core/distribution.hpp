@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Sparse measurement-outcome distribution.
+ *
+ * This is the object every part of the pipeline exchanges: the noisy
+ * samplers produce one, HAMMER consumes and produces one, and the
+ * metrics read them.  Outcomes are stored sorted by bit pattern so
+ * iteration order (and therefore every experiment) is deterministic.
+ */
+
+#ifndef HAMMER_CORE_DISTRIBUTION_HPP
+#define HAMMER_CORE_DISTRIBUTION_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace hammer::core {
+
+/** One (outcome, probability) entry. */
+struct Entry
+{
+    common::Bits outcome;
+    double probability;
+};
+
+/**
+ * Sparse probability distribution over n-bit outcomes.
+ *
+ * Probabilities are non-negative; most factory functions normalise,
+ * and normalized() can be checked explicitly.  The number of distinct
+ * outcomes N (not 2^n) governs HAMMER's O(N^2) runtime, mirroring the
+ * paper's complexity analysis (Section 6.6).
+ */
+class Distribution
+{
+  public:
+    /** Empty distribution over n-bit outcomes. */
+    explicit Distribution(int num_bits);
+
+    /**
+     * Build from integer shot counts (normalises by total shots).
+     *
+     * @param num_bits Output width.
+     * @param counts Outcome -> shot count.
+     */
+    static Distribution fromCounts(
+        int num_bits, const std::map<common::Bits, std::uint64_t> &counts);
+
+    /**
+     * Build from a list of sampled shots.
+     */
+    static Distribution fromShots(int num_bits,
+                                  const std::vector<common::Bits> &shots);
+
+    /**
+     * Build from a dense probability vector of length 2^num_bits,
+     * dropping entries below @p threshold.
+     */
+    static Distribution fromDense(int num_bits,
+                                  const std::vector<double> &probs,
+                                  double threshold = 1e-12);
+
+    int numBits() const { return numBits_; }
+
+    /** Number of distinct outcomes with non-zero probability. */
+    std::size_t support() const { return entries_.size(); }
+
+    /** Entries sorted ascending by outcome bit pattern. */
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /** Probability of @p outcome (0 when absent). */
+    double probability(common::Bits outcome) const;
+
+    /** Insert or overwrite one entry. @pre probability >= 0. */
+    void set(common::Bits outcome, double probability);
+
+    /** Add probability mass to one outcome. */
+    void add(common::Bits outcome, double probability);
+
+    /** Sum of all probabilities. */
+    double totalMass() const;
+
+    /** True when totalMass() is within @p tol of 1. */
+    bool normalized(double tol = 1e-9) const;
+
+    /** Scale so totalMass() == 1. @pre totalMass() > 0. */
+    void normalize();
+
+    /** Outcome with the largest probability. @pre non-empty. */
+    Entry topOutcome() const;
+
+    /** Entries sorted by descending probability (ties: ascending bits). */
+    std::vector<Entry> sortedByProbability() const;
+
+    /**
+     * Render the @p max_rows most probable entries as
+     * "bitstring  probability" lines (debugging / bench output).
+     */
+    std::string toString(int max_rows = 16) const;
+
+  private:
+    int numBits_;
+    std::vector<Entry> entries_; // sorted by outcome
+};
+
+} // namespace hammer::core
+
+#endif // HAMMER_CORE_DISTRIBUTION_HPP

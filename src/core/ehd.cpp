@@ -1,0 +1,51 @@
+#include "core/ehd.hpp"
+
+#include "common/logging.hpp"
+
+namespace hammer::core {
+
+using common::Bits;
+using common::require;
+
+double
+expectedHammingDistance(const Distribution &dist,
+                        const std::vector<Bits> &correct)
+{
+    require(!correct.empty(), "expectedHammingDistance: no references");
+    double ehd = 0.0;
+    for (const Entry &e : dist.entries()) {
+        ehd += e.probability *
+               common::minHammingDistance(e.outcome, correct);
+    }
+    return ehd;
+}
+
+double
+expectedHammingDistanceIncorrect(const Distribution &dist,
+                                 const std::vector<Bits> &correct)
+{
+    require(!correct.empty(),
+            "expectedHammingDistanceIncorrect: no references");
+    double weighted = 0.0;
+    double incorrect_mass = 0.0;
+    for (const Entry &e : dist.entries()) {
+        const int d = common::minHammingDistance(e.outcome, correct);
+        if (d > 0) {
+            weighted += e.probability * d;
+            incorrect_mass += e.probability;
+        }
+    }
+    if (incorrect_mass <= 0.0)
+        return 0.0;
+    return weighted / incorrect_mass;
+}
+
+double
+uniformModelEhd(int num_bits)
+{
+    require(num_bits >= 1, "uniformModelEhd: bad width");
+    // sum_d d * C(n,d) = n * 2^(n-1), so the mean distance is n/2.
+    return static_cast<double>(num_bits) / 2.0;
+}
+
+} // namespace hammer::core

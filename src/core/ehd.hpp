@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Expected Hamming Distance (EHD) — the paper's measure of how much
+ * Hamming structure a noisy distribution has (Section 3.3).
+ */
+
+#ifndef HAMMER_CORE_EHD_HPP
+#define HAMMER_CORE_EHD_HPP
+
+#include <vector>
+
+#include "core/distribution.hpp"
+
+namespace hammer::core {
+
+/**
+ * Expected Hamming Distance of a distribution to its correct
+ * outcome(s): sum over all observed outcomes of
+ * P(x) * minHammingDistance(x, correct).
+ *
+ * Correct outcomes contribute zero, so an error-free distribution has
+ * EHD 0, and a uniform distribution has EHD ~= n/2, matching the
+ * bounds the paper quotes (EHD in [0, n]).
+ */
+double expectedHammingDistance(const Distribution &dist,
+                               const std::vector<common::Bits> &correct);
+
+/**
+ * Variant restricted to the *incorrect* outcomes, renormalised by
+ * their total mass (the "weighted average ... of the incorrect
+ * observations" phrasing in Section 3.3).  Returns 0 when the
+ * distribution contains no incorrect mass.
+ */
+double
+expectedHammingDistanceIncorrect(const Distribution &dist,
+                                 const std::vector<common::Bits> &correct);
+
+/**
+ * Exact EHD of the uniform-error model on n bits:
+ * sum_d d * C(n, d) / 2^n = n / 2.
+ */
+double uniformModelEhd(int num_bits);
+
+} // namespace hammer::core
+
+#endif // HAMMER_CORE_EHD_HPP

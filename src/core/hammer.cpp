@@ -1,0 +1,252 @@
+#include "core/hammer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "core/spectrum.hpp"
+
+namespace hammer::core {
+
+using common::Bits;
+using common::require;
+
+namespace {
+
+/** Resolve config.maxDistance to the effective bound. */
+int
+effectiveMaxDistance(const Distribution &input, const HammerConfig &config)
+{
+    if (config.maxDistance < 0)
+        return defaultMaxDistance(input.numBits());
+    require(config.maxDistance <= input.numBits(),
+            "HammerConfig: maxDistance exceeds output width");
+    return config.maxDistance;
+}
+
+/** Step 2: derive per-distance weights from the aggregate CHS. */
+std::vector<double>
+weightsFromChs(const std::vector<double> &chs, int num_bits,
+               WeightScheme scheme)
+{
+    std::vector<double> weights(chs.size(), 0.0);
+    for (std::size_t d = 0; d < chs.size(); ++d) {
+        switch (scheme) {
+          case WeightScheme::InverseChs:
+            if (chs[d] > 0.0)
+                weights[d] = 1.0 / chs[d];
+            break;
+          case WeightScheme::Uniform:
+            weights[d] = 1.0;
+            break;
+          case WeightScheme::InverseBinomial:
+            weights[d] = 1.0 / common::binomial(num_bits,
+                                                static_cast<int>(d));
+            break;
+        }
+    }
+    return weights;
+}
+
+} // namespace
+
+std::vector<double>
+hammerWeights(const Distribution &input, const HammerConfig &config)
+{
+    const int dmax = effectiveMaxDistance(input, config);
+    return weightsFromChs(aggregateChs(input, dmax), input.numBits(),
+                          config.weightScheme);
+}
+
+double
+neighborhoodScore(const Distribution &input, Bits x,
+                  const HammerConfig &config)
+{
+    const int dmax = effectiveMaxDistance(input, config);
+    const auto weights = hammerWeights(input, config);
+    const double px = input.probability(x);
+
+    double score = px; // Algorithm 1 line 17 seeds with P_in[x].
+    for (const Entry &y : input.entries()) {
+        if (y.outcome == x)
+            continue;
+        const int d = common::hammingDistance(x, y.outcome);
+        if (d > dmax)
+            continue;
+        if (config.filterLowerProbability && !(px > y.probability))
+            continue;
+        score += weights[static_cast<std::size_t>(d)] * y.probability;
+    }
+    return score;
+}
+
+Distribution
+reconstruct(const Distribution &input, const HammerConfig &config,
+            HammerStats *stats)
+{
+    require(input.support() > 0, "reconstruct: empty distribution");
+    require(input.normalized(1e-6),
+            "reconstruct: input distribution must be normalised");
+
+    const int n = input.numBits();
+    const int dmax = effectiveMaxDistance(input, config);
+    const auto &entries = input.entries();
+    const std::size_t count = entries.size();
+
+    std::uint64_t pair_ops = 0;
+
+    // Step 1: aggregate Cumulative Hamming Strength over all pairs.
+    const std::vector<double> chs = aggregateChs(input, dmax);
+    pair_ops += static_cast<std::uint64_t>(count) * count;
+
+    // Step 2: per-distance weights.
+    const std::vector<double> weights =
+        weightsFromChs(chs, n, config.weightScheme);
+
+    // Step 3: rescore every outcome.
+    Distribution output(n);
+    for (std::size_t i = 0; i < count; ++i) {
+        const Bits x = entries[i].outcome;
+        const double px = entries[i].probability;
+        double score = px;
+        for (std::size_t j = 0; j < count; ++j) {
+            if (j == i)
+                continue;
+            ++pair_ops;
+            const int d = common::hammingDistance(x, entries[j].outcome);
+            if (d > dmax)
+                continue;
+            // Filter pi: credit flows only from strictly less probable
+            // neighbours, so rich-but-unlikely strings cannot borrow
+            // strength from dominant ones.
+            if (config.filterLowerProbability &&
+                !(px > entries[j].probability)) {
+                continue;
+            }
+            score += weights[static_cast<std::size_t>(d)] *
+                     entries[j].probability;
+        }
+
+        const double updated = config.scoreCombine ==
+            ScoreCombine::Multiplicative ? score * px : score;
+        output.set(x, updated);
+    }
+
+    output.normalize();
+
+    if (stats) {
+        stats->uniqueOutcomes = count;
+        stats->maxDistance = dmax;
+        stats->aggregateChs = chs;
+        stats->weights = weights;
+        stats->pairOperations = pair_ops;
+    }
+    return output;
+}
+
+Distribution
+reconstructIterative(const Distribution &input, int iterations,
+                     const HammerConfig &config)
+{
+    require(iterations >= 1,
+            "reconstructIterative: need at least one pass");
+    Distribution current = reconstruct(input, config);
+    for (int pass = 1; pass < iterations; ++pass)
+        current = reconstruct(current, config);
+    return current;
+}
+
+Distribution
+reconstructFast(const Distribution &input, const HammerConfig &config,
+                HammerStats *stats)
+{
+    require(input.support() > 0, "reconstructFast: empty distribution");
+    require(input.normalized(1e-6),
+            "reconstructFast: input distribution must be normalised");
+
+    const int n = input.numBits();
+    const int dmax = effectiveMaxDistance(input, config);
+    const auto &entries = input.entries();
+    const std::size_t count = entries.size();
+
+    // Bucket entry indices by popcount: H(x, y) >= |pc(x) - pc(y)|,
+    // so only buckets within dmax can contribute.
+    std::vector<std::vector<std::size_t>> buckets(
+        static_cast<std::size_t>(n) + 1);
+    for (std::size_t i = 0; i < count; ++i) {
+        buckets[static_cast<std::size_t>(
+            common::popcount(entries[i].outcome))].push_back(i);
+    }
+
+    std::uint64_t pair_ops = 0;
+
+    // Step 1: aggregate CHS with bucket pruning.
+    std::vector<double> chs(static_cast<std::size_t>(dmax) + 1, 0.0);
+    for (std::size_t i = 0; i < count; ++i) {
+        const int pc = common::popcount(entries[i].outcome);
+        chs[0] += entries[i].probability;
+        const int lo = std::max(0, pc - dmax);
+        const int hi = std::min(n, pc + dmax);
+        for (int b = lo; b <= hi; ++b) {
+            for (std::size_t j : buckets[static_cast<std::size_t>(b)]) {
+                if (j <= i)
+                    continue; // unordered pairs once
+                ++pair_ops;
+                const int d = common::hammingDistance(
+                    entries[i].outcome, entries[j].outcome);
+                if (d <= dmax) {
+                    chs[static_cast<std::size_t>(d)] +=
+                        entries[i].probability + entries[j].probability;
+                }
+            }
+        }
+    }
+
+    // Step 2: weights.
+    const std::vector<double> weights =
+        weightsFromChs(chs, n, config.weightScheme);
+
+    // Step 3: rescoring with the same pruning.
+    Distribution output(n);
+    for (std::size_t i = 0; i < count; ++i) {
+        const Bits x = entries[i].outcome;
+        const double px = entries[i].probability;
+        const int pc = common::popcount(x);
+        double score = px;
+        const int lo = std::max(0, pc - dmax);
+        const int hi = std::min(n, pc + dmax);
+        for (int b = lo; b <= hi; ++b) {
+            for (std::size_t j : buckets[static_cast<std::size_t>(b)]) {
+                if (j == i)
+                    continue;
+                ++pair_ops;
+                const int d = common::hammingDistance(
+                    x, entries[j].outcome);
+                if (d > dmax)
+                    continue;
+                if (config.filterLowerProbability &&
+                    !(px > entries[j].probability)) {
+                    continue;
+                }
+                score += weights[static_cast<std::size_t>(d)] *
+                         entries[j].probability;
+            }
+        }
+        const double updated = config.scoreCombine ==
+            ScoreCombine::Multiplicative ? score * px : score;
+        output.set(x, updated);
+    }
+
+    output.normalize();
+
+    if (stats) {
+        stats->uniqueOutcomes = count;
+        stats->maxDistance = dmax;
+        stats->aggregateChs = chs;
+        stats->weights = weights;
+        stats->pairOperations = pair_ops;
+    }
+    return output;
+}
+
+} // namespace hammer::core

@@ -1,0 +1,99 @@
+#include "core/io.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace hammer::core {
+
+using common::require;
+
+Distribution
+readDistributionCsv(std::istream &in)
+{
+    int width = -1;
+    std::vector<std::pair<common::Bits, double>> rows;
+
+    std::string line;
+    int line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        // Trim trailing carriage return from CRLF files.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line.front() == '#')
+            continue;
+
+        const auto comma = line.find(',');
+        require(comma != std::string::npos && comma > 0,
+                "readDistributionCsv: line " +
+                    std::to_string(line_number) +
+                    ": expected '<bitstring>,<value>'");
+        const std::string bits_text = line.substr(0, comma);
+        const std::string value_text = line.substr(comma + 1);
+
+        const common::Bits outcome = common::fromBitstring(bits_text);
+        const int this_width = static_cast<int>(bits_text.size());
+        if (width < 0) {
+            width = this_width;
+        } else {
+            require(this_width == width,
+                    "readDistributionCsv: line " +
+                        std::to_string(line_number) +
+                        ": inconsistent bitstring width");
+        }
+
+        std::size_t consumed = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(value_text, &consumed);
+        } catch (const std::exception &) {
+            common::fatal("readDistributionCsv: line " +
+                          std::to_string(line_number) +
+                          ": bad value '" + value_text + "'");
+        }
+        require(consumed == value_text.size(),
+                "readDistributionCsv: line " +
+                    std::to_string(line_number) +
+                    ": trailing junk after value");
+        require(value >= 0.0,
+                "readDistributionCsv: line " +
+                    std::to_string(line_number) + ": negative value");
+        rows.emplace_back(outcome, value);
+    }
+    require(width > 0 && !rows.empty(),
+            "readDistributionCsv: no histogram rows found");
+
+    Distribution dist(width);
+    for (const auto &[outcome, value] : rows)
+        dist.add(outcome, value);
+    dist.normalize();
+    return dist;
+}
+
+Distribution
+readDistributionCsv(const std::string &text)
+{
+    std::istringstream in(text);
+    return readDistributionCsv(in);
+}
+
+void
+writeDistributionCsv(std::ostream &out, const Distribution &dist,
+                     int precision)
+{
+    require(precision >= 1 && precision <= 17,
+            "writeDistributionCsv: bad precision");
+    for (const Entry &e : dist.sortedByProbability()) {
+        char value[64];
+        std::snprintf(value, sizeof(value), "%.*f", precision,
+                      e.probability);
+        out << common::toBitstring(e.outcome, dist.numBits()) << ','
+            << value << '\n';
+    }
+}
+
+} // namespace hammer::core

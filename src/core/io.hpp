@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Histogram serialisation.
+ *
+ * Real deployments apply HAMMER to histograms produced elsewhere
+ * (hardware runs, other simulators), so the library reads and writes
+ * the de-facto interchange format: CSV lines of
+ * `bitstring,count-or-probability`.  This is also what the
+ * command-line tool (tools/hammer_cli) speaks.
+ */
+
+#ifndef HAMMER_CORE_IO_HPP
+#define HAMMER_CORE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "core/distribution.hpp"
+
+namespace hammer::core {
+
+/**
+ * Parse a histogram from CSV text.
+ *
+ * Accepted line format: `<bitstring>,<value>` where value is a
+ * non-negative count or probability; blank lines and lines starting
+ * with '#' are skipped.  All bitstrings must have equal width; the
+ * result is normalised.
+ *
+ * @throws std::invalid_argument on malformed input.
+ */
+Distribution readDistributionCsv(std::istream &in);
+
+/** Convenience overload over a string buffer. */
+Distribution readDistributionCsv(const std::string &text);
+
+/**
+ * Write a histogram as CSV, most probable outcome first.
+ *
+ * @param out Sink.
+ * @param dist Distribution to serialise.
+ * @param precision Fractional digits for probabilities.
+ */
+void writeDistributionCsv(std::ostream &out, const Distribution &dist,
+                          int precision = 8);
+
+} // namespace hammer::core
+
+#endif // HAMMER_CORE_IO_HPP

@@ -1,0 +1,99 @@
+#include "core/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace hammer::core {
+
+using common::Bits;
+using common::require;
+
+HammingSpectrum
+hammingSpectrum(const Distribution &dist,
+                const std::vector<Bits> &references)
+{
+    require(!references.empty(), "hammingSpectrum: no reference outcomes");
+    const int n = dist.numBits();
+    HammingSpectrum spectrum;
+    spectrum.binTotal.assign(static_cast<std::size_t>(n) + 1, 0.0);
+    spectrum.binCount.assign(static_cast<std::size_t>(n) + 1, 0);
+    spectrum.binAverage.assign(static_cast<std::size_t>(n) + 1, 0.0);
+    spectrum.binMax.assign(static_cast<std::size_t>(n) + 1, 0.0);
+
+    for (const Entry &e : dist.entries()) {
+        const int d = common::minHammingDistance(e.outcome, references);
+        const auto bin = static_cast<std::size_t>(d);
+        spectrum.binTotal[bin] += e.probability;
+        ++spectrum.binCount[bin];
+        spectrum.binMax[bin] = std::max(spectrum.binMax[bin],
+                                        e.probability);
+    }
+    for (std::size_t d = 0; d < spectrum.binTotal.size(); ++d) {
+        if (spectrum.binCount[d] > 0) {
+            spectrum.binAverage[d] =
+                spectrum.binTotal[d] / spectrum.binCount[d];
+        }
+    }
+    return spectrum;
+}
+
+double
+uniformOutcomeProbability(int num_bits)
+{
+    require(num_bits >= 1 && num_bits <= 64,
+            "uniformOutcomeProbability: bad width");
+    return std::ldexp(1.0, -num_bits);
+}
+
+std::vector<double>
+cumulativeHammingStrength(const Distribution &dist, Bits x,
+                          int max_distance)
+{
+    require(max_distance >= 0 && max_distance <= dist.numBits(),
+            "cumulativeHammingStrength: bad max distance");
+    std::vector<double> chs(static_cast<std::size_t>(max_distance) + 1,
+                            0.0);
+    for (const Entry &e : dist.entries()) {
+        const int d = common::hammingDistance(x, e.outcome);
+        if (d <= max_distance)
+            chs[static_cast<std::size_t>(d)] += e.probability;
+    }
+    return chs;
+}
+
+std::vector<double>
+aggregateChs(const Distribution &dist, int max_distance)
+{
+    require(max_distance >= 0 && max_distance <= dist.numBits(),
+            "aggregateChs: bad max distance");
+    std::vector<double> chs(static_cast<std::size_t>(max_distance) + 1,
+                            0.0);
+    const auto &entries = dist.entries();
+    // Exploit symmetry: H(x, y) == H(y, x), so each unordered pair
+    // contributes P(x) + P(y) to its bin; the diagonal contributes
+    // P(x) to bin 0.
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        chs[0] += entries[i].probability;
+        for (std::size_t j = i + 1; j < entries.size(); ++j) {
+            const int d = common::hammingDistance(entries[i].outcome,
+                                                  entries[j].outcome);
+            if (d <= max_distance) {
+                chs[static_cast<std::size_t>(d)] +=
+                    entries[i].probability + entries[j].probability;
+            }
+        }
+    }
+    return chs;
+}
+
+int
+defaultMaxDistance(int num_bits)
+{
+    require(num_bits >= 1, "defaultMaxDistance: bad width");
+    // Largest d satisfying Algorithm 1's "d < n/2" test.
+    return (num_bits - 1) / 2;
+}
+
+} // namespace hammer::core

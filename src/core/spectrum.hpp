@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Hamming spectrum and Cumulative Hamming Strength (CHS).
+ *
+ * The Hamming spectrum (paper Section 3.2, Fig. 3) buckets every
+ * outcome of a distribution into bins by its (minimum) Hamming
+ * distance to a set of reference outcomes.  The CHS (Section 4.3,
+ * Fig. 7b) is the same bucketing seen from one outcome: CHS_d(x) is
+ * the total probability of the observed outcomes at distance d
+ * from x.
+ */
+
+#ifndef HAMMER_CORE_SPECTRUM_HPP
+#define HAMMER_CORE_SPECTRUM_HPP
+
+#include <vector>
+
+#include "core/distribution.hpp"
+
+namespace hammer::core {
+
+/** Per-bin view of a distribution relative to reference outcomes. */
+struct HammingSpectrum
+{
+    /** Total probability mass in bin d (index = Hamming distance). */
+    std::vector<double> binTotal;
+    /** Number of distinct observed outcomes in bin d. */
+    std::vector<int> binCount;
+    /** Average probability of an observed outcome in bin d (0 if empty). */
+    std::vector<double> binAverage;
+    /** Largest single-outcome probability in bin d. */
+    std::vector<double> binMax;
+};
+
+/**
+ * Bucket @p dist into Hamming bins 0..n relative to @p references.
+ *
+ * With several references (multi-solution circuits such as QAOA) the
+ * minimum distance is used, as in the paper.
+ *
+ * @pre references non-empty.
+ */
+HammingSpectrum
+hammingSpectrum(const Distribution &dist,
+                const std::vector<common::Bits> &references);
+
+/**
+ * Expected bin probability under the uniform-error model: every one
+ * of the 2^n outcomes equally likely, so each string has probability
+ * 2^-n regardless of bin (the paper's "Uniform Error Rate" line in
+ * Fig. 3).
+ */
+double uniformOutcomeProbability(int num_bits);
+
+/**
+ * Cumulative Hamming Strength of one outcome.
+ *
+ * CHS_d(x) = sum of P(y) over observed y with H(x, y) == d, for
+ * d = 0..max_distance (d = 0 contributes P(x) itself, exactly as in
+ * Algorithm 1 of the paper).
+ *
+ * @param dist Observed distribution.
+ * @param x Outcome whose neighbourhood is measured.
+ * @param max_distance Largest distance bin (inclusive).
+ * @return Vector of length max_distance + 1.
+ */
+std::vector<double> cumulativeHammingStrength(const Distribution &dist,
+                                              common::Bits x,
+                                              int max_distance);
+
+/**
+ * Sum of CHS vectors over every outcome in the distribution — the
+ * aggregate Algorithm 1 computes in its Step 1 double loop.  The
+ * per-distance weights are derived from this.
+ */
+std::vector<double> aggregateChs(const Distribution &dist,
+                                 int max_distance);
+
+/**
+ * The default HAMMER neighbourhood bound: largest d with d < n/2,
+ * i.e. floor((n - 1) / 2).
+ */
+int defaultMaxDistance(int num_bits);
+
+} // namespace hammer::core
+
+#endif // HAMMER_CORE_SPECTRUM_HPP

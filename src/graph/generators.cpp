@@ -1,0 +1,115 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace hammer::graph {
+
+using common::require;
+using common::Rng;
+
+Graph
+erdosRenyi(int n, double p, Rng &rng)
+{
+    require(n >= 2, "erdosRenyi: need at least two vertices");
+    require(p > 0.0 && p <= 1.0, "erdosRenyi: p must be in (0, 1]");
+
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        Graph g(n);
+        for (int u = 0; u < n; ++u) {
+            for (int v = u + 1; v < n; ++v) {
+                if (rng.bernoulli(p))
+                    g.addEdge(u, v);
+            }
+        }
+        if (g.numEdges() > 0 && g.connected())
+            return g;
+    }
+    common::fatal("erdosRenyi: failed to sample a connected graph "
+                  "(p too small for n)");
+}
+
+Graph
+kRegular(int n, int k, Rng &rng)
+{
+    require(k >= 1 && k < n, "kRegular: need 1 <= k < n");
+    require((n * k) % 2 == 0, "kRegular: n * k must be even");
+
+    // Configuration model: pair up k stubs per vertex and reject
+    // samples with self-loops or parallel edges.
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n * k));
+    for (int attempt = 0; attempt < 5000; ++attempt) {
+        stubs.clear();
+        for (int v = 0; v < n; ++v) {
+            for (int i = 0; i < k; ++i)
+                stubs.push_back(v);
+        }
+        // Fisher-Yates shuffle.
+        for (std::size_t i = stubs.size(); i-- > 1;) {
+            const std::size_t j =
+                static_cast<std::size_t>(rng.uniformInt(i + 1));
+            std::swap(stubs[i], stubs[j]);
+        }
+
+        Graph g(n);
+        bool ok = true;
+        for (std::size_t i = 0; ok && i + 1 < stubs.size(); i += 2) {
+            const int u = stubs[i];
+            const int v = stubs[i + 1];
+            if (u == v || g.hasEdge(u, v)) {
+                ok = false;
+            } else {
+                g.addEdge(u, v);
+            }
+        }
+        if (ok && g.connected())
+            return g;
+    }
+    common::fatal("kRegular: failed to sample a simple connected graph");
+}
+
+Graph
+ring(int n)
+{
+    require(n >= 3, "ring: need at least three vertices");
+    Graph g(n);
+    for (int v = 0; v < n; ++v)
+        g.addEdge(v, (v + 1) % n);
+    return g;
+}
+
+Graph
+grid(int rows, int cols)
+{
+    require(rows >= 1 && cols >= 1, "grid: bad shape");
+    require(rows * cols >= 2, "grid: need at least two vertices");
+    Graph g(rows * cols);
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                g.addEdge(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                g.addEdge(id(r, c), id(r + 1, c));
+        }
+    }
+    return g;
+}
+
+Graph
+sherringtonKirkpatrick(int n, Rng &rng)
+{
+    require(n >= 2, "sherringtonKirkpatrick: need >= 2 vertices");
+    Graph g(n);
+    for (int u = 0; u < n; ++u) {
+        for (int v = u + 1; v < n; ++v)
+            g.addEdge(u, v, rng.bernoulli(0.5) ? 1.0 : -1.0);
+    }
+    return g;
+}
+
+} // namespace hammer::graph

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Random and structured graph generators matching the QAOA instance
+ * families of the paper: Erdos-Renyi (IBM dataset, Table 2), k-regular
+ * and 2-regular rings, rectangular grids (hardware-native on Sycamore)
+ * and Sherrington-Kirkpatrick complete graphs (Google dataset, Table 1).
+ */
+
+#ifndef HAMMER_GRAPH_GENERATORS_HPP
+#define HAMMER_GRAPH_GENERATORS_HPP
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace hammer::graph {
+
+/**
+ * Erdos-Renyi G(n, p) random graph.
+ *
+ * The paper sweeps edge density 0.2 (sparse) to 0.8 (highly
+ * connected).  Retries until the sample is connected so QAOA never
+ * sees degenerate disconnected instances.
+ *
+ * @param n Number of vertices.
+ * @param p Edge probability in (0, 1].
+ * @param rng Random source.
+ */
+Graph erdosRenyi(int n, double p, common::Rng &rng);
+
+/**
+ * Random k-regular graph via repeated pairing (configuration model
+ * with rejection of parallel edges / self-loops).
+ *
+ * @pre n * k even, k < n.
+ */
+Graph kRegular(int n, int k, common::Rng &rng);
+
+/** 2-regular ring graph 0-1-2-...-(n-1)-0. @pre n >= 3. */
+Graph ring(int n);
+
+/**
+ * Rectangular grid graph with @p rows x @p cols vertices.
+ *
+ * Grid instances map onto planar qubit lattices without SWAPs, which
+ * is why the paper's grid-QAOA circuits are shallower (Section 6.4).
+ */
+Graph grid(int rows, int cols);
+
+/**
+ * Sherrington-Kirkpatrick instance: complete graph with random +/-1
+ * edge weights.
+ */
+Graph sherringtonKirkpatrick(int n, common::Rng &rng);
+
+} // namespace hammer::graph
+
+#endif // HAMMER_GRAPH_GENERATORS_HPP

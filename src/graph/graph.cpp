@@ -1,0 +1,77 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace hammer::graph {
+
+using common::require;
+
+Graph::Graph(int num_vertices)
+    : numVertices_(num_vertices),
+      adjacency_(static_cast<std::size_t>(std::max(num_vertices, 0)))
+{
+    require(num_vertices >= 1 && num_vertices <= 64,
+            "Graph: vertex count must be in [1, 64]");
+}
+
+void
+Graph::addEdge(int u, int v, double weight)
+{
+    require(u >= 0 && u < numVertices_ && v >= 0 && v < numVertices_,
+            "Graph::addEdge: endpoint out of range");
+    require(u != v, "Graph::addEdge: self-loop");
+    require(!hasEdge(u, v), "Graph::addEdge: duplicate edge");
+    edges_.push_back({u, v, weight});
+    adjacency_[static_cast<std::size_t>(u)].push_back(v);
+    adjacency_[static_cast<std::size_t>(v)].push_back(u);
+}
+
+bool
+Graph::hasEdge(int u, int v) const
+{
+    if (u < 0 || u >= numVertices_ || v < 0 || v >= numVertices_)
+        return false;
+    const auto &adj = adjacency_[static_cast<std::size_t>(u)];
+    return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+int
+Graph::degree(int u) const
+{
+    require(u >= 0 && u < numVertices_, "Graph::degree: out of range");
+    return static_cast<int>(adjacency_[static_cast<std::size_t>(u)].size());
+}
+
+double
+Graph::totalWeight() const
+{
+    double total = 0.0;
+    for (const Edge &e : edges_)
+        total += e.weight;
+    return total;
+}
+
+bool
+Graph::connected() const
+{
+    std::vector<bool> seen(static_cast<std::size_t>(numVertices_), false);
+    std::vector<int> stack{0};
+    seen[0] = true;
+    int visited = 1;
+    while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+            if (!seen[static_cast<std::size_t>(v)]) {
+                seen[static_cast<std::size_t>(v)] = true;
+                ++visited;
+                stack.push_back(v);
+            }
+        }
+    }
+    return visited == numVertices_;
+}
+
+} // namespace hammer::graph

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Undirected weighted graph used as the max-cut problem instance for
+ * the QAOA workloads (Tables 1 and 2 of the paper).
+ */
+
+#ifndef HAMMER_GRAPH_GRAPH_HPP
+#define HAMMER_GRAPH_GRAPH_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace hammer::graph {
+
+/** A weighted undirected edge. */
+struct Edge
+{
+    int u;          ///< First endpoint.
+    int v;          ///< Second endpoint.
+    double weight;  ///< Edge weight (1.0 for unweighted instances).
+};
+
+/**
+ * Simple undirected weighted graph.
+ *
+ * Vertices are 0..n-1 and map one-to-one onto circuit qubits in the
+ * QAOA builder.  Parallel edges and self-loops are rejected.
+ */
+class Graph
+{
+  public:
+    /** Create an edgeless graph on @p num_vertices vertices. */
+    explicit Graph(int num_vertices);
+
+    /** Number of vertices. */
+    int numVertices() const { return numVertices_; }
+
+    /** Number of edges. */
+    std::size_t numEdges() const { return edges_.size(); }
+
+    /**
+     * Add an undirected edge.
+     *
+     * @param u First endpoint (0-based).
+     * @param v Second endpoint; must differ from @p u.
+     * @param weight Edge weight.
+     */
+    void addEdge(int u, int v, double weight = 1.0);
+
+    /** True when u-v (in either order) is present. */
+    bool hasEdge(int u, int v) const;
+
+    /** All edges in insertion order. */
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /** Degree of vertex @p u. */
+    int degree(int u) const;
+
+    /** Sum of all edge weights. */
+    double totalWeight() const;
+
+    /** True when every vertex is reachable from vertex 0. */
+    bool connected() const;
+
+  private:
+    int numVertices_;
+    std::vector<Edge> edges_;
+    std::vector<std::vector<int>> adjacency_;
+};
+
+} // namespace hammer::graph
+
+#endif // HAMMER_GRAPH_GRAPH_HPP

@@ -1,0 +1,62 @@
+#include "graph/maxcut.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace hammer::graph {
+
+using common::Bits;
+
+double
+isingCost(const Graph &g, Bits x)
+{
+    double cost = 0.0;
+    for (const Edge &e : g.edges()) {
+        const double zu = ((x >> e.u) & 1ull) ? -1.0 : 1.0;
+        const double zv = ((x >> e.v) & 1ull) ? -1.0 : 1.0;
+        cost += e.weight * zu * zv;
+    }
+    return cost;
+}
+
+double
+cutWeight(const Graph &g, Bits x)
+{
+    double weight = 0.0;
+    for (const Edge &e : g.edges()) {
+        const bool bu = (x >> e.u) & 1ull;
+        const bool bv = (x >> e.v) & 1ull;
+        if (bu != bv)
+            weight += e.weight;
+    }
+    return weight;
+}
+
+CutOptimum
+bruteForceOptimum(const Graph &g, double tol)
+{
+    const int n = g.numVertices();
+    common::require(n <= 26,
+                    "bruteForceOptimum: instance too large for 2^n scan");
+
+    CutOptimum opt;
+    opt.minCost = std::numeric_limits<double>::infinity();
+    opt.maxCost = -std::numeric_limits<double>::infinity();
+
+    const Bits count = 1ull << n;
+    for (Bits x = 0; x < count; ++x) {
+        const double c = isingCost(g, x);
+        if (c < opt.minCost)
+            opt.minCost = c;
+        if (c > opt.maxCost)
+            opt.maxCost = c;
+    }
+    for (Bits x = 0; x < count; ++x) {
+        if (isingCost(g, x) <= opt.minCost + tol)
+            opt.bestCuts.push_back(x);
+    }
+    return opt;
+}
+
+} // namespace hammer::graph

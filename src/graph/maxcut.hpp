@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Max-cut cost model in the Ising formulation used by the Google QAOA
+ * dataset [Harrigan et al. 2021]: for assignment x (bit i = side of
+ * vertex i), C(x) = sum_{(u,v) in E} w_uv * z_u * z_v with z = 1 - 2x.
+ *
+ * Minimising C maximises the cut, so the desired cuts have the most
+ * negative cost (the paper's Fig. 5 notes the desired cut cost is
+ * negative) and the figure of merit is the cost ratio
+ * CR = C_exp / C_min in Eq. (5).
+ */
+
+#ifndef HAMMER_GRAPH_MAXCUT_HPP
+#define HAMMER_GRAPH_MAXCUT_HPP
+
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "graph/graph.hpp"
+
+namespace hammer::graph {
+
+/** Ising cost C(x) of an assignment (lower is better). */
+double isingCost(const Graph &g, common::Bits x);
+
+/** Cut weight (total weight of edges crossing the partition). */
+double cutWeight(const Graph &g, common::Bits x);
+
+/** Result of exhaustively scanning all 2^n assignments. */
+struct CutOptimum
+{
+    double minCost;                       ///< Most negative Ising cost.
+    double maxCost;                       ///< Largest Ising cost.
+    std::vector<common::Bits> bestCuts;   ///< All assignments with minCost.
+};
+
+/**
+ * Brute-force optimum over all 2^n assignments.
+ *
+ * Fine for the paper's instance sizes (n <= 24); costs O(2^n * |E|).
+ * Assignments with cost within @p tol of the optimum are collected as
+ * bestCuts (every optimal cut appears along with its complement).
+ */
+CutOptimum bruteForceOptimum(const Graph &g, double tol = 1e-9);
+
+} // namespace hammer::graph
+
+#endif // HAMMER_GRAPH_MAXCUT_HPP

@@ -1,0 +1,90 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace hammer::metrics {
+
+using common::Bits;
+using common::require;
+using core::Distribution;
+using core::Entry;
+
+double
+pst(const Distribution &dist, const std::vector<Bits> &correct)
+{
+    require(!correct.empty(), "pst: no correct outcomes");
+    double total = 0.0;
+    for (Bits c : correct)
+        total += dist.probability(c);
+    return total;
+}
+
+double
+ist(const Distribution &dist, const std::vector<Bits> &correct)
+{
+    require(!correct.empty(), "ist: no correct outcomes");
+
+    double best_correct = 0.0;
+    for (Bits c : correct)
+        best_correct = std::max(best_correct, dist.probability(c));
+
+    double best_incorrect = 0.0;
+    for (const Entry &e : dist.entries()) {
+        const bool is_correct =
+            std::find(correct.begin(), correct.end(), e.outcome) !=
+            correct.end();
+        if (!is_correct)
+            best_incorrect = std::max(best_incorrect, e.probability);
+    }
+
+    if (best_incorrect == 0.0) {
+        return best_correct > 0.0
+            ? std::numeric_limits<double>::infinity()
+            : 0.0;
+    }
+    return best_correct / best_incorrect;
+}
+
+double
+tvd(const Distribution &p, const Distribution &q)
+{
+    require(p.numBits() == q.numBits(), "tvd: width mismatch");
+    double total = 0.0;
+    for (const Entry &e : p.entries())
+        total += std::abs(e.probability - q.probability(e.outcome));
+    for (const Entry &e : q.entries()) {
+        if (p.probability(e.outcome) == 0.0)
+            total += e.probability;
+    }
+    return 0.5 * total;
+}
+
+double
+classicalFidelity(const Distribution &p, const Distribution &q)
+{
+    require(p.numBits() == q.numBits(),
+            "classicalFidelity: width mismatch");
+    double bc = 0.0;
+    for (const Entry &e : p.entries()) {
+        const double qp = q.probability(e.outcome);
+        if (qp > 0.0)
+            bc += std::sqrt(e.probability * qp);
+    }
+    return bc * bc;
+}
+
+bool
+inferredCorrectly(const Distribution &dist,
+                  const std::vector<Bits> &correct)
+{
+    require(dist.support() > 0, "inferredCorrectly: empty distribution");
+    const Bits top = dist.topOutcome().outcome;
+    return std::find(correct.begin(), correct.end(), top) !=
+           correct.end();
+}
+
+} // namespace hammer::metrics

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figures of merit used throughout the paper's evaluation:
+ * PST and IST (Section 6.1, BV circuits), total variational distance
+ * and classical fidelity (Section 6.4), and helpers shared by the
+ * bench harness.
+ */
+
+#ifndef HAMMER_METRICS_METRICS_HPP
+#define HAMMER_METRICS_METRICS_HPP
+
+#include <vector>
+
+#include "core/distribution.hpp"
+
+namespace hammer::metrics {
+
+/**
+ * Probability of a Successful Trial — total probability assigned to
+ * the correct outcome(s) (Eq. 3).
+ */
+double pst(const core::Distribution &dist,
+           const std::vector<common::Bits> &correct);
+
+/**
+ * Inference Strength — probability of the (best) correct outcome over
+ * the probability of the most frequent *incorrect* outcome (Eq. 4).
+ *
+ * Returns +infinity when no incorrect outcome was observed and the
+ * correct one was; 0 when the correct outcome never appeared.
+ */
+double ist(const core::Distribution &dist,
+           const std::vector<common::Bits> &correct);
+
+/**
+ * Total Variational Distance between two distributions over the union
+ * of their supports: TVD = 0.5 * sum |p - q|.
+ */
+double tvd(const core::Distribution &p, const core::Distribution &q);
+
+/**
+ * Classical (Bhattacharyya) fidelity F = (sum sqrt(p q))^2 in [0, 1].
+ */
+double classicalFidelity(const core::Distribution &p,
+                         const core::Distribution &q);
+
+/**
+ * True when the arg-max outcome of @p dist is one of @p correct —
+ * i.e. the answer would be inferred correctly (what IST > 1 means).
+ */
+bool inferredCorrectly(const core::Distribution &dist,
+                       const std::vector<common::Bits> &correct);
+
+} // namespace hammer::metrics
+
+#endif // HAMMER_METRICS_METRICS_HPP

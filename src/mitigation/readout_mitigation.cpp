@@ -1,0 +1,100 @@
+#include "mitigation/readout_mitigation.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "noise/readout.hpp"
+
+namespace hammer::mitigation {
+
+using common::Bits;
+using common::require;
+using core::Distribution;
+using core::Entry;
+using noise::NoiseModel;
+
+double
+confusionProbability(Bits truth, Bits observed, int num_bits,
+                     const NoiseModel &model)
+{
+    require(num_bits >= 1 && num_bits <= 64,
+            "confusionProbability: bad width");
+    // Count the four per-bit transition types with bit tricks instead
+    // of a per-bit loop.
+    const Bits mask = num_bits == 64 ? ~Bits{0}
+                                     : (Bits{1} << num_bits) - 1;
+    const Bits t = truth & mask;
+    const Bits o = observed & mask;
+    const int n01 = common::popcount(~t & o & mask); // 0 read as 1
+    const int n10 = common::popcount(t & ~o & mask); // 1 read as 0
+    const int n11 = common::popcount(t & o & mask);  // 1 read as 1
+    const int n00 = num_bits - n01 - n10 - n11;      // 0 read as 0
+
+    return std::pow(model.readout01, n01) *
+           std::pow(model.readout10, n10) *
+           std::pow(1.0 - model.readout01, n00) *
+           std::pow(1.0 - model.readout10, n11);
+}
+
+Distribution
+mitigateReadout(const Distribution &measured, const NoiseModel &model,
+                const ReadoutMitigationOptions &options)
+{
+    require(measured.support() > 0, "mitigateReadout: empty input");
+    require(options.iterations >= 1,
+            "mitigateReadout: need at least one iteration");
+
+    const int n = measured.numBits();
+    const auto &entries = measured.entries();
+    const std::size_t count = entries.size();
+
+    // Response matrix restricted to the observed support:
+    // response[y][x] = P(observe y | truth x).
+    std::vector<std::vector<double>> response(
+        count, std::vector<double>(count, 0.0));
+    for (std::size_t y = 0; y < count; ++y) {
+        for (std::size_t x = 0; x < count; ++x) {
+            response[y][x] = confusionProbability(
+                entries[x].outcome, entries[y].outcome, n, model);
+        }
+    }
+
+    // Iterative Bayesian Unfolding, seeded with the measured
+    // distribution itself.
+    std::vector<double> truth(count);
+    for (std::size_t x = 0; x < count; ++x)
+        truth[x] = entries[x].probability;
+
+    std::vector<double> folded(count);
+    for (int iter = 0; iter < options.iterations; ++iter) {
+        for (std::size_t y = 0; y < count; ++y) {
+            double acc = 0.0;
+            for (std::size_t x = 0; x < count; ++x)
+                acc += response[y][x] * truth[x];
+            folded[y] = acc;
+        }
+        std::vector<double> next(count, 0.0);
+        for (std::size_t x = 0; x < count; ++x) {
+            double acc = 0.0;
+            for (std::size_t y = 0; y < count; ++y) {
+                if (folded[y] > 0.0) {
+                    acc += response[y][x] * entries[y].probability /
+                           folded[y];
+                }
+            }
+            next[x] = truth[x] * acc;
+        }
+        truth = std::move(next);
+    }
+
+    Distribution out(n);
+    for (std::size_t x = 0; x < count; ++x) {
+        if (truth[x] > 0.0)
+            out.set(entries[x].outcome, truth[x]);
+    }
+    out.normalize();
+    return out;
+}
+
+} // namespace hammer::mitigation

@@ -1,0 +1,263 @@
+#include "noise/channel_sampler.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.hpp"
+#include "noise/readout.hpp"
+#include "sim/simulator.hpp"
+
+namespace hammer::noise {
+
+using common::Bits;
+using common::require;
+using common::Rng;
+using core::Distribution;
+
+namespace {
+
+/** Probability of an odd number of flips from two independent flips. */
+double
+combineFlips(double a, double b)
+{
+    return a * (1.0 - b) + b * (1.0 - a);
+}
+
+/** Physical qubit -> final resident logical qubit (or -1). */
+std::vector<int>
+inverseLayout(const circuits::RoutedCircuit &routed)
+{
+    std::vector<int> phys_to_logical(
+        static_cast<std::size_t>(routed.circuit.numQubits()), -1);
+    for (std::size_t l = 0; l < routed.logicalToPhysical.size(); ++l) {
+        phys_to_logical[static_cast<std::size_t>(
+            routed.logicalToPhysical[l])] = static_cast<int>(l);
+    }
+    return phys_to_logical;
+}
+
+} // namespace
+
+ChannelSampler::ChannelSampler(const NoiseModel &model,
+                               const ChannelParams &params)
+    : model_(model), params_(params)
+{
+    require(params.flipPer1q >= 0.0 && params.flipPer1q <= 1.0 &&
+            params.marginalFlipPer2q >= 0.0 &&
+            params.marginalFlipPer2q <= 1.0 &&
+            params.exclusiveFlipPer2q >= 0.0 &&
+            params.correlatedFlipPer2q >= 0.0 &&
+            params.exclusiveFlipPer2q + params.correlatedFlipPer2q
+                <= 1.0,
+            "ChannelParams: flip fractions must be valid "
+            "probabilities");
+    require(params.maxScramble >= 0.0 && params.maxScramble < 1.0,
+            "ChannelParams: maxScramble must be in [0, 1)");
+    require(params.coherentPer2q >= 0.0,
+            "ChannelParams: coherentPer2q must be non-negative");
+    require(params.burstProbability >= 0.0 &&
+            params.burstProbability < 1.0,
+            "ChannelParams: burstProbability must be in [0, 1)");
+}
+
+std::vector<double>
+ChannelSampler::gateFlipProbabilities(
+    const circuits::RoutedCircuit &routed) const
+{
+    const sim::GateCounts counts = routed.circuit.gateCounts();
+    const std::size_t logical_count = routed.logicalToPhysical.size();
+
+    std::vector<double> flip(logical_count, 0.0);
+    for (std::size_t l = 0; l < logical_count; ++l) {
+        // Attribute the physical qubit's gate activity to the logical
+        // qubit that ends up living there (exact for SWAP-free
+        // circuits, a faithful first-order proxy otherwise).
+        const auto p = static_cast<std::size_t>(
+            routed.logicalToPhysical[l]);
+        const double keep1 = std::pow(
+            1.0 - params_.flipPer1q * model_.p1q, counts.perQubit1q[p]);
+        const double keep2 = std::pow(
+            1.0 - params_.marginalFlipPer2q * model_.p2q,
+            counts.perQubit2q[p]);
+        flip[l] = 1.0 - keep1 * keep2;
+    }
+    return flip;
+}
+
+std::vector<CorrelatedFlip>
+ChannelSampler::correlatedFlips(const circuits::RoutedCircuit &routed,
+                                int measured_qubits) const
+{
+    const auto phys_to_logical = inverseLayout(routed);
+
+    // Count 2q gates per physical pair whose *final residents* are
+    // both measured logical bits.
+    std::map<std::pair<int, int>, int> pair_counts;
+    for (const sim::Gate &g : routed.circuit.gates()) {
+        if (!g.isTwoQubit())
+            continue;
+        const int la = phys_to_logical[static_cast<std::size_t>(g.q0)];
+        const int lb = phys_to_logical[static_cast<std::size_t>(g.q1)];
+        if (la < 0 || lb < 0 || la >= measured_qubits ||
+            lb >= measured_qubits) {
+            continue;
+        }
+        ++pair_counts[{std::min(la, lb), std::max(la, lb)}];
+    }
+
+    std::vector<CorrelatedFlip> flips;
+    flips.reserve(pair_counts.size());
+    for (const auto &[pair, count] : pair_counts) {
+        const double prob = 1.0 - std::pow(
+            1.0 - params_.correlatedFlipPer2q * model_.p2q, count);
+        if (prob > 0.0)
+            flips.push_back({pair.first, pair.second, prob});
+    }
+    return flips;
+}
+
+std::vector<double>
+ChannelSampler::coherentFlipProbabilities(
+    const circuits::RoutedCircuit &routed) const
+{
+    const std::size_t logical_count = routed.logicalToPhysical.size();
+    std::vector<double> flip(logical_count, 0.0);
+    if (params_.coherentPer2q == 0.0)
+        return flip;
+
+    const sim::GateCounts counts = routed.circuit.gateCounts();
+    for (std::size_t l = 0; l < logical_count; ++l) {
+        const auto p = static_cast<std::size_t>(
+            routed.logicalToPhysical[l]);
+        // Coherent errors add in amplitude, so the accumulated
+        // rotation angle grows linearly with the gate count.
+        const double theta =
+            params_.coherentPer2q * counts.perQubit2q[p];
+        const double s = std::sin(theta);
+        flip[l] = s * s;
+    }
+    return flip;
+}
+
+double
+ChannelSampler::scrambleProbability(
+    const circuits::RoutedCircuit &routed) const
+{
+    const sim::GateCounts counts = routed.circuit.gateCounts();
+    const double survive = std::pow(
+        1.0 - params_.scramblePer2q * model_.p2q, counts.twoQubit);
+    return std::min(1.0 - survive, params_.maxScramble);
+}
+
+Distribution
+ChannelSampler::sample(const circuits::RoutedCircuit &routed,
+                       int measured_qubits, int shots, Rng &rng)
+{
+    const int n = routed.circuit.numQubits();
+    require(measured_qubits >= 1 && measured_qubits <= n,
+            "ChannelSampler: bad measured qubit count");
+    require(shots >= 1, "ChannelSampler: need at least one shot");
+
+    const sim::StateVector state = sim::runCircuit(routed.circuit);
+    const double scramble = scrambleProbability(routed);
+    const Bits mask = measured_qubits == 64
+        ? ~Bits{0}
+        : (Bits{1} << measured_qubits) - 1;
+
+    // Independent per-bit flip probabilities.  Gates whose partner
+    // bit also participates in the correlated channel contribute
+    // only their single-sided (exclusive) share here; gates paired
+    // with unmeasured qubits contribute their full marginal.
+    const auto phys_to_logical = inverseLayout(routed);
+    std::vector<int> count_1q(static_cast<std::size_t>(measured_qubits),
+                              0);
+    std::vector<int> count_2q_paired(
+        static_cast<std::size_t>(measured_qubits), 0);
+    std::vector<int> count_2q_lone(
+        static_cast<std::size_t>(measured_qubits), 0);
+    for (const sim::Gate &g : routed.circuit.gates()) {
+        if (g.isTwoQubit()) {
+            const int la =
+                phys_to_logical[static_cast<std::size_t>(g.q0)];
+            const int lb =
+                phys_to_logical[static_cast<std::size_t>(g.q1)];
+            const bool a_measured = la >= 0 && la < measured_qubits;
+            const bool b_measured = lb >= 0 && lb < measured_qubits;
+            if (a_measured) {
+                ++(b_measured
+                   ? count_2q_paired[static_cast<std::size_t>(la)]
+                   : count_2q_lone[static_cast<std::size_t>(la)]);
+            }
+            if (b_measured) {
+                ++(a_measured
+                   ? count_2q_paired[static_cast<std::size_t>(lb)]
+                   : count_2q_lone[static_cast<std::size_t>(lb)]);
+            }
+        } else {
+            const int l = phys_to_logical[static_cast<std::size_t>(
+                g.q0)];
+            if (l >= 0 && l < measured_qubits)
+                ++count_1q[static_cast<std::size_t>(l)];
+        }
+    }
+    const auto coherent = coherentFlipProbabilities(routed);
+    std::vector<double> independent_flip(
+        static_cast<std::size_t>(measured_qubits), 0.0);
+    for (int q = 0; q < measured_qubits; ++q) {
+        const auto i = static_cast<std::size_t>(q);
+        const double keep =
+            std::pow(1.0 - params_.flipPer1q * model_.p1q,
+                     count_1q[i]) *
+            std::pow(1.0 - params_.exclusiveFlipPer2q * model_.p2q,
+                     count_2q_paired[i]) *
+            std::pow(1.0 - params_.marginalFlipPer2q * model_.p2q,
+                     count_2q_lone[i]);
+        independent_flip[i] = combineFlips(1.0 - keep, coherent[i]);
+    }
+
+    const auto correlated = correlatedFlips(routed, measured_qubits);
+
+    // Sample all ideal shots in one pass (amortised CDF).
+    const std::vector<Bits> ideal = state.sampleShots(rng, shots);
+
+    std::map<Bits, std::uint64_t> counts;
+    for (Bits physical : ideal) {
+        const Bits logical = routed.toLogical(physical);
+        Bits observed;
+        if (scramble > 0.0 && rng.bernoulli(scramble)) {
+            observed = rng.uniformInt(Bits{1} << measured_qubits);
+        } else if (params_.burstProbability > 0.0 &&
+                   rng.bernoulli(params_.burstProbability)) {
+            // Device-specific correlated error burst: when it fires
+            // it dominates the other channels, so the shot reports
+            // exactly the ideal outcome with the burst pattern
+            // applied.  The resulting spike has a thin neighbourhood
+            // of its own — the property HAMMER exploits to demote it.
+            observed = (logical & mask) ^ (params_.burstPattern & mask);
+        } else {
+            observed = logical & mask;
+            // Correlated double flips from two-qubit gate errors.
+            for (const CorrelatedFlip &cf : correlated) {
+                if (rng.bernoulli(cf.probability)) {
+                    observed ^= Bits{1} << cf.qubitA;
+                    observed ^= Bits{1} << cf.qubitB;
+                }
+            }
+            // Independent flips (gate singles + readout).
+            for (int q = 0; q < measured_qubits; ++q) {
+                const bool one = (observed >> q) & 1ull;
+                const double readout = one ? model_.readout10
+                                           : model_.readout01;
+                const double flip = combineFlips(
+                    independent_flip[static_cast<std::size_t>(q)],
+                    readout);
+                if (flip > 0.0 && rng.bernoulli(flip))
+                    observed ^= Bits{1} << q;
+            }
+        }
+        ++counts[observed];
+    }
+    return Distribution::fromCounts(measured_qubits, counts);
+}
+
+} // namespace hammer::noise

@@ -1,0 +1,83 @@
+#include "noise/exact_sampler.hpp"
+
+#include <map>
+
+#include "common/logging.hpp"
+#include "noise/readout.hpp"
+#include "sim/density_matrix.hpp"
+
+namespace hammer::noise {
+
+using common::Bits;
+using common::require;
+using common::Rng;
+using core::Distribution;
+
+ExactSampler::ExactSampler(const NoiseModel &model)
+    : model_(model)
+{
+    require(model.p1q <= 0.75 && model.p2q <= 15.0 / 16.0,
+            "ExactSampler: depolarising rates out of channel range");
+}
+
+Distribution
+ExactSampler::exactDistribution(const circuits::RoutedCircuit &routed,
+                                int measured_qubits) const
+{
+    const int n = routed.circuit.numQubits();
+    require(n <= 10, "ExactSampler: density matrix limited to 10 "
+                     "qubits");
+    require(measured_qubits >= 1 && measured_qubits <= n,
+            "ExactSampler: bad measured qubit count");
+
+    sim::DensityMatrix rho(n);
+    for (const sim::Gate &g : routed.circuit.gates()) {
+        rho.applyGate(g);
+        if (g.isTwoQubit()) {
+            if (model_.p2q > 0.0)
+                rho.applyDepolarizing2q(g.q0, g.q1, model_.p2q);
+        } else if (model_.p1q > 0.0) {
+            rho.applyDepolarizing1q(g.q0, model_.p1q);
+        }
+    }
+
+    // Physical distribution -> logical order -> marginalise the
+    // unmeasured qubits.
+    const auto physical = rho.probabilities();
+    const Bits mask = (Bits{1} << measured_qubits) - 1;
+    Distribution logical(measured_qubits);
+    for (std::size_t x = 0; x < physical.size(); ++x) {
+        if (physical[x] > 0.0)
+            logical.add(routed.toLogical(x) & mask, physical[x]);
+    }
+    logical.normalize();
+
+    // Exact readout channel on the measured bits.
+    if (model_.readout01 > 0.0 || model_.readout10 > 0.0)
+        return applyReadoutChannel(logical, model_, 1e-10);
+    return logical;
+}
+
+Distribution
+ExactSampler::sample(const circuits::RoutedCircuit &routed,
+                     int measured_qubits, int shots, Rng &rng)
+{
+    require(shots >= 1, "ExactSampler: need at least one shot");
+    const Distribution exact =
+        exactDistribution(routed, measured_qubits);
+
+    // Sample shots from the exact distribution.
+    std::vector<double> weights;
+    weights.reserve(exact.support());
+    for (const core::Entry &e : exact.entries())
+        weights.push_back(e.probability);
+
+    std::map<Bits, std::uint64_t> counts;
+    for (int s = 0; s < shots; ++s) {
+        const std::size_t pick = rng.discrete(weights);
+        ++counts[exact.entries()[pick].outcome];
+    }
+    return Distribution::fromCounts(measured_qubits, counts);
+}
+
+} // namespace hammer::noise

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Device noise parameters.
+ *
+ * Error rates follow the ranges the paper quotes for IBM and Google
+ * hardware (Section 2.1: single-qubit ~0.1%, two-qubit 1-2%, readout
+ * a few percent).  Presets model the three IBM machines of Table 2
+ * (all Quantum Volume 32 but with "very different error
+ * characteristics") and a Sycamore-like profile for the Google
+ * dataset substitution.
+ */
+
+#ifndef HAMMER_NOISE_NOISE_MODEL_HPP
+#define HAMMER_NOISE_NOISE_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+namespace hammer::noise {
+
+/**
+ * Stochastic Pauli + readout noise parameters.
+ */
+struct NoiseModel
+{
+    /** Depolarising probability per single-qubit gate. */
+    double p1q = 0.001;
+    /** Depolarising probability per two-qubit gate (per qubit). */
+    double p2q = 0.015;
+    /** P(read 1 | state 0). */
+    double readout01 = 0.02;
+    /** P(read 0 | state 1). */
+    double readout10 = 0.03;
+
+    /** Scale every rate by @p factor (fidelity sweeps). */
+    NoiseModel scaled(double factor) const;
+};
+
+/**
+ * Named machine presets.
+ *
+ * "machineA" / "machineB" / "machineC" stand in for the three IBM
+ * systems of Section 5.2; "sycamore" for Google's processor;
+ * "ideal" disables all noise.
+ *
+ * @throws std::invalid_argument for unknown names.
+ */
+NoiseModel machinePreset(const std::string &name);
+
+/** Names accepted by machinePreset, for harness enumeration. */
+const std::vector<std::string> &machinePresetNames();
+
+} // namespace hammer::noise
+
+#endif // HAMMER_NOISE_NOISE_MODEL_HPP

@@ -1,0 +1,74 @@
+#include "noise/readout.hpp"
+
+#include <functional>
+
+#include "common/logging.hpp"
+
+namespace hammer::noise {
+
+using common::Bits;
+using common::require;
+using core::Distribution;
+
+Bits
+applyReadoutError(Bits outcome, int num_bits, const NoiseModel &model,
+                  common::Rng &rng)
+{
+    require(num_bits >= 1 && num_bits <= 64,
+            "applyReadoutError: bad width");
+    Bits observed = outcome;
+    for (int q = 0; q < num_bits; ++q) {
+        const bool one = (outcome >> q) & 1ull;
+        const double flip = one ? model.readout10 : model.readout01;
+        if (flip > 0.0 && rng.bernoulli(flip))
+            observed ^= Bits{1} << q;
+    }
+    return observed;
+}
+
+double
+readoutTransition(int from, int to, const NoiseModel &model)
+{
+    require((from == 0 || from == 1) && (to == 0 || to == 1),
+            "readoutTransition: bits must be 0/1");
+    if (from == 0)
+        return to == 1 ? model.readout01 : 1.0 - model.readout01;
+    return to == 0 ? model.readout10 : 1.0 - model.readout10;
+}
+
+Distribution
+applyReadoutChannel(const Distribution &dist, const NoiseModel &model,
+                    double threshold)
+{
+    const int n = dist.numBits();
+    Distribution out(n);
+
+    // Depth-first expansion over bit positions, pruning branches whose
+    // accumulated mass falls below the truncation threshold.
+    std::function<void(Bits, Bits, int, double)> expand =
+        [&](Bits truth, Bits partial, int q, double mass) {
+            if (mass < threshold)
+                return;
+            if (q == n) {
+                out.add(partial, mass);
+                return;
+            }
+            const Bits bit = (truth >> q) & 1ull;
+            const double stay = readoutTransition(
+                static_cast<int>(bit), static_cast<int>(bit), model);
+            const double flip = 1.0 - stay;
+            expand(truth, partial | (bit << q), q + 1, mass * stay);
+            if (flip > 0.0) {
+                expand(truth, partial | ((bit ^ 1ull) << q), q + 1,
+                       mass * flip);
+            }
+        };
+
+    for (const core::Entry &e : dist.entries())
+        expand(e.outcome, 0, 0, e.probability);
+
+    out.normalize();
+    return out;
+}
+
+} // namespace hammer::noise

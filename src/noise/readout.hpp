@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Readout (measurement) error channel.
+ *
+ * Measurement errors are classical bit flips applied after sampling:
+ * a qubit in |0> is read as 1 with probability e01 and a qubit in
+ * |1> as 0 with probability e10 (the asymmetry models the relaxation
+ * bias real transmons show).
+ */
+
+#ifndef HAMMER_NOISE_READOUT_HPP
+#define HAMMER_NOISE_READOUT_HPP
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "core/distribution.hpp"
+#include "noise/noise_model.hpp"
+
+namespace hammer::noise {
+
+/**
+ * Flip the low @p num_bits bits of @p outcome according to the
+ * model's readout rates.
+ */
+common::Bits applyReadoutError(common::Bits outcome, int num_bits,
+                               const NoiseModel &model,
+                               common::Rng &rng);
+
+/**
+ * Exact readout channel applied to a sparse distribution: every
+ * outcome's mass is redistributed over the flip patterns.  Exponential
+ * in the flip count, so mass below @p threshold is truncated; used by
+ * tests and the mitigation module to build ground-truth fixtures.
+ */
+core::Distribution applyReadoutChannel(const core::Distribution &dist,
+                                       const NoiseModel &model,
+                                       double threshold = 1e-7);
+
+/**
+ * Probability that readout maps true bit value @p from to observed
+ * value @p to under @p model.
+ */
+double readoutTransition(int from, int to, const NoiseModel &model);
+
+} // namespace hammer::noise
+
+#endif // HAMMER_NOISE_READOUT_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Common interface of the noisy execution backends.
+ *
+ * A sampler plays the role of the NISQ machine in the paper's
+ * methodology: given a routed circuit and a shot budget, it returns
+ * the noisy measurement histogram the post-processing stage (HAMMER,
+ * readout mitigation, ...) consumes.
+ */
+
+#ifndef HAMMER_NOISE_SAMPLER_HPP
+#define HAMMER_NOISE_SAMPLER_HPP
+
+#include "circuits/transpiler.hpp"
+#include "common/rng.hpp"
+#include "core/distribution.hpp"
+
+namespace hammer::noise {
+
+/**
+ * Abstract noisy-execution backend.
+ */
+class NoisySampler
+{
+  public:
+    virtual ~NoisySampler() = default;
+
+    /**
+     * Execute @p routed for @p shots trials and histogram the
+     * outcomes.
+     *
+     * @param routed Routed circuit (physical qubits + final layout).
+     * @param measured_qubits Number of logical qubits measured; the
+     *        returned distribution is over logical qubits
+     *        0..measured_qubits-1 (higher logical qubits — e.g. the
+     *        BV ancilla — are traced out).
+     * @param shots Number of trials.
+     * @param rng Random source.
+     * @return Normalised distribution over measured_qubits-bit
+     *         outcomes.
+     */
+    virtual core::Distribution sample(
+        const circuits::RoutedCircuit &routed, int measured_qubits,
+        int shots, common::Rng &rng) = 0;
+};
+
+} // namespace hammer::noise
+
+#endif // HAMMER_NOISE_SAMPLER_HPP

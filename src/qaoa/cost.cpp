@@ -1,0 +1,51 @@
+#include "qaoa/cost.hpp"
+
+#include "common/logging.hpp"
+
+namespace hammer::qaoa {
+
+using common::require;
+using core::Distribution;
+using graph::Graph;
+
+double
+costExpectation(const Distribution &dist, const Graph &g)
+{
+    require(dist.numBits() == g.numVertices(),
+            "costExpectation: distribution/graph width mismatch");
+    double expectation = 0.0;
+    for (const core::Entry &e : dist.entries())
+        expectation += e.probability * graph::isingCost(g, e.outcome);
+    return expectation;
+}
+
+double
+costRatio(const Distribution &dist, const Graph &g, double min_cost)
+{
+    require(min_cost < 0.0,
+            "costRatio: C_min must be negative (Ising formulation)");
+    return costExpectation(dist, g) / min_cost;
+}
+
+double
+costRatio(const Distribution &dist, const Graph &g)
+{
+    return costRatio(dist, g, graph::bruteForceOptimum(g).minCost);
+}
+
+double
+cumulativeProbabilityAbove(const Distribution &dist, const Graph &g,
+                           double min_cost, double quality_threshold)
+{
+    require(min_cost < 0.0,
+            "cumulativeProbabilityAbove: C_min must be negative");
+    double total = 0.0;
+    for (const core::Entry &e : dist.entries()) {
+        const double quality = graph::isingCost(g, e.outcome) / min_cost;
+        if (quality >= quality_threshold)
+            total += e.probability;
+    }
+    return total;
+}
+
+} // namespace hammer::qaoa

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Cost evaluation of QAOA output distributions (paper Section 6.3).
+ *
+ * The expected Ising cost over the measured distribution is the
+ * quantity the classical optimiser of a variational loop minimises;
+ * the Cost Ratio CR = C_exp / C_min (Eq. 5, higher is better because
+ * C_min < 0) is the figure of merit for all QAOA results.
+ */
+
+#ifndef HAMMER_QAOA_COST_HPP
+#define HAMMER_QAOA_COST_HPP
+
+#include "core/distribution.hpp"
+#include "graph/graph.hpp"
+#include "graph/maxcut.hpp"
+
+namespace hammer::qaoa {
+
+/**
+ * Expected Ising cost of a measured distribution:
+ * C_exp = sum_x P(x) C(x).
+ *
+ * @pre dist.numBits() == g.numVertices().
+ */
+double costExpectation(const core::Distribution &dist,
+                       const graph::Graph &g);
+
+/**
+ * Cost Ratio (Eq. 5).
+ *
+ * @param dist Measured distribution.
+ * @param g Problem graph.
+ * @param min_cost Optimal (most negative) Ising cost C_min; pass the
+ *        value from graph::bruteForceOptimum to avoid re-scanning.
+ */
+double costRatio(const core::Distribution &dist, const graph::Graph &g,
+                 double min_cost);
+
+/** Convenience overload that brute-forces C_min internally. */
+double costRatio(const core::Distribution &dist, const graph::Graph &g);
+
+/**
+ * Cumulative probability of all outcomes whose solution quality
+ * C(x)/C_min is at least @p quality_threshold (used for the Fig. 9
+ * b/d cumulative-probability views; threshold 1.0 keeps only the
+ * optimal cuts).
+ */
+double cumulativeProbabilityAbove(const core::Distribution &dist,
+                                  const graph::Graph &g, double min_cost,
+                                  double quality_threshold);
+
+} // namespace hammer::qaoa
+
+#endif // HAMMER_QAOA_COST_HPP

@@ -1,0 +1,81 @@
+#include "qaoa/landscape.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "graph/maxcut.hpp"
+#include "qaoa/cost.hpp"
+
+namespace hammer::qaoa {
+
+using common::require;
+
+double
+Landscape::meanGradientMagnitude() const
+{
+    const std::size_t rows = costRatio.size();
+    if (rows == 0)
+        return 0.0;
+    const std::size_t cols = costRatio.front().size();
+
+    double total = 0.0;
+    std::size_t samples = 0;
+    for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+            if (i + 1 < rows) {
+                total += std::abs(costRatio[i + 1][j] - costRatio[i][j]);
+                ++samples;
+            }
+            if (j + 1 < cols) {
+                total += std::abs(costRatio[i][j + 1] - costRatio[i][j]);
+                ++samples;
+            }
+        }
+    }
+    return samples == 0 ? 0.0 : total / static_cast<double>(samples);
+}
+
+double
+Landscape::peak() const
+{
+    double best = -1e300;
+    for (const auto &row : costRatio) {
+        for (double v : row)
+            best = std::max(best, v);
+    }
+    return best;
+}
+
+Landscape
+sweepLandscape(const graph::Graph &g, const DistributionAt &produce,
+               int beta_points, double beta_lo, double beta_hi,
+               int gamma_points, double gamma_lo, double gamma_hi)
+{
+    require(beta_points >= 2 && gamma_points >= 2,
+            "sweepLandscape: need at least a 2x2 grid");
+
+    const double min_cost = graph::bruteForceOptimum(g).minCost;
+
+    Landscape scape;
+    for (int i = 0; i < beta_points; ++i) {
+        scape.betas.push_back(
+            beta_lo + (beta_hi - beta_lo) * i / (beta_points - 1));
+    }
+    for (int j = 0; j < gamma_points; ++j) {
+        scape.gammas.push_back(
+            gamma_lo + (gamma_hi - gamma_lo) * j / (gamma_points - 1));
+    }
+
+    for (double beta : scape.betas) {
+        std::vector<double> row;
+        row.reserve(scape.gammas.size());
+        for (double gamma : scape.gammas) {
+            const core::Distribution dist = produce(beta, gamma);
+            row.push_back(costRatio(dist, g, min_cost));
+        }
+        scape.costRatio.push_back(std::move(row));
+    }
+    return scape;
+}
+
+} // namespace hammer::qaoa

@@ -1,0 +1,163 @@
+#include "qaoa/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace hammer::qaoa {
+
+using common::require;
+
+OptimizeResult
+nelderMead(const Objective &f, const std::vector<double> &x0,
+           const NelderMeadOptions &options)
+{
+    const std::size_t dim = x0.size();
+    require(dim >= 1, "nelderMead: empty starting point");
+    require(options.maxEvaluations >= static_cast<int>(dim) + 1,
+            "nelderMead: evaluation budget too small");
+
+    OptimizeResult result;
+    int evals = 0;
+    auto eval = [&](const std::vector<double> &x) {
+        ++evals;
+        return f(x);
+    };
+
+    // Initial simplex: x0 plus one vertex displaced per axis.
+    std::vector<std::vector<double>> simplex{x0};
+    for (std::size_t d = 0; d < dim; ++d) {
+        std::vector<double> v = x0;
+        v[d] += options.initialStep;
+        simplex.push_back(std::move(v));
+    }
+    std::vector<double> values;
+    values.reserve(simplex.size());
+    for (const auto &v : simplex)
+        values.push_back(eval(v));
+
+    const double alpha = 1.0;  // reflection
+    const double gamma = 2.0;  // expansion
+    const double rho = 0.5;    // contraction
+    const double sigma = 0.5;  // shrink
+
+    while (evals < options.maxEvaluations) {
+        // Order vertices by objective value.
+        std::vector<std::size_t> order(simplex.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return values[a] < values[b];
+                  });
+
+        const std::size_t best = order.front();
+        const std::size_t worst = order.back();
+        const std::size_t second_worst = order[order.size() - 2];
+
+        if (values[worst] - values[best] < options.tolerance)
+            break;
+
+        // Centroid of all but the worst vertex.
+        std::vector<double> centroid(dim, 0.0);
+        for (std::size_t i : order) {
+            if (i == worst)
+                continue;
+            for (std::size_t d = 0; d < dim; ++d)
+                centroid[d] += simplex[i][d];
+        }
+        for (double &c : centroid)
+            c /= static_cast<double>(dim);
+
+        auto blend = [&](double t) {
+            std::vector<double> x(dim);
+            for (std::size_t d = 0; d < dim; ++d)
+                x[d] = centroid[d] + t * (centroid[d] - simplex[worst][d]);
+            return x;
+        };
+
+        const std::vector<double> reflected = blend(alpha);
+        const double fr = eval(reflected);
+
+        if (fr < values[best]) {
+            const std::vector<double> expanded = blend(gamma);
+            const double fe = eval(expanded);
+            if (fe < fr) {
+                simplex[worst] = expanded;
+                values[worst] = fe;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = fr;
+            }
+        } else if (fr < values[second_worst]) {
+            simplex[worst] = reflected;
+            values[worst] = fr;
+        } else {
+            const std::vector<double> contracted = blend(-rho);
+            const double fc = eval(contracted);
+            if (fc < values[worst]) {
+                simplex[worst] = contracted;
+                values[worst] = fc;
+            } else {
+                // Shrink everything toward the best vertex.
+                for (std::size_t i = 0; i < simplex.size(); ++i) {
+                    if (i == best)
+                        continue;
+                    for (std::size_t d = 0; d < dim; ++d) {
+                        simplex[i][d] = simplex[best][d] +
+                            sigma * (simplex[i][d] - simplex[best][d]);
+                    }
+                    values[i] = eval(simplex[i]);
+                }
+            }
+        }
+    }
+
+    const auto best_it = std::min_element(values.begin(), values.end());
+    const auto best_idx =
+        static_cast<std::size_t>(best_it - values.begin());
+    result.best = simplex[best_idx];
+    result.value = values[best_idx];
+    result.evaluations = evals;
+    return result;
+}
+
+OptimizeResult
+gridSearch(const Objective &f, const std::vector<double> &lo,
+           const std::vector<double> &hi, int points_per_dim)
+{
+    const std::size_t dim = lo.size();
+    require(dim >= 1 && hi.size() == dim, "gridSearch: bad box");
+    require(points_per_dim >= 2, "gridSearch: need >= 2 points per dim");
+
+    OptimizeResult result;
+    result.value = 1e300;
+
+    std::vector<int> index(dim, 0);
+    std::vector<double> x(dim);
+    for (;;) {
+        for (std::size_t d = 0; d < dim; ++d) {
+            x[d] = lo[d] + (hi[d] - lo[d]) * index[d] /
+                   (points_per_dim - 1);
+        }
+        const double value = f(x);
+        ++result.evaluations;
+        if (value < result.value) {
+            result.value = value;
+            result.best = x;
+        }
+
+        // Odometer increment over the grid.
+        std::size_t d = 0;
+        while (d < dim && ++index[d] == points_per_dim) {
+            index[d] = 0;
+            ++d;
+        }
+        if (d == dim)
+            break;
+    }
+    return result;
+}
+
+} // namespace hammer::qaoa

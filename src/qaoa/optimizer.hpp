@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Derivative-free optimisers for the classical half of the
+ * variational loop (paper Section 2.3): a Nelder-Mead simplex search
+ * and a coarse grid scan used to seed it.
+ */
+
+#ifndef HAMMER_QAOA_OPTIMIZER_HPP
+#define HAMMER_QAOA_OPTIMIZER_HPP
+
+#include <functional>
+#include <vector>
+
+namespace hammer::qaoa {
+
+/** Objective: maps a parameter vector to a scalar to MINIMISE. */
+using Objective = std::function<double(const std::vector<double> &)>;
+
+/** Result of an optimisation run. */
+struct OptimizeResult
+{
+    std::vector<double> best;  ///< Best parameter vector found.
+    double value = 0.0;        ///< Objective at best.
+    int evaluations = 0;       ///< Number of objective calls.
+};
+
+/** Nelder-Mead settings. */
+struct NelderMeadOptions
+{
+    int maxEvaluations = 400;  ///< Evaluation budget.
+    double initialStep = 0.25; ///< Simplex edge length around x0.
+    double tolerance = 1e-6;   ///< Simplex value-spread stop criterion.
+};
+
+/**
+ * Nelder-Mead simplex minimisation.
+ *
+ * @param f Objective (noisy objectives are fine; the method is
+ *        derivative-free).
+ * @param x0 Starting point; its dimension sets the problem size.
+ */
+OptimizeResult nelderMead(const Objective &f,
+                          const std::vector<double> &x0,
+                          const NelderMeadOptions &options = {});
+
+/**
+ * Dense grid scan over a box, returning the best point (used both as
+ * a baseline optimiser and to seed Nelder-Mead).
+ *
+ * @param f Objective.
+ * @param lo Lower corner of the box.
+ * @param hi Upper corner of the box.
+ * @param points_per_dim Grid resolution per dimension.
+ */
+OptimizeResult gridSearch(const Objective &f,
+                          const std::vector<double> &lo,
+                          const std::vector<double> &hi,
+                          int points_per_dim);
+
+} // namespace hammer::qaoa
+
+#endif // HAMMER_QAOA_OPTIMIZER_HPP

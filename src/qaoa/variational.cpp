@@ -1,0 +1,91 @@
+#include "qaoa/variational.hpp"
+
+#include "circuits/transpiler.hpp"
+#include "common/logging.hpp"
+#include "graph/maxcut.hpp"
+#include "qaoa/cost.hpp"
+#include "qaoa/optimizer.hpp"
+
+namespace hammer::qaoa {
+
+using common::require;
+using core::Distribution;
+
+namespace {
+
+/**
+ * Build the p-layer schedule from the two free parameters: the
+ * linear-ramp shape scaled so layer averages hit (beta, gamma).
+ */
+circuits::QaoaParams
+scheduleFrom(double beta, double gamma, int layers)
+{
+    circuits::QaoaParams params;
+    const double p = layers;
+    for (int l = 1; l <= layers; ++l) {
+        const double f = static_cast<double>(l) / (p + 1.0);
+        params.gammas.push_back(2.0 * gamma * f);
+        params.betas.push_back(2.0 * beta * (1.0 - f));
+    }
+    return params;
+}
+
+} // namespace
+
+VariationalResult
+optimizeMaxcut(const graph::Graph &g,
+               const circuits::CouplingMap &coupling,
+               noise::NoisySampler &sampler, common::Rng &rng,
+               const VariationalOptions &options)
+{
+    require(options.layers >= 1, "optimizeMaxcut: bad layer count");
+    require(options.shotsPerEvaluation >= 1,
+            "optimizeMaxcut: bad shot budget");
+    require(options.betaHi > options.betaLo &&
+            options.gammaHi > options.gammaLo,
+            "optimizeMaxcut: empty search box");
+
+    const int n = g.numVertices();
+    const double min_cost = graph::bruteForceOptimum(g).minCost;
+
+    int evaluations = 0;
+    auto distribution_at = [&](double beta, double gamma) {
+        const auto params = scheduleFrom(beta, gamma, options.layers);
+        const auto routed = circuits::transpile(
+            circuits::qaoaCircuit(g, params), coupling);
+        Distribution dist = sampler.sample(
+            routed, n, options.shotsPerEvaluation, rng);
+        if (options.useHammer)
+            dist = core::reconstruct(dist, options.hammerConfig);
+        return dist;
+    };
+
+    const Objective objective = [&](const std::vector<double> &x) {
+        ++evaluations;
+        return costExpectation(distribution_at(x[0], x[1]), g);
+    };
+
+    const OptimizeResult seed = gridSearch(
+        objective, {options.betaLo, options.gammaLo},
+        {options.betaHi, options.gammaHi}, options.gridPointsPerDim);
+
+    NelderMeadOptions refine;
+    refine.maxEvaluations = options.refineEvaluations;
+    refine.initialStep = 0.1;
+    const OptimizeResult best = nelderMead(objective, seed.best,
+                                           refine);
+
+    VariationalResult result;
+    result.params = scheduleFrom(best.best[0], best.best[1],
+                                 options.layers);
+    result.evaluations = evaluations;
+    result.finalDistribution = distribution_at(best.best[0],
+                                               best.best[1]);
+    result.costExpectation =
+        costExpectation(result.finalDistribution, g);
+    result.costRatio =
+        costRatio(result.finalDistribution, g, min_cost);
+    return result;
+}
+
+} // namespace hammer::qaoa

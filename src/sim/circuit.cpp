@@ -1,0 +1,153 @@
+#include "sim/circuit.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace hammer::sim {
+
+using common::require;
+
+Circuit::Circuit(int num_qubits)
+    : numQubits_(num_qubits)
+{
+    require(num_qubits >= 1 && num_qubits <= 24,
+            "Circuit: qubit count must be in [1, 24] "
+            "(state-vector memory limit)");
+}
+
+void
+Circuit::checkQubit(int q) const
+{
+    require(q >= 0 && q < numQubits_, "Circuit: qubit index out of range");
+}
+
+Circuit &
+Circuit::append(const Gate &gate)
+{
+    checkQubit(gate.q0);
+    if (gate.isTwoQubit()) {
+        checkQubit(gate.q1);
+        require(gate.q0 != gate.q1,
+                "Circuit: two-qubit gate with identical qubits");
+    }
+    gates_.push_back(gate);
+    return *this;
+}
+
+Circuit &Circuit::h(int q) { return append({GateKind::H, q}); }
+Circuit &Circuit::x(int q) { return append({GateKind::X, q}); }
+Circuit &Circuit::y(int q) { return append({GateKind::Y, q}); }
+Circuit &Circuit::z(int q) { return append({GateKind::Z, q}); }
+Circuit &Circuit::s(int q) { return append({GateKind::S, q}); }
+Circuit &Circuit::sdg(int q) { return append({GateKind::Sdg, q}); }
+Circuit &Circuit::t(int q) { return append({GateKind::T, q}); }
+Circuit &Circuit::tdg(int q) { return append({GateKind::Tdg, q}); }
+
+Circuit &
+Circuit::rx(int q, double theta)
+{
+    return append({GateKind::Rx, q, -1, theta});
+}
+
+Circuit &
+Circuit::ry(int q, double theta)
+{
+    return append({GateKind::Ry, q, -1, theta});
+}
+
+Circuit &
+Circuit::rz(int q, double theta)
+{
+    return append({GateKind::Rz, q, -1, theta});
+}
+
+Circuit &
+Circuit::cx(int control, int target)
+{
+    return append({GateKind::CX, control, target});
+}
+
+Circuit &
+Circuit::cz(int a, int b)
+{
+    return append({GateKind::CZ, a, b});
+}
+
+Circuit &
+Circuit::swap(int a, int b)
+{
+    return append({GateKind::Swap, a, b});
+}
+
+Circuit &
+Circuit::appendCircuit(const Circuit &other)
+{
+    require(other.numQubits_ == numQubits_,
+            "Circuit::appendCircuit: width mismatch");
+    for (const Gate &g : other.gates_)
+        gates_.push_back(g);
+    return *this;
+}
+
+Circuit
+Circuit::inverse() const
+{
+    Circuit inv(numQubits_);
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it)
+        inv.gates_.push_back(it->inverse());
+    return inv;
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> qubit_layer(static_cast<std::size_t>(numQubits_), 0);
+    int depth = 0;
+    for (const Gate &g : gates_) {
+        int layer = qubit_layer[static_cast<std::size_t>(g.q0)];
+        if (g.isTwoQubit()) {
+            layer = std::max(layer,
+                             qubit_layer[static_cast<std::size_t>(g.q1)]);
+        }
+        ++layer;
+        qubit_layer[static_cast<std::size_t>(g.q0)] = layer;
+        if (g.isTwoQubit())
+            qubit_layer[static_cast<std::size_t>(g.q1)] = layer;
+        depth = std::max(depth, layer);
+    }
+    return depth;
+}
+
+GateCounts
+Circuit::gateCounts() const
+{
+    GateCounts counts;
+    counts.perQubit1q.assign(static_cast<std::size_t>(numQubits_), 0);
+    counts.perQubit2q.assign(static_cast<std::size_t>(numQubits_), 0);
+    for (const Gate &g : gates_) {
+        ++counts.total;
+        if (g.isTwoQubit()) {
+            ++counts.twoQubit;
+            ++counts.perQubit2q[static_cast<std::size_t>(g.q0)];
+            ++counts.perQubit2q[static_cast<std::size_t>(g.q1)];
+        } else {
+            ++counts.singleQubit;
+            ++counts.perQubit1q[static_cast<std::size_t>(g.q0)];
+        }
+    }
+    return counts;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::string out;
+    for (const Gate &g : gates_) {
+        out += g.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace hammer::sim

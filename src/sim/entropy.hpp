@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Entanglement entropy of a pure state across a bipartition.
+ *
+ * Section 7 of the paper measures how the Hamming structure of
+ * erroneous outcomes varies with the entanglement entropy of the
+ * state created by the H . U_R sub-circuit; this module provides that
+ * number for our simulated states.
+ */
+
+#ifndef HAMMER_SIM_ENTROPY_HPP
+#define HAMMER_SIM_ENTROPY_HPP
+
+#include "sim/statevector.hpp"
+
+namespace hammer::sim {
+
+/**
+ * Von Neumann entanglement entropy (in bits) of the subsystem formed
+ * by the lowest @p subsystem_qubits qubits.
+ *
+ * Computes the reduced density matrix rho_A = M M^dagger where M is
+ * the state reshaped to 2^k x 2^(n-k), diagonalises it, and returns
+ * -sum lambda log2 lambda.
+ *
+ * @param state Pure state.
+ * @param subsystem_qubits Size k of subsystem A, 1 <= k < n.
+ * @return Entropy in [0, k].
+ */
+double entanglementEntropy(const StateVector &state, int subsystem_qubits);
+
+/**
+ * Convenience overload: entropy across the half-half bipartition
+ * (k = n / 2).
+ */
+double entanglementEntropy(const StateVector &state);
+
+} // namespace hammer::sim
+
+#endif // HAMMER_SIM_ENTROPY_HPP

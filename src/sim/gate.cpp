@@ -1,0 +1,141 @@
+#include "sim/gate.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace hammer::sim {
+
+using common::panic;
+
+bool
+isTwoQubitKind(GateKind kind)
+{
+    return kind == GateKind::CX || kind == GateKind::CZ ||
+           kind == GateKind::Swap;
+}
+
+bool
+Gate::isTwoQubit() const
+{
+    return isTwoQubitKind(kind);
+}
+
+Gate
+Gate::inverse() const
+{
+    Gate inv = *this;
+    switch (kind) {
+      case GateKind::H:
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::Swap:
+        return inv; // self-inverse
+      case GateKind::S:
+        inv.kind = GateKind::Sdg;
+        return inv;
+      case GateKind::Sdg:
+        inv.kind = GateKind::S;
+        return inv;
+      case GateKind::T:
+        inv.kind = GateKind::Tdg;
+        return inv;
+      case GateKind::Tdg:
+        inv.kind = GateKind::T;
+        return inv;
+      case GateKind::Rx:
+      case GateKind::Ry:
+      case GateKind::Rz:
+        inv.theta = -theta;
+        return inv;
+    }
+    panic("Gate::inverse: unknown gate kind");
+}
+
+std::string
+gateName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::H: return "h";
+      case GateKind::X: return "x";
+      case GateKind::Y: return "y";
+      case GateKind::Z: return "z";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::T: return "t";
+      case GateKind::Tdg: return "tdg";
+      case GateKind::Rx: return "rx";
+      case GateKind::Ry: return "ry";
+      case GateKind::Rz: return "rz";
+      case GateKind::CX: return "cx";
+      case GateKind::CZ: return "cz";
+      case GateKind::Swap: return "swap";
+    }
+    panic("gateName: unknown gate kind");
+}
+
+std::string
+Gate::toString() const
+{
+    char buf[96];
+    if (kind == GateKind::Rx || kind == GateKind::Ry ||
+        kind == GateKind::Rz) {
+        std::snprintf(buf, sizeof(buf), "%s(%.6g) q%d",
+                      gateName(kind).c_str(), theta, q0);
+    } else if (isTwoQubit()) {
+        std::snprintf(buf, sizeof(buf), "%s q%d, q%d",
+                      gateName(kind).c_str(), q0, q1);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s q%d",
+                      gateName(kind).c_str(), q0);
+    }
+    return buf;
+}
+
+Mat2
+gateMatrix(GateKind kind, double theta)
+{
+    const Amp i(0.0, 1.0);
+    const double isq2 = 1.0 / std::sqrt(2.0);
+    switch (kind) {
+      case GateKind::H:
+        return {isq2, isq2, isq2, -isq2};
+      case GateKind::X:
+        return {0.0, 1.0, 1.0, 0.0};
+      case GateKind::Y:
+        return {0.0, -i, i, 0.0};
+      case GateKind::Z:
+        return {1.0, 0.0, 0.0, -1.0};
+      case GateKind::S:
+        return {1.0, 0.0, 0.0, i};
+      case GateKind::Sdg:
+        return {1.0, 0.0, 0.0, -i};
+      case GateKind::T:
+        return {1.0, 0.0, 0.0, std::exp(i * (M_PI / 4.0))};
+      case GateKind::Tdg:
+        return {1.0, 0.0, 0.0, std::exp(-i * (M_PI / 4.0))};
+      case GateKind::Rx: {
+        const double c = std::cos(theta / 2.0);
+        const double s = std::sin(theta / 2.0);
+        return {Amp(c), -i * s, -i * s, Amp(c)};
+      }
+      case GateKind::Ry: {
+        const double c = std::cos(theta / 2.0);
+        const double s = std::sin(theta / 2.0);
+        return {Amp(c), Amp(-s), Amp(s), Amp(c)};
+      }
+      case GateKind::Rz: {
+        return {std::exp(-i * (theta / 2.0)), 0.0,
+                0.0, std::exp(i * (theta / 2.0))};
+      }
+      default:
+        break;
+    }
+    panic("gateMatrix: not a single-qubit gate");
+}
+
+} // namespace hammer::sim

@@ -1,0 +1,113 @@
+#include "sim/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace hammer::sim::linalg {
+
+using common::require;
+
+RealMatrix::RealMatrix(int dim)
+    : n(dim)
+{
+    require(dim >= 1, "RealMatrix: dimension must be positive");
+    data.assign(static_cast<std::size_t>(dim) *
+                static_cast<std::size_t>(dim), 0.0);
+}
+
+std::vector<double>
+symmetricEigenvalues(RealMatrix m)
+{
+    const int n = m.n;
+    require(n >= 1, "symmetricEigenvalues: empty matrix");
+
+    // Mirror the upper triangle so we can rotate in place.
+    for (int r = 0; r < n; ++r) {
+        for (int c = r + 1; c < n; ++c)
+            m.at(c, r) = m.at(r, c);
+    }
+
+    const int max_sweeps = 100;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (int r = 0; r < n; ++r) {
+            for (int c = r + 1; c < n; ++c)
+                off += m.at(r, c) * m.at(r, c);
+        }
+        if (off < 1e-24)
+            break;
+
+        for (int p = 0; p < n - 1; ++p) {
+            for (int q = p + 1; q < n; ++q) {
+                const double apq = m.at(p, q);
+                if (std::abs(apq) < 1e-18)
+                    continue;
+                const double app = m.at(p, p);
+                const double aqq = m.at(q, q);
+                const double tau = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                const double t = (tau >= 0.0)
+                    ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                    : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = t * c;
+
+                for (int k = 0; k < n; ++k) {
+                    const double mkp = m.at(k, p);
+                    const double mkq = m.at(k, q);
+                    m.at(k, p) = c * mkp - s * mkq;
+                    m.at(k, q) = s * mkp + c * mkq;
+                }
+                for (int k = 0; k < n; ++k) {
+                    const double mpk = m.at(p, k);
+                    const double mqk = m.at(q, k);
+                    m.at(p, k) = c * mpk - s * mqk;
+                    m.at(q, k) = s * mpk + c * mqk;
+                }
+            }
+        }
+    }
+
+    std::vector<double> eig(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        eig[static_cast<std::size_t>(i)] = m.at(i, i);
+    std::sort(eig.begin(), eig.end());
+    return eig;
+}
+
+std::vector<double>
+hermitianEigenvalues(const std::vector<std::complex<double>> &h, int n)
+{
+    require(n >= 1, "hermitianEigenvalues: empty matrix");
+    require(h.size() == static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(n),
+            "hermitianEigenvalues: size mismatch");
+
+    // Real embedding: H = X + iY -> [[X, -Y], [Y, X]] (symmetric when
+    // H is Hermitian); its eigenvalues are H's, each twice.
+    RealMatrix m(2 * n);
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) {
+            const auto v = h[static_cast<std::size_t>(r) *
+                             static_cast<std::size_t>(n) +
+                             static_cast<std::size_t>(c)];
+            m.at(r, c) = v.real();
+            m.at(n + r, n + c) = v.real();
+            m.at(r, n + c) = -v.imag();
+            m.at(n + r, c) = v.imag();
+        }
+    }
+
+    const std::vector<double> doubled = symmetricEigenvalues(std::move(m));
+    // Eigenvalues come in pairs; take every other one.
+    std::vector<double> eig(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        eig[static_cast<std::size_t>(i)] =
+            0.5 * (doubled[static_cast<std::size_t>(2 * i)] +
+                   doubled[static_cast<std::size_t>(2 * i + 1)]);
+    return eig;
+}
+
+} // namespace hammer::sim::linalg

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal dense linear algebra: a real symmetric Jacobi eigensolver
+ * and a complex Hermitian front-end (via the standard 2n x 2n real
+ * embedding).  Used by the entanglement-entropy computation for the
+ * Section 7 study; matrices there are at most 2^(n/2) square, so a
+ * simple O(n^3)-per-sweep Jacobi is plenty.
+ */
+
+#ifndef HAMMER_SIM_LINALG_HPP
+#define HAMMER_SIM_LINALG_HPP
+
+#include <complex>
+#include <vector>
+
+namespace hammer::sim::linalg {
+
+/** Dense row-major real matrix. */
+struct RealMatrix
+{
+    int n = 0;                    ///< Dimension (square).
+    std::vector<double> data;     ///< n*n row-major entries.
+
+    RealMatrix() = default;
+    /** Zero-initialised n x n matrix. */
+    explicit RealMatrix(int dim);
+
+    double &at(int r, int c) { return data[idx(r, c)]; }
+    double at(int r, int c) const { return data[idx(r, c)]; }
+
+  private:
+    std::size_t idx(int r, int c) const
+    {
+        return static_cast<std::size_t>(r) *
+               static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(c);
+    }
+};
+
+/**
+ * Eigenvalues of a real symmetric matrix via cyclic Jacobi.
+ *
+ * @param m Symmetric matrix (only the upper triangle is trusted).
+ * @return Eigenvalues sorted ascending.
+ */
+std::vector<double> symmetricEigenvalues(RealMatrix m);
+
+/**
+ * Eigenvalues of a complex Hermitian matrix.
+ *
+ * Embeds H = X + iY into the real symmetric [[X, -Y], [Y, X]] whose
+ * spectrum is that of H with every eigenvalue doubled; returns each
+ * eigenvalue once, sorted ascending.
+ *
+ * @param h Row-major n x n Hermitian matrix.
+ * @param n Dimension.
+ */
+std::vector<double>
+hermitianEigenvalues(const std::vector<std::complex<double>> &h, int n);
+
+} // namespace hammer::sim::linalg
+
+#endif // HAMMER_SIM_LINALG_HPP

@@ -1,0 +1,20 @@
+#include "sim/simulator.hpp"
+
+namespace hammer::sim {
+
+StateVector
+runCircuit(const Circuit &circuit)
+{
+    StateVector state(circuit.numQubits());
+    for (const Gate &g : circuit.gates())
+        state.applyGate(g);
+    return state;
+}
+
+std::vector<double>
+idealProbabilities(const Circuit &circuit)
+{
+    return runCircuit(circuit).probabilities();
+}
+
+} // namespace hammer::sim

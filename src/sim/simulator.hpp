@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Ideal (noise-free) circuit execution.
+ *
+ * Noise is injected one level up (src/noise) by rewriting circuits
+ * with explicit Pauli-error gates, which keeps this simulator a pure
+ * unitary evolver.
+ */
+
+#ifndef HAMMER_SIM_SIMULATOR_HPP
+#define HAMMER_SIM_SIMULATOR_HPP
+
+#include <vector>
+
+#include "sim/circuit.hpp"
+#include "sim/statevector.hpp"
+
+namespace hammer::sim {
+
+/**
+ * Run @p circuit from |0...0> and return the final state.
+ */
+StateVector runCircuit(const Circuit &circuit);
+
+/**
+ * Run @p circuit and return the measurement distribution |amp|^2
+ * over all 2^n basis states.
+ */
+std::vector<double> idealProbabilities(const Circuit &circuit);
+
+} // namespace hammer::sim
+
+#endif // HAMMER_SIM_SIMULATOR_HPP

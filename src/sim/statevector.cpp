@@ -1,0 +1,191 @@
+#include "sim/statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace hammer::sim {
+
+using common::Bits;
+using common::require;
+
+StateVector::StateVector(int num_qubits)
+    : numQubits_(num_qubits)
+{
+    require(num_qubits >= 1 && num_qubits <= 24,
+            "StateVector: qubit count must be in [1, 24]");
+    amps_.assign(std::size_t{1} << num_qubits, Amp(0.0));
+    amps_[0] = Amp(1.0);
+}
+
+Amp
+StateVector::amplitude(Bits index) const
+{
+    require(index < amps_.size(), "StateVector::amplitude: out of range");
+    return amps_[index];
+}
+
+void
+StateVector::setAmplitude(Bits index, Amp value)
+{
+    require(index < amps_.size(),
+            "StateVector::setAmplitude: out of range");
+    amps_[index] = value;
+}
+
+void
+StateVector::apply1q(const Mat2 &m, int q)
+{
+    require(q >= 0 && q < numQubits_, "apply1q: qubit out of range");
+    const std::size_t mask = std::size_t{1} << q;
+    const std::size_t dim = amps_.size();
+    for (std::size_t i = 0; i < dim; ++i) {
+        if (i & mask)
+            continue;
+        const std::size_t j = i | mask;
+        const Amp a0 = amps_[i];
+        const Amp a1 = amps_[j];
+        amps_[i] = m[0] * a0 + m[1] * a1;
+        amps_[j] = m[2] * a0 + m[3] * a1;
+    }
+}
+
+void
+StateVector::applyCX(int control, int target)
+{
+    require(control >= 0 && control < numQubits_ &&
+            target >= 0 && target < numQubits_ && control != target,
+            "applyCX: bad qubit pair");
+    const std::size_t cmask = std::size_t{1} << control;
+    const std::size_t tmask = std::size_t{1} << target;
+    const std::size_t dim = amps_.size();
+    for (std::size_t i = 0; i < dim; ++i) {
+        // Visit each (control=1, target=0) index once and swap with
+        // its target=1 partner.
+        if ((i & cmask) && !(i & tmask))
+            std::swap(amps_[i], amps_[i | tmask]);
+    }
+}
+
+void
+StateVector::applyCZ(int a, int b)
+{
+    require(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_ &&
+            a != b, "applyCZ: bad qubit pair");
+    const std::size_t amask = std::size_t{1} << a;
+    const std::size_t bmask = std::size_t{1} << b;
+    const std::size_t dim = amps_.size();
+    for (std::size_t i = 0; i < dim; ++i) {
+        if ((i & amask) && (i & bmask))
+            amps_[i] = -amps_[i];
+    }
+}
+
+void
+StateVector::applySwap(int a, int b)
+{
+    require(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_ &&
+            a != b, "applySwap: bad qubit pair");
+    const std::size_t amask = std::size_t{1} << a;
+    const std::size_t bmask = std::size_t{1} << b;
+    const std::size_t dim = amps_.size();
+    for (std::size_t i = 0; i < dim; ++i) {
+        // Swap amplitudes of ...a=1,b=0... and ...a=0,b=1...
+        if ((i & amask) && !(i & bmask))
+            std::swap(amps_[i], amps_[(i & ~amask) | bmask]);
+    }
+}
+
+void
+StateVector::applyGate(const Gate &gate)
+{
+    switch (gate.kind) {
+      case GateKind::CX:
+        applyCX(gate.q0, gate.q1);
+        return;
+      case GateKind::CZ:
+        applyCZ(gate.q0, gate.q1);
+        return;
+      case GateKind::Swap:
+        applySwap(gate.q0, gate.q1);
+        return;
+      default:
+        apply1q(gateMatrix(gate.kind, gate.theta), gate.q0);
+        return;
+    }
+}
+
+double
+StateVector::probability(Bits index) const
+{
+    require(index < amps_.size(),
+            "StateVector::probability: out of range");
+    return std::norm(amps_[index]);
+}
+
+std::vector<double>
+StateVector::probabilities() const
+{
+    std::vector<double> probs(amps_.size());
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        probs[i] = std::norm(amps_[i]);
+    return probs;
+}
+
+double
+StateVector::normSquared() const
+{
+    double total = 0.0;
+    for (const Amp &a : amps_)
+        total += std::norm(a);
+    return total;
+}
+
+void
+StateVector::normalize()
+{
+    const double n2 = normSquared();
+    require(n2 > 0.0, "StateVector::normalize: zero state");
+    const double inv = 1.0 / std::sqrt(n2);
+    for (Amp &a : amps_)
+        a *= inv;
+}
+
+Bits
+StateVector::sampleOutcome(common::Rng &rng) const
+{
+    double r = rng.uniform() * normSquared();
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        r -= std::norm(amps_[i]);
+        if (r < 0.0)
+            return i;
+    }
+    return amps_.size() - 1;
+}
+
+std::vector<Bits>
+StateVector::sampleShots(common::Rng &rng, int shots) const
+{
+    require(shots >= 0, "sampleShots: negative shot count");
+    std::vector<double> cdf(amps_.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        acc += std::norm(amps_[i]);
+        cdf[i] = acc;
+    }
+
+    std::vector<Bits> out;
+    out.reserve(static_cast<std::size_t>(shots));
+    for (int s = 0; s < shots; ++s) {
+        const double r = rng.uniform() * acc;
+        const auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
+        const std::size_t idx = it == cdf.end()
+            ? cdf.size() - 1
+            : static_cast<std::size_t>(it - cdf.begin());
+        out.push_back(idx);
+    }
+    return out;
+}
+
+} // namespace hammer::sim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the Bernstein-Vazirani builder: ideal execution must
+ * return the key deterministically for every key.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/bv.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::circuits::bernsteinVazirani;
+using namespace hammer::sim;
+
+TEST(Bv, UsesOneAncillaQubit)
+{
+    const Circuit c = bernsteinVazirani(5, 0b10110);
+    EXPECT_EQ(c.numQubits(), 6);
+}
+
+TEST(Bv, TwoQubitGateCountEqualsKeyWeight)
+{
+    EXPECT_EQ(bernsteinVazirani(6, 0b111111).gateCounts().twoQubit, 6);
+    EXPECT_EQ(bernsteinVazirani(6, 0b000001).gateCounts().twoQubit, 1);
+    EXPECT_EQ(bernsteinVazirani(6, 0b000000).gateCounts().twoQubit, 0);
+}
+
+TEST(Bv, IdealOutputIsTheKeyWithAncillaReset)
+{
+    for (Bits key : {Bits{0b101}, Bits{0b111}, Bits{0b010}, Bits{0b000}}) {
+        const Circuit c = bernsteinVazirani(3, key);
+        const StateVector state = runCircuit(c);
+        // Measured state should be |0>|key> with certainty.
+        EXPECT_NEAR(state.probability(key), 1.0, 1e-9)
+            << "key " << key;
+    }
+}
+
+TEST(Bv, RejectsKeyWiderThanBits)
+{
+    EXPECT_THROW(bernsteinVazirani(3, 0b1000), std::invalid_argument);
+}
+
+TEST(Bv, RejectsBadWidth)
+{
+    EXPECT_THROW(bernsteinVazirani(0, 0), std::invalid_argument);
+    EXPECT_THROW(bernsteinVazirani(24, 0), std::invalid_argument);
+}
+
+class BvKeyProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BvKeyProperty, EveryKeyRecoveredExactly)
+{
+    const int n = 6;
+    const Bits key = static_cast<Bits>(GetParam());
+    const Circuit c = bernsteinVazirani(n, key);
+    const StateVector state = runCircuit(c);
+    EXPECT_NEAR(state.probability(key), 1.0, 1e-9);
+    // All other outcomes are unpopulated.
+    EXPECT_NEAR(state.normSquared(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, BvKeyProperty,
+                         ::testing::Values(0, 1, 5, 21, 42, 63, 32, 7));
+
+TEST(Bv, DepthGrowsWithKeyWeight)
+{
+    const int shallow = bernsteinVazirani(8, 0b00000001).depth();
+    const int deep = bernsteinVazirani(8, 0b11111111).depth();
+    EXPECT_GT(deep, shallow);
+}
+
+} // namespace

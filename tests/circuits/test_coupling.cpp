@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for coupling maps and BFS routing distances.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/coupling.hpp"
+
+namespace {
+
+using hammer::circuits::CouplingMap;
+
+TEST(Coupling, LineConnectivity)
+{
+    const CouplingMap map = CouplingMap::line(5);
+    EXPECT_TRUE(map.connected(0, 1));
+    EXPECT_TRUE(map.connected(3, 4));
+    EXPECT_FALSE(map.connected(0, 2));
+    EXPECT_FALSE(map.connected(0, 4));
+}
+
+TEST(Coupling, RingClosesTheLoop)
+{
+    const CouplingMap map = CouplingMap::ring(5);
+    EXPECT_TRUE(map.connected(4, 0));
+    EXPECT_EQ(map.distance(0, 3), 2) << "shorter way around the ring";
+}
+
+TEST(Coupling, GridNeighbours)
+{
+    const CouplingMap map = CouplingMap::grid(3, 3);
+    EXPECT_TRUE(map.connected(0, 1));
+    EXPECT_TRUE(map.connected(0, 3));
+    EXPECT_FALSE(map.connected(0, 4)) << "no diagonal edges";
+    EXPECT_EQ(map.distance(0, 8), 4);
+}
+
+TEST(Coupling, FullMapAllPairsAdjacent)
+{
+    const CouplingMap map = CouplingMap::full(6);
+    for (int a = 0; a < 6; ++a) {
+        for (int b = 0; b < 6; ++b) {
+            if (a != b)
+                EXPECT_TRUE(map.connected(a, b));
+        }
+    }
+}
+
+TEST(Coupling, ShortestPathEndpointsAndLength)
+{
+    const CouplingMap map = CouplingMap::line(6);
+    const auto path = map.shortestPath(1, 4);
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(path.front(), 1);
+    EXPECT_EQ(path.back(), 4);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_TRUE(map.connected(path[i], path[i + 1]));
+}
+
+TEST(Coupling, ShortestPathToSelf)
+{
+    const CouplingMap map = CouplingMap::line(4);
+    const auto path = map.shortestPath(2, 2);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(map.distance(2, 2), 0);
+}
+
+TEST(Coupling, DisconnectedQubitsUnreachable)
+{
+    CouplingMap map(4);
+    map.addEdge(0, 1);
+    map.addEdge(2, 3);
+    EXPECT_TRUE(map.shortestPath(0, 3).empty());
+    EXPECT_EQ(map.distance(0, 3), -1);
+}
+
+TEST(Coupling, DuplicateEdgeIsIdempotent)
+{
+    CouplingMap map(3);
+    map.addEdge(0, 1);
+    map.addEdge(1, 0);
+    EXPECT_EQ(map.neighbors(0).size(), 1u);
+}
+
+TEST(Coupling, RejectsBadArguments)
+{
+    EXPECT_THROW(CouplingMap(0), std::invalid_argument);
+    CouplingMap map(3);
+    EXPECT_THROW(map.addEdge(0, 0), std::invalid_argument);
+    EXPECT_THROW(map.addEdge(0, 3), std::invalid_argument);
+    EXPECT_THROW(map.neighbors(5), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Unit tests for GHZ state preparation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/ghz.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::circuits::ghz;
+using namespace hammer::sim;
+
+TEST(Ghz, TwoCorrectOutcomesWithHalfProbability)
+{
+    for (int n : {2, 4, 7, 10}) {
+        const StateVector state = runCircuit(ghz(n));
+        const Bits all_ones = (Bits{1} << n) - 1;
+        EXPECT_NEAR(state.probability(0), 0.5, 1e-9) << "n=" << n;
+        EXPECT_NEAR(state.probability(all_ones), 0.5, 1e-9) << "n=" << n;
+    }
+}
+
+TEST(Ghz, NoOtherOutcomePopulated)
+{
+    const int n = 6;
+    const StateVector state = runCircuit(ghz(n));
+    const Bits all_ones = (Bits{1} << n) - 1;
+    for (Bits x = 1; x < all_ones; ++x)
+        ASSERT_NEAR(state.probability(x), 0.0, 1e-12) << "x=" << x;
+}
+
+TEST(Ghz, GateStructureIsHPlusChain)
+{
+    const auto c = ghz(5);
+    EXPECT_EQ(c.size(), 5u); // 1 H + 4 CX
+    EXPECT_EQ(c.gateCounts().twoQubit, 4);
+    EXPECT_EQ(c.depth(), 5);
+}
+
+TEST(Ghz, RejectsDegenerateWidths)
+{
+    EXPECT_THROW(ghz(1), std::invalid_argument);
+    EXPECT_THROW(ghz(25), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the mirror benchmark circuits of the Section 7
+ * entanglement study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/mirror.hpp"
+#include "sim/entropy.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using hammer::common::Rng;
+using namespace hammer::circuits;
+using namespace hammer::sim;
+
+TEST(Mirror, FullCircuitReturnsToAllZeros)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 5; ++trial) {
+        const MirrorCircuit mirror =
+            randomMirrorCircuit(6, 8, 0.6, rng);
+        const StateVector state = runCircuit(mirror.full);
+        EXPECT_NEAR(state.probability(0), 1.0, 1e-9)
+            << "mirror identity violated on trial " << trial;
+    }
+}
+
+TEST(Mirror, FirstHalfIsPrefixOfFull)
+{
+    Rng rng(2);
+    const MirrorCircuit mirror = randomMirrorCircuit(5, 6, 0.5, rng);
+    ASSERT_LE(mirror.firstHalf.size(), mirror.full.size());
+    for (std::size_t i = 0; i < mirror.firstHalf.size(); ++i) {
+        EXPECT_EQ(mirror.full.gates()[i].kind,
+                  mirror.firstHalf.gates()[i].kind);
+        EXPECT_EQ(mirror.full.gates()[i].q0,
+                  mirror.firstHalf.gates()[i].q0);
+    }
+}
+
+TEST(Mirror, ZeroDensityMeansNoEntanglement)
+{
+    Rng rng(3);
+    const MirrorCircuit mirror = randomMirrorCircuit(6, 5, 0.0, rng);
+    EXPECT_EQ(mirror.firstHalf.gateCounts().twoQubit, 0);
+    const StateVector state = runCircuit(mirror.firstHalf);
+    EXPECT_NEAR(entanglementEntropy(state), 0.0, 1e-9);
+}
+
+TEST(Mirror, HigherDensityYieldsMoreEntanglementOnAverage)
+{
+    auto average_entropy = [](double density, std::uint64_t seed) {
+        Rng rng(seed);
+        double total = 0.0;
+        const int samples = 8;
+        for (int s = 0; s < samples; ++s) {
+            const MirrorCircuit mirror =
+                randomMirrorCircuit(8, 8, density, rng);
+            total += entanglementEntropy(runCircuit(mirror.firstHalf));
+        }
+        return total / samples;
+    };
+    EXPECT_GT(average_entropy(0.9, 7), average_entropy(0.1, 7));
+}
+
+TEST(Mirror, DepthControlsGateCount)
+{
+    Rng rng(5);
+    const MirrorCircuit shallow = randomMirrorCircuit(6, 3, 0.5, rng);
+    const MirrorCircuit deep = randomMirrorCircuit(6, 15, 0.5, rng);
+    EXPECT_GT(deep.full.size(), shallow.full.size());
+}
+
+TEST(Mirror, DeterministicForSameSeed)
+{
+    Rng a(11), b(11);
+    const MirrorCircuit ma = randomMirrorCircuit(5, 6, 0.5, a);
+    const MirrorCircuit mb = randomMirrorCircuit(5, 6, 0.5, b);
+    ASSERT_EQ(ma.full.size(), mb.full.size());
+    for (std::size_t i = 0; i < ma.full.size(); ++i) {
+        EXPECT_EQ(ma.full.gates()[i].kind, mb.full.gates()[i].kind);
+        EXPECT_DOUBLE_EQ(ma.full.gates()[i].theta,
+                         mb.full.gates()[i].theta);
+    }
+}
+
+TEST(Mirror, RejectsBadArguments)
+{
+    Rng rng(13);
+    EXPECT_THROW(randomMirrorCircuit(1, 5, 0.5, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(randomMirrorCircuit(5, 0, 0.5, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(randomMirrorCircuit(5, 5, 1.5, rng),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the QAOA circuit builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/qaoa_circuit.hpp"
+#include "graph/generators.hpp"
+#include "graph/maxcut.hpp"
+#include "qaoa/cost.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::common::Rng;
+using namespace hammer::circuits;
+using hammer::graph::Graph;
+
+TEST(QaoaCircuit, GateCountMatchesAnsatz)
+{
+    const Graph g = hammer::graph::ring(5);
+    const QaoaParams params = linearRampParams(2);
+    const auto c = qaoaCircuit(g, params);
+    // Per layer: 2 CX + 1 Rz per edge + 1 Rx per qubit; plus n H.
+    const int expected = 5 + 2 * (3 * 5 + 5);
+    EXPECT_EQ(static_cast<int>(c.size()), expected);
+    EXPECT_EQ(c.gateCounts().twoQubit, 2 * 2 * 5);
+}
+
+TEST(QaoaCircuit, ZeroAnglesGiveUniformDistribution)
+{
+    // gamma = beta = 0 leaves the uniform superposition untouched.
+    const Graph g = hammer::graph::ring(4);
+    QaoaParams params;
+    params.gammas = {0.0};
+    params.betas = {0.0};
+    const auto state = hammer::sim::runCircuit(qaoaCircuit(g, params));
+    for (Bits x = 0; x < 16; ++x)
+        EXPECT_NEAR(state.probability(x), 1.0 / 16.0, 1e-9);
+}
+
+TEST(QaoaCircuit, SingleLayerBeatsRandomGuessing)
+{
+    // With sensible fixed angles, the expected cost should be below
+    // the uniform-distribution expectation (which is 0 for a ring).
+    Rng rng(3);
+    const Graph g = hammer::graph::ring(6);
+    const QaoaParams params = linearRampParams(1);
+    const auto state = hammer::sim::runCircuit(qaoaCircuit(g, params));
+    const auto dist = hammer::core::Distribution::fromDense(
+        6, state.probabilities());
+    EXPECT_LT(hammer::qaoa::costExpectation(dist, g), -0.5);
+}
+
+TEST(QaoaCircuit, MoreLayersImproveIdealCostRatio)
+{
+    const Graph g = hammer::graph::ring(6);
+    auto cr_at = [&](int p) {
+        const auto state = hammer::sim::runCircuit(
+            qaoaCircuit(g, linearRampParams(p)));
+        const auto dist = hammer::core::Distribution::fromDense(
+            6, state.probabilities());
+        return hammer::qaoa::costRatio(dist, g);
+    };
+    EXPECT_GT(cr_at(3), cr_at(1))
+        << "ideal QAOA quality should grow with p (paper Fig. 10a)";
+}
+
+TEST(QaoaCircuit, ParamMismatchRejected)
+{
+    const Graph g = hammer::graph::ring(4);
+    QaoaParams bad;
+    bad.gammas = {0.1, 0.2};
+    bad.betas = {0.1};
+    EXPECT_THROW(qaoaCircuit(g, bad), std::invalid_argument);
+    EXPECT_THROW(qaoaCircuit(g, QaoaParams{}), std::invalid_argument);
+}
+
+TEST(QaoaCircuit, LinearRampShapes)
+{
+    const QaoaParams params = linearRampParams(4);
+    ASSERT_EQ(params.layers(), 4);
+    for (int l = 1; l < 4; ++l) {
+        EXPECT_GT(std::abs(params.gammas[l]),
+                  std::abs(params.gammas[l - 1]))
+            << "gamma magnitude ramps up";
+        EXPECT_LT(params.betas[l], params.betas[l - 1])
+            << "beta anneals down";
+        EXPECT_GT(params.betas[l], 0.0);
+    }
+}
+
+TEST(QaoaCircuit, WeightedEdgesEnterCostUnitary)
+{
+    Graph g(2);
+    g.addEdge(0, 1, 2.0);
+    QaoaParams params;
+    params.gammas = {0.3};
+    params.betas = {0.0};
+    const auto c = qaoaCircuit(g, params);
+    // Find the Rz and check its angle is 2 * gamma * weight.
+    bool found = false;
+    for (const auto &gate : c.gates()) {
+        if (gate.kind == hammer::sim::GateKind::Rz) {
+            EXPECT_NEAR(gate.theta, 2.0 * 0.3 * 2.0, 1e-12);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+} // namespace

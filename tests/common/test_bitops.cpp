@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for common/bitops: Hamming distances, bitstring
+ * conversions, neighbourhood enumeration and binomials.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/bitops.hpp"
+
+namespace {
+
+using hammer::common::binomial;
+using hammer::common::Bits;
+using hammer::common::fromBitstring;
+using hammer::common::hammingDistance;
+using hammer::common::minHammingDistance;
+using hammer::common::neighborsAtDistance;
+using hammer::common::popcount;
+using hammer::common::toBitstring;
+
+TEST(Bitops, PopcountBasics)
+{
+    EXPECT_EQ(popcount(0), 0);
+    EXPECT_EQ(popcount(1), 1);
+    EXPECT_EQ(popcount(0b1011), 3);
+    EXPECT_EQ(popcount(~Bits{0}), 64);
+}
+
+TEST(Bitops, HammingDistanceSymmetric)
+{
+    EXPECT_EQ(hammingDistance(0b1010, 0b0101), 4);
+    EXPECT_EQ(hammingDistance(0b1010, 0b1010), 0);
+    EXPECT_EQ(hammingDistance(0b111, 0b110), 1);
+    EXPECT_EQ(hammingDistance(0b110, 0b111),
+              hammingDistance(0b111, 0b110));
+}
+
+TEST(Bitops, MinHammingDistanceUsesClosestTarget)
+{
+    const std::vector<Bits> targets{0b0000, 0b1111};
+    EXPECT_EQ(minHammingDistance(0b0001, targets), 1);
+    EXPECT_EQ(minHammingDistance(0b0111, targets), 1);
+    EXPECT_EQ(minHammingDistance(0b0011, targets), 2);
+    EXPECT_EQ(minHammingDistance(0b0000, targets), 0);
+}
+
+TEST(Bitops, MinHammingDistanceRejectsEmptyTargets)
+{
+    EXPECT_THROW(minHammingDistance(0, {}), std::invalid_argument);
+}
+
+TEST(Bitops, ToBitstringMsbLeft)
+{
+    EXPECT_EQ(toBitstring(0b0001, 4), "0001");
+    EXPECT_EQ(toBitstring(0b1000, 4), "1000");
+    EXPECT_EQ(toBitstring(0b1010, 4), "1010");
+    EXPECT_EQ(toBitstring(0, 3), "000");
+}
+
+TEST(Bitops, FromBitstringRoundTrip)
+{
+    for (Bits x : {Bits{0}, Bits{1}, Bits{0b1011}, Bits{0b111111}}) {
+        EXPECT_EQ(fromBitstring(toBitstring(x, 6)), x)
+            << "round trip failed for " << x;
+    }
+}
+
+TEST(Bitops, FromBitstringRejectsGarbage)
+{
+    EXPECT_THROW(fromBitstring("01x"), std::invalid_argument);
+    EXPECT_THROW(fromBitstring(""), std::invalid_argument);
+}
+
+TEST(Bitops, NeighborsAtDistanceSizeMatchesBinomial)
+{
+    for (int n : {4, 6, 10}) {
+        for (int d = 0; d <= n; ++d) {
+            const auto neigh = neighborsAtDistance(0, n, d);
+            EXPECT_EQ(neigh.size(),
+                      static_cast<std::size_t>(binomial(n, d)))
+                << "n=" << n << " d=" << d;
+        }
+    }
+}
+
+TEST(Bitops, NeighborsAtDistanceAllAtExactDistance)
+{
+    const Bits center = 0b1100101;
+    const int n = 7;
+    for (int d = 0; d <= 3; ++d) {
+        for (Bits x : neighborsAtDistance(center, n, d))
+            EXPECT_EQ(hammingDistance(center, x), d);
+    }
+}
+
+TEST(Bitops, NeighborsAtDistanceUniqueAndInRange)
+{
+    const int n = 6;
+    const auto neigh = neighborsAtDistance(0b101010, n, 2);
+    std::set<Bits> unique(neigh.begin(), neigh.end());
+    EXPECT_EQ(unique.size(), neigh.size());
+    for (Bits x : neigh)
+        EXPECT_LT(x, Bits{1} << n);
+}
+
+TEST(Bitops, BinomialKnownValues)
+{
+    EXPECT_DOUBLE_EQ(binomial(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(binomial(5, 0), 1.0);
+    EXPECT_DOUBLE_EQ(binomial(5, 5), 1.0);
+    EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+    EXPECT_DOUBLE_EQ(binomial(10, 5), 252.0);
+    EXPECT_DOUBLE_EQ(binomial(20, 10), 184756.0);
+}
+
+TEST(Bitops, BinomialOutOfRangeIsZero)
+{
+    EXPECT_DOUBLE_EQ(binomial(5, -1), 0.0);
+    EXPECT_DOUBLE_EQ(binomial(5, 6), 0.0);
+}
+
+TEST(Bitops, BinomialRowSumsToPowerOfTwo)
+{
+    for (int n : {8, 12, 16}) {
+        double total = 0.0;
+        for (int k = 0; k <= n; ++k)
+            total += binomial(n, k);
+        EXPECT_NEAR(total, std::pow(2.0, n), 1e-6);
+    }
+}
+
+class HammingDistanceProperty
+    : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HammingDistanceProperty, TriangleInequalityHolds)
+{
+    // Deterministic pseudo-random triples derived from the parameter.
+    const int seed = GetParam();
+    Bits a = static_cast<Bits>(seed) * 0x9E3779B97F4A7C15ull;
+    Bits b = a * 6364136223846793005ull + 1442695040888963407ull;
+    Bits c = b * 6364136223846793005ull + 1442695040888963407ull;
+    a &= 0xFFFF;
+    b &= 0xFFFF;
+    c &= 0xFFFF;
+    EXPECT_LE(hammingDistance(a, c),
+              hammingDistance(a, b) + hammingDistance(b, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Triples, HammingDistanceProperty,
+                         ::testing::Range(1, 33));
+
+} // namespace

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG: reproducibility, range
+ * contracts, and first-moment sanity of each sampling primitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace {
+
+using hammer::common::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double total = 0.0;
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i)
+        total += rng.uniform();
+    EXPECT_NEAR(total / samples, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-2.5, 7.5);
+        EXPECT_GE(v, -2.5);
+        EXPECT_LT(v, 7.5);
+    }
+}
+
+TEST(Rng, UniformIntWithinBound)
+{
+    Rng rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniformInt(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u) << "all residues should appear";
+}
+
+TEST(Rng, UniformIntBoundOneAlwaysZero)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniformInt(1), 0u);
+}
+
+TEST(Rng, UniformIntRejectsZeroBound)
+{
+    Rng rng(23);
+    EXPECT_THROW(rng.uniformInt(0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliFrequencyTracksP)
+{
+    Rng rng(31);
+    const double p = 0.3;
+    int hits = 0;
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i) {
+        if (rng.bernoulli(p))
+            ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / trials, p, 0.02);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard)
+{
+    Rng rng(37);
+    const int samples = 50000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < samples; ++i) {
+        const double z = rng.normal();
+        sum += z;
+        sum_sq += z * z;
+    }
+    EXPECT_NEAR(sum / samples, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq / samples, 1.0, 0.05);
+}
+
+TEST(Rng, DiscreteMatchesWeights)
+{
+    Rng rng(41);
+    const std::vector<double> weights{1.0, 3.0, 6.0};
+    std::vector<int> counts(3, 0);
+    const int trials = 60000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[rng.discrete(weights)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.3, 0.015);
+    EXPECT_NEAR(counts[2] / static_cast<double>(trials), 0.6, 0.015);
+}
+
+TEST(Rng, DiscreteSkipsZeroWeights)
+{
+    Rng rng(43);
+    const std::vector<double> weights{0.0, 1.0, 0.0};
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(rng.discrete(weights), 1u);
+}
+
+TEST(Rng, DiscreteRejectsDegenerateInput)
+{
+    Rng rng(47);
+    EXPECT_THROW(rng.discrete({}), std::invalid_argument);
+    EXPECT_THROW(rng.discrete({0.0, 0.0}), std::invalid_argument);
+    EXPECT_THROW(rng.discrete({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(53);
+    Rng child = parent.split();
+    // The child stream should not track the parent.
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (parent() == child())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng a(59), b(59);
+    Rng ca = a.split();
+    Rng cb = b.split();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(ca(), cb());
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for common/stats, including the Spearman correlation
+ * used by the Fig. 11 entanglement study.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace hammer::common;
+
+TEST(Stats, MeanSimple)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+}
+
+TEST(Stats, MeanRejectsEmpty)
+{
+    EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Stats, VarianceAndStddev)
+{
+    // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9} is 32/7.
+    const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero)
+{
+    EXPECT_DOUBLE_EQ(variance({3.0}), 0.0);
+}
+
+TEST(Stats, MedianOddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, GeomeanKnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), std::invalid_argument);
+    EXPECT_THROW(geomean({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(Stats, MinMax)
+{
+    const std::vector<double> xs{3.0, -1.0, 7.0, 0.0};
+    EXPECT_DOUBLE_EQ(minimum(xs), -1.0);
+    EXPECT_DOUBLE_EQ(maximum(xs), 7.0);
+}
+
+TEST(Stats, RanksWithoutTies)
+{
+    const auto r = ranks({30.0, 10.0, 20.0});
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_DOUBLE_EQ(r[0], 3.0);
+    EXPECT_DOUBLE_EQ(r[1], 1.0);
+    EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(Stats, RanksAverageTies)
+{
+    const auto r = ranks({10.0, 20.0, 20.0, 30.0});
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    EXPECT_DOUBLE_EQ(r[1], 2.5);
+    EXPECT_DOUBLE_EQ(r[2], 2.5);
+    EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation)
+{
+    const std::vector<double> xs{1, 2, 3, 4};
+    const std::vector<double> ys{2, 4, 6, 8};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectAntiCorrelation)
+{
+    const std::vector<double> xs{1, 2, 3, 4};
+    const std::vector<double> ys{8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(Stats, PearsonRejectsMismatchedSizes)
+{
+    EXPECT_THROW(pearson({1, 2}, {1, 2, 3}), std::invalid_argument);
+    EXPECT_THROW(pearson({1}, {1}), std::invalid_argument);
+}
+
+TEST(Stats, SpearmanMonotonicNonlinearIsOne)
+{
+    // y = x^3 is monotone, so Spearman is exactly 1 where Pearson
+    // would be < 1.
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    const std::vector<double> ys{1, 8, 27, 64, 125};
+    EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+    EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(Stats, SpearmanHandlesTies)
+{
+    const std::vector<double> xs{1, 2, 2, 3};
+    const std::vector<double> ys{1, 2, 2, 3};
+    EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanUncorrelatedNearZero)
+{
+    // A fixed scrambled sequence with no monotone trend.
+    const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
+    const std::vector<double> ys{3, 8, 1, 6, 2, 7, 4, 5};
+    EXPECT_LT(std::abs(spearman(xs, ys)), 0.5);
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the table printer used by the bench harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace {
+
+using hammer::common::Table;
+
+TEST(Table, HeaderAppearsInOutput)
+{
+    Table t({"name", "value"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("name"), std::string::npos);
+    EXPECT_NE(os.str().find("value"), std::string::npos);
+}
+
+TEST(Table, RowsRenderInOrder)
+{
+    Table t({"k", "v"});
+    t.addRow({"first", "1"});
+    t.addRow({"second", "2"});
+    std::ostringstream os;
+    t.print(os);
+    const auto text = os.str();
+    EXPECT_LT(text.find("first"), text.find("second"));
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRowWidth)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(t.addRow({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader)
+{
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, FmtDoublePrecision)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(1.0, 1), "1.0");
+    EXPECT_EQ(Table::fmt(-0.5, 3), "-0.500");
+}
+
+TEST(Table, FmtInteger)
+{
+    EXPECT_EQ(Table::fmt(42ll), "42");
+    EXPECT_EQ(Table::fmt(-7ll), "-7");
+}
+
+TEST(Table, CsvHasCommasAndNewlines)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, ColumnsAlignedToWidestCell)
+{
+    Table t({"c", "d"});
+    t.addRow({"wide-cell-content", "x"});
+    std::ostringstream os;
+    t.print(os);
+    // The header line must be padded at least as wide as the widest
+    // cell in its column.
+    const std::string text = os.str();
+    const auto first_newline = text.find('\n');
+    EXPECT_GE(first_newline, std::string{"wide-cell-content"}.size());
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the sparse Distribution container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/distribution.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::core::Distribution;
+using hammer::core::Entry;
+
+TEST(Distribution, FromCountsNormalises)
+{
+    const Distribution d = Distribution::fromCounts(
+        3, {{0b111, 600}, {0b011, 300}, {0b000, 100}});
+    EXPECT_EQ(d.support(), 3u);
+    EXPECT_TRUE(d.normalized());
+    EXPECT_NEAR(d.probability(0b111), 0.6, 1e-12);
+    EXPECT_NEAR(d.probability(0b011), 0.3, 1e-12);
+    EXPECT_NEAR(d.probability(0b000), 0.1, 1e-12);
+}
+
+TEST(Distribution, FromCountsSkipsZeroCounts)
+{
+    const Distribution d = Distribution::fromCounts(
+        2, {{0b00, 10}, {0b01, 0}});
+    EXPECT_EQ(d.support(), 1u);
+}
+
+TEST(Distribution, FromCountsRejectsEmpty)
+{
+    EXPECT_THROW(Distribution::fromCounts(2, {}), std::invalid_argument);
+    EXPECT_THROW(Distribution::fromCounts(2, {{0b00, 0}}),
+                 std::invalid_argument);
+}
+
+TEST(Distribution, FromShotsCountsOccurrences)
+{
+    const Distribution d = Distribution::fromShots(
+        2, {0b00, 0b00, 0b01, 0b11});
+    EXPECT_NEAR(d.probability(0b00), 0.5, 1e-12);
+    EXPECT_NEAR(d.probability(0b01), 0.25, 1e-12);
+    EXPECT_NEAR(d.probability(0b11), 0.25, 1e-12);
+}
+
+TEST(Distribution, FromDenseDropsTinyEntries)
+{
+    std::vector<double> probs(4, 0.0);
+    probs[0] = 0.7;
+    probs[3] = 0.3;
+    probs[1] = 1e-15;
+    const Distribution d = Distribution::fromDense(2, probs);
+    EXPECT_EQ(d.support(), 2u);
+    EXPECT_NEAR(d.probability(0), 0.7, 1e-12);
+}
+
+TEST(Distribution, FromDenseValidatesLength)
+{
+    EXPECT_THROW(Distribution::fromDense(2, {0.5, 0.5}),
+                 std::invalid_argument);
+}
+
+TEST(Distribution, ProbabilityOfAbsentOutcomeIsZero)
+{
+    Distribution d(4);
+    d.set(0b1010, 1.0);
+    EXPECT_DOUBLE_EQ(d.probability(0b0101), 0.0);
+}
+
+TEST(Distribution, SetOverwritesAddAccumulates)
+{
+    Distribution d(3);
+    d.set(0b101, 0.4);
+    d.set(0b101, 0.6);
+    EXPECT_DOUBLE_EQ(d.probability(0b101), 0.6);
+    d.add(0b101, 0.2);
+    EXPECT_NEAR(d.probability(0b101), 0.8, 1e-12);
+    d.add(0b010, 0.2);
+    EXPECT_NEAR(d.probability(0b010), 0.2, 1e-12);
+}
+
+TEST(Distribution, SetRejectsNegative)
+{
+    Distribution d(2);
+    EXPECT_THROW(d.set(0, -0.1), std::invalid_argument);
+}
+
+TEST(Distribution, EntriesStaySortedByOutcome)
+{
+    Distribution d(4);
+    d.set(0b1000, 0.1);
+    d.set(0b0001, 0.2);
+    d.set(0b0100, 0.3);
+    const auto &entries = d.entries();
+    for (std::size_t i = 1; i < entries.size(); ++i)
+        EXPECT_LT(entries[i - 1].outcome, entries[i].outcome);
+}
+
+TEST(Distribution, NormalizeScalesToUnitMass)
+{
+    Distribution d(2);
+    d.set(0b00, 2.0);
+    d.set(0b11, 6.0);
+    EXPECT_FALSE(d.normalized());
+    d.normalize();
+    EXPECT_TRUE(d.normalized());
+    EXPECT_NEAR(d.probability(0b11), 0.75, 1e-12);
+}
+
+TEST(Distribution, NormalizeRejectsZeroMass)
+{
+    Distribution d(2);
+    EXPECT_THROW(d.normalize(), std::invalid_argument);
+}
+
+TEST(Distribution, TopOutcomeFindsMode)
+{
+    Distribution d(3);
+    d.set(0b001, 0.2);
+    d.set(0b110, 0.5);
+    d.set(0b111, 0.3);
+    EXPECT_EQ(d.topOutcome().outcome, Bits{0b110});
+    EXPECT_DOUBLE_EQ(d.topOutcome().probability, 0.5);
+}
+
+TEST(Distribution, SortedByProbabilityDescending)
+{
+    Distribution d(3);
+    d.set(0b001, 0.2);
+    d.set(0b110, 0.5);
+    d.set(0b111, 0.3);
+    const auto sorted = d.sortedByProbability();
+    ASSERT_EQ(sorted.size(), 3u);
+    EXPECT_EQ(sorted[0].outcome, Bits{0b110});
+    EXPECT_EQ(sorted[1].outcome, Bits{0b111});
+    EXPECT_EQ(sorted[2].outcome, Bits{0b001});
+}
+
+TEST(Distribution, SortedByProbabilityBreaksTiesByOutcome)
+{
+    Distribution d(2);
+    d.set(0b10, 0.5);
+    d.set(0b01, 0.5);
+    const auto sorted = d.sortedByProbability();
+    EXPECT_EQ(sorted[0].outcome, Bits{0b01});
+}
+
+TEST(Distribution, ToStringShowsTopEntries)
+{
+    Distribution d(4);
+    d.set(0b1111, 0.9);
+    d.set(0b0000, 0.1);
+    const std::string text = d.toString();
+    EXPECT_NE(text.find("1111"), std::string::npos);
+    EXPECT_LT(text.find("1111"), text.find("0000"));
+}
+
+TEST(Distribution, RejectsBadWidth)
+{
+    EXPECT_THROW(Distribution(0), std::invalid_argument);
+    EXPECT_THROW(Distribution(65), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the Expected Hamming Distance metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ehd.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::core::Distribution;
+using namespace hammer::core;
+
+TEST(Ehd, ErrorFreeDistributionHasZeroEhd)
+{
+    Distribution d(4);
+    d.set(0b1111, 1.0);
+    EXPECT_DOUBLE_EQ(expectedHammingDistance(d, {0b1111}), 0.0);
+    EXPECT_DOUBLE_EQ(expectedHammingDistanceIncorrect(d, {0b1111}), 0.0);
+}
+
+TEST(Ehd, SingleErrorContributesWeightedDistance)
+{
+    Distribution d(4);
+    d.set(0b1111, 0.8);
+    d.set(0b1110, 0.2); // distance 1
+    EXPECT_NEAR(expectedHammingDistance(d, {0b1111}), 0.2, 1e-12);
+    EXPECT_NEAR(expectedHammingDistanceIncorrect(d, {0b1111}), 1.0,
+                1e-12);
+}
+
+TEST(Ehd, UniformDistributionApproachesHalfN)
+{
+    const int n = 8;
+    std::vector<double> dense(std::size_t{1} << n,
+                              1.0 / (std::size_t{1} << n));
+    const Distribution d = Distribution::fromDense(n, dense);
+    EXPECT_NEAR(expectedHammingDistance(d, {0}), n / 2.0, 1e-9);
+}
+
+TEST(Ehd, MultipleCorrectOutcomesUseMinDistance)
+{
+    Distribution d(4);
+    d.set(0b0000, 0.4);
+    d.set(0b1111, 0.4);
+    d.set(0b1110, 0.2); // distance 1 to 1111, 3 to 0000
+    EXPECT_NEAR(expectedHammingDistance(d, {0b0000, 0b1111}), 0.2,
+                1e-12);
+}
+
+TEST(Ehd, IncorrectOnlyVariantRenormalises)
+{
+    Distribution d(4);
+    d.set(0b1111, 0.5);
+    d.set(0b1110, 0.25); // d = 1
+    d.set(0b1100, 0.25); // d = 2
+    // Weighted average over incorrect mass: (0.25*1 + 0.25*2)/0.5.
+    EXPECT_NEAR(expectedHammingDistanceIncorrect(d, {0b1111}), 1.5,
+                1e-12);
+    // Unrenormalised version scales by the incorrect mass.
+    EXPECT_NEAR(expectedHammingDistance(d, {0b1111}), 0.75, 1e-12);
+}
+
+TEST(Ehd, ClusteredErrorsBeatUniformModel)
+{
+    // Errors all within distance 1 -> EHD far below n/2.
+    const int n = 10;
+    Distribution d(n);
+    d.set((Bits{1} << n) - 1, 0.4);
+    for (int q = 0; q < n; ++q)
+        d.set(((Bits{1} << n) - 1) ^ (Bits{1} << q), 0.06);
+    const double ehd = expectedHammingDistance(d, {(Bits{1} << n) - 1});
+    EXPECT_LT(ehd, uniformModelEhd(n) / 2.0);
+}
+
+TEST(Ehd, UniformModelEhdIsHalfN)
+{
+    EXPECT_DOUBLE_EQ(uniformModelEhd(8), 4.0);
+    EXPECT_DOUBLE_EQ(uniformModelEhd(15), 7.5);
+}
+
+TEST(Ehd, RejectsEmptyReferences)
+{
+    Distribution d(3);
+    d.set(0, 1.0);
+    EXPECT_THROW(expectedHammingDistance(d, {}), std::invalid_argument);
+}
+
+TEST(Ehd, BoundedByWidth)
+{
+    Distribution d(5);
+    d.set(0b00000, 0.5);
+    d.set(0b11111, 0.5);
+    const double ehd = expectedHammingDistance(d, {0b00000});
+    EXPECT_GE(ehd, 0.0);
+    EXPECT_LE(ehd, 5.0);
+}
+
+} // namespace

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Unit tests for the HAMMER reconstruction (Algorithm 1), including
+ * an exact hand-computed walkthrough of the paper's Fig. 6 example,
+ * statistical improvement on a BV-like noisy distribution, and the
+ * ablation knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ehd.hpp"
+#include "core/hammer.hpp"
+#include "metrics/metrics.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::core::Distribution;
+using namespace hammer::core;
+
+/** The output distribution of paper Fig. 6(a). */
+Distribution
+figure6Distribution()
+{
+    Distribution d(3);
+    d.set(0b111, 0.30);
+    d.set(0b101, 0.40);
+    d.set(0b110, 0.05);
+    d.set(0b011, 0.10);
+    d.set(0b010, 0.10);
+    d.set(0b001, 0.05);
+    return d;
+}
+
+/**
+ * A synthetic BV-style noisy histogram built from the exact local
+ * bit-flip channel (each bit flips with probability eps), plus extra
+ * mass on a dominant 2-bit-flip error — the structure of paper
+ * Fig. 7/8.
+ */
+Distribution
+bvLikeDistribution(int n, Bits key, double eps = 0.05,
+                   double dominant_extra = 0.10)
+{
+    Distribution d(n);
+    for (Bits x = 0; x < (Bits{1} << n); ++x) {
+        const int dist = hammer::common::hammingDistance(x, key);
+        d.set(x, std::pow(eps, dist) * std::pow(1.0 - eps, n - dist));
+    }
+    d.add(key ^ 0b11, dominant_extra);
+    d.normalize();
+    return d;
+}
+
+TEST(Hammer, WeightsMatchHandComputationOnFig6)
+{
+    const Distribution d = figure6Distribution();
+    // n = 3 -> dmax = 1. Aggregate CHS: bin0 = 1.0 (total mass),
+    // bin1 = 2.4 (hand-enumerated ordered pairs).
+    const auto weights = hammerWeights(d);
+    ASSERT_EQ(weights.size(), 2u);
+    EXPECT_NEAR(weights[0], 1.0, 1e-12);
+    EXPECT_NEAR(weights[1], 5.0 / 12.0, 1e-12);
+}
+
+TEST(Hammer, Fig6ExactReconstruction)
+{
+    const Distribution d = figure6Distribution();
+    const Distribution out = reconstruct(d);
+
+    // Hand-executed Algorithm 1 (W1 = 5/12):
+    //   score(111) = 0.30 + W1*(0.10 + 0.05)          -> 0.10875 * ...
+    //   score(101) = 0.40 + W1*(0.05 + 0.30)
+    //   score(011) = score(010) = 0.10 + W1*0.05
+    //   score(110) = score(001) = 0.05 (no lower-prob neighbours)
+    // after P_out = score * P_in and normalisation by 0.35625:
+    EXPECT_NEAR(out.probability(0b111), 0.10875 / 0.35625, 1e-9);
+    EXPECT_NEAR(out.probability(0b101), 0.2183333333 / 0.35625, 1e-7);
+    EXPECT_NEAR(out.probability(0b011), 0.0120833333 / 0.35625, 1e-7);
+    EXPECT_NEAR(out.probability(0b010), 0.0120833333 / 0.35625, 1e-7);
+    EXPECT_NEAR(out.probability(0b110), 0.0025 / 0.35625, 1e-9);
+    EXPECT_NEAR(out.probability(0b001), 0.0025 / 0.35625, 1e-9);
+}
+
+TEST(Hammer, OutputIsNormalisedOverSameSupport)
+{
+    const Distribution d = bvLikeDistribution(10, 0b1111111111);
+    const Distribution out = reconstruct(d);
+    EXPECT_TRUE(out.normalized(1e-9));
+    EXPECT_EQ(out.support(), d.support());
+    for (const auto &e : d.entries())
+        EXPECT_GE(out.probability(e.outcome), 0.0);
+}
+
+TEST(Hammer, ImprovesPstOnBvLikeDistribution)
+{
+    const Bits key = 0b1111111111;
+    const Distribution d = bvLikeDistribution(10, key);
+    const Distribution out = reconstruct(d);
+    EXPECT_GT(hammer::metrics::pst(out, {key}),
+              hammer::metrics::pst(d, {key}))
+        << "HAMMER should boost the correct outcome's probability";
+}
+
+TEST(Hammer, ImprovesIstOnBvLikeDistribution)
+{
+    const Bits key = 0b1111111111;
+    const Distribution d = bvLikeDistribution(10, key);
+    const Distribution out = reconstruct(d);
+    EXPECT_GT(hammer::metrics::ist(out, {key}),
+              hammer::metrics::ist(d, {key}))
+        << "the gap to the dominant incorrect outcome should shrink";
+}
+
+TEST(Hammer, IstGainExceedsPstGain)
+{
+    // Paper Fig. 8: the IST improvement (gmean 1.74x) is larger than
+    // the PST improvement (gmean 1.38x) — HAMMER attenuates the
+    // dominant incorrect outcome on top of boosting the correct one.
+    const Bits key = 0b1111111111;
+    for (double eps : {0.03, 0.05, 0.08}) {
+        const Distribution d = bvLikeDistribution(10, key, eps, 0.12);
+        const Distribution out = reconstruct(d);
+        const double pst_gain = hammer::metrics::pst(out, {key}) /
+                                hammer::metrics::pst(d, {key});
+        const double ist_gain = hammer::metrics::ist(out, {key}) /
+                                hammer::metrics::ist(d, {key});
+        EXPECT_GT(ist_gain, pst_gain) << "eps " << eps;
+    }
+}
+
+TEST(Hammer, ReducesEhdOnBvLikeDistribution)
+{
+    const Bits key = 0b1111111111;
+    const Distribution d = bvLikeDistribution(10, key);
+    const Distribution out = reconstruct(d);
+    EXPECT_LT(expectedHammingDistance(out, {key}),
+              expectedHammingDistance(d, {key}));
+}
+
+TEST(Hammer, CrushesUnstructuredSingletons)
+{
+    const Bits key = 0b1111111111;
+    const Distribution d = bvLikeDistribution(10, key);
+    const Distribution out = reconstruct(d);
+    // The isolated far-tail outcome (all-zeros) has no neighbourhood;
+    // its relative probability must drop.
+    EXPECT_LT(out.probability(0) / d.probability(0), 1.0);
+}
+
+TEST(Hammer, SingleOutcomeIsFixedPoint)
+{
+    Distribution d(4);
+    d.set(0b1010, 1.0);
+    const Distribution out = reconstruct(d);
+    EXPECT_EQ(out.support(), 1u);
+    EXPECT_NEAR(out.probability(0b1010), 1.0, 1e-12);
+}
+
+TEST(Hammer, DeterministicAcrossCalls)
+{
+    const Distribution d = bvLikeDistribution(8, 0b10101010);
+    const Distribution a = reconstruct(d);
+    const Distribution b = reconstruct(d);
+    ASSERT_EQ(a.support(), b.support());
+    for (const auto &e : a.entries())
+        EXPECT_DOUBLE_EQ(e.probability, b.probability(e.outcome));
+}
+
+TEST(Hammer, RejectsUnnormalisedInput)
+{
+    Distribution d(3);
+    d.set(0b000, 0.4);
+    d.set(0b111, 0.4);
+    EXPECT_THROW(reconstruct(d), std::invalid_argument);
+}
+
+TEST(Hammer, RejectsEmptyInput)
+{
+    Distribution d(3);
+    EXPECT_THROW(reconstruct(d), std::invalid_argument);
+}
+
+TEST(Hammer, StatsReportOperationCounts)
+{
+    const Distribution d = bvLikeDistribution(8, 0b11111111);
+    HammerStats stats;
+    reconstruct(d, {}, &stats);
+    EXPECT_EQ(stats.uniqueOutcomes, d.support());
+    EXPECT_EQ(stats.maxDistance, 3); // floor((8-1)/2)
+    // Step 1 + Step 3 each scan ~N^2 pairs.
+    const auto n2 = static_cast<std::uint64_t>(d.support()) *
+                    d.support();
+    EXPECT_GE(stats.pairOperations, n2);
+    EXPECT_LE(stats.pairOperations, 2 * n2 + d.support());
+    ASSERT_EQ(stats.weights.size(), 4u);
+    EXPECT_GT(stats.aggregateChs[0], 0.0);
+}
+
+TEST(Hammer, RadiusZeroSquaresProbabilities)
+{
+    // With no neighbourhood, score(x) == P(x), so the multiplicative
+    // update is a pure P^2 renormalisation.
+    Distribution d(4);
+    d.set(0b0000, 0.5);
+    d.set(0b1111, 0.3);
+    d.set(0b1010, 0.2);
+    HammerConfig config;
+    config.maxDistance = 0;
+    const Distribution out = reconstruct(d, config);
+    const double z = 0.25 + 0.09 + 0.04;
+    EXPECT_NEAR(out.probability(0b0000), 0.25 / z, 1e-12);
+    EXPECT_NEAR(out.probability(0b1111), 0.09 / z, 1e-12);
+    EXPECT_NEAR(out.probability(0b1010), 0.04 / z, 1e-12);
+}
+
+TEST(Hammer, NeighborhoodScoreMatchesReconstructInternals)
+{
+    const Distribution d = figure6Distribution();
+    EXPECT_NEAR(neighborhoodScore(d, 0b111),
+                0.30 + (5.0 / 12.0) * 0.15, 1e-12);
+    EXPECT_NEAR(neighborhoodScore(d, 0b001), 0.05, 1e-12);
+}
+
+TEST(Hammer, FilterOffLetsLowProbOutcomesBorrow)
+{
+    const Distribution d = figure6Distribution();
+    HammerConfig no_filter;
+    no_filter.filterLowerProbability = false;
+    // Outcome 001 sits next to the rich 101 neighbourhood; without
+    // the filter it gains score it cannot get with the filter on.
+    EXPECT_GT(neighborhoodScore(d, 0b001, no_filter),
+              neighborhoodScore(d, 0b001, {}));
+}
+
+TEST(Hammer, UniformWeightAblationDiffersFromPaperScheme)
+{
+    const Distribution d = bvLikeDistribution(8, 0b11111111);
+    HammerConfig uniform;
+    uniform.weightScheme = WeightScheme::Uniform;
+    const Distribution paper_out = reconstruct(d);
+    const Distribution uniform_out = reconstruct(d, uniform);
+    double max_diff = 0.0;
+    for (const auto &e : paper_out.entries()) {
+        max_diff = std::max(max_diff,
+                            std::abs(e.probability -
+                                     uniform_out.probability(e.outcome)));
+    }
+    EXPECT_GT(max_diff, 1e-6);
+}
+
+TEST(Hammer, InverseBinomialWeightsAreValid)
+{
+    const Distribution d = bvLikeDistribution(8, 0b11111111);
+    HammerConfig config;
+    config.weightScheme = WeightScheme::InverseBinomial;
+    const Distribution out = reconstruct(d, config);
+    EXPECT_TRUE(out.normalized(1e-9));
+}
+
+TEST(Hammer, AdditiveCombineKeepsScoresAsProbabilities)
+{
+    const Distribution d = figure6Distribution();
+    HammerConfig additive;
+    additive.scoreCombine = ScoreCombine::Additive;
+    const Distribution out = reconstruct(d, additive);
+    EXPECT_TRUE(out.normalized(1e-9));
+    // Additive keeps 101 on top but by a smaller multiplicative
+    // factor than the baseline squaring does.
+    EXPECT_GT(out.probability(0b101), out.probability(0b111));
+}
+
+TEST(Hammer, MaxDistanceBeyondWidthRejected)
+{
+    const Distribution d = figure6Distribution();
+    HammerConfig config;
+    config.maxDistance = 4;
+    EXPECT_THROW(reconstruct(d, config), std::invalid_argument);
+}
+
+TEST(Hammer, IterativeOnePassEqualsReconstruct)
+{
+    const Distribution d = bvLikeDistribution(8, 0b11111111);
+    const Distribution once = reconstruct(d);
+    const Distribution iter = reconstructIterative(d, 1);
+    for (const auto &e : once.entries())
+        EXPECT_NEAR(e.probability, iter.probability(e.outcome), 1e-12);
+}
+
+TEST(Hammer, IterativeSharpensFurther)
+{
+    const Bits key = 0b1111111111;
+    const Distribution d = bvLikeDistribution(10, key);
+    const double pst1 =
+        hammer::metrics::pst(reconstructIterative(d, 1), {key});
+    const double pst3 =
+        hammer::metrics::pst(reconstructIterative(d, 3), {key});
+    EXPECT_GT(pst3, pst1)
+        << "extra passes should keep concentrating the cluster";
+}
+
+TEST(Hammer, IterativeRejectsZeroPasses)
+{
+    const Distribution d = figure6Distribution();
+    EXPECT_THROW(reconstructIterative(d, 0), std::invalid_argument);
+}
+
+TEST(HammerFast, MatchesReferenceImplementationExactly)
+{
+    for (int n : {6, 8, 10}) {
+        const Bits key = (Bits{1} << n) - 1;
+        const Distribution d = bvLikeDistribution(n, key, 0.06, 0.08);
+        const Distribution slow = reconstruct(d);
+        const Distribution fast = reconstructFast(d);
+        ASSERT_EQ(slow.support(), fast.support()) << "n=" << n;
+        for (const auto &e : slow.entries()) {
+            EXPECT_NEAR(e.probability, fast.probability(e.outcome),
+                        1e-12)
+                << "n=" << n << " outcome " << e.outcome;
+        }
+    }
+}
+
+TEST(HammerFast, MatchesReferenceUnderAllConfigs)
+{
+    const Distribution d = bvLikeDistribution(8, 0b11111111);
+    for (int radius : {-1, 0, 1, 3}) {
+        for (bool filter : {true, false}) {
+            for (auto scheme : {WeightScheme::InverseChs,
+                                WeightScheme::Uniform,
+                                WeightScheme::InverseBinomial}) {
+                HammerConfig config;
+                config.maxDistance = radius;
+                config.filterLowerProbability = filter;
+                config.weightScheme = scheme;
+                const Distribution slow = reconstruct(d, config);
+                const Distribution fast = reconstructFast(d, config);
+                for (const auto &e : slow.entries()) {
+                    ASSERT_NEAR(e.probability,
+                                fast.probability(e.outcome), 1e-12)
+                        << "radius " << radius << " filter " << filter;
+                }
+            }
+        }
+    }
+}
+
+TEST(HammerFast, PrunesPairOperationsOnClusteredData)
+{
+    // A clustered histogram has popcounts concentrated near n, so
+    // bucketing must skip a sizeable share of the N^2 scans.
+    const Distribution d = bvLikeDistribution(12, (Bits{1} << 12) - 1,
+                                              0.03, 0.05);
+    HammerStats slow_stats, fast_stats;
+    reconstruct(d, {}, &slow_stats);
+    reconstructFast(d, {}, &fast_stats);
+    EXPECT_LT(fast_stats.pairOperations, slow_stats.pairOperations);
+}
+
+TEST(HammerFast, SingleOutcomeFixedPoint)
+{
+    Distribution d(6);
+    d.set(0b101010, 1.0);
+    const Distribution out = reconstructFast(d);
+    EXPECT_NEAR(out.probability(0b101010), 1.0, 1e-12);
+}
+
+TEST(HammerFast, RejectsBadInput)
+{
+    Distribution d(4);
+    EXPECT_THROW(reconstructFast(d), std::invalid_argument);
+    d.set(0, 0.5);
+    EXPECT_THROW(reconstructFast(d), std::invalid_argument);
+}
+
+TEST(Hammer, BitPermutationEquivariance)
+{
+    // Relabelling qubits commutes with reconstruction: HAMMER only
+    // sees Hamming geometry, which is permutation invariant.
+    const Distribution d = figure6Distribution();
+    auto permute = [](Bits x) {
+        // Rotate the 3 bits left by one.
+        return ((x << 1) | (x >> 2)) & 0b111;
+    };
+    Distribution pd(3);
+    for (const auto &e : d.entries())
+        pd.set(permute(e.outcome), e.probability);
+
+    const Distribution out = reconstruct(d);
+    const Distribution pout = reconstruct(pd);
+    for (const auto &e : out.entries()) {
+        EXPECT_NEAR(e.probability, pout.probability(permute(e.outcome)),
+                    1e-12);
+    }
+}
+
+TEST(Hammer, ComplementEquivariance)
+{
+    // Flipping every bit of every outcome is a Hamming isometry.
+    const int n = 6;
+    const Bits mask = (Bits{1} << n) - 1;
+    const Distribution d = bvLikeDistribution(n, mask, 0.07, 0.06);
+    Distribution cd(n);
+    for (const auto &e : d.entries())
+        cd.set(e.outcome ^ mask, e.probability);
+
+    const Distribution out = reconstruct(d);
+    const Distribution cout_ = reconstruct(cd);
+    for (const auto &e : out.entries()) {
+        EXPECT_NEAR(e.probability, cout_.probability(e.outcome ^ mask),
+                    1e-12);
+    }
+}
+
+class HammerWidthProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HammerWidthProperty, PstNeverDegradesOnClusteredNoise)
+{
+    // For any width, a distribution whose errors are strictly
+    // clustered around the key must see PST improve.
+    const int n = GetParam();
+    const Bits key = (Bits{1} << n) - 1;
+    Distribution d(n);
+    d.set(key, 0.2);
+    for (int q = 0; q < n; ++q)
+        d.set(key ^ (Bits{1} << q), 0.5 / n);
+    d.set(0, 0.3); // unstructured singleton
+    d.normalize();
+
+    const Distribution out = reconstruct(d);
+    EXPECT_GE(hammer::metrics::pst(out, {key}),
+              hammer::metrics::pst(d, {key}))
+        << "width " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HammerWidthProperty,
+                         ::testing::Values(4, 6, 8, 10, 12, 14, 16));
+
+} // namespace

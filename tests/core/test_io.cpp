@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for histogram CSV serialisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/io.hpp"
+
+namespace {
+
+using hammer::core::Distribution;
+using hammer::core::readDistributionCsv;
+using hammer::core::writeDistributionCsv;
+
+TEST(Io, ReadsCountsAndNormalises)
+{
+    const auto dist = readDistributionCsv(
+        "111,600\n011,300\n000,100\n");
+    EXPECT_EQ(dist.numBits(), 3);
+    EXPECT_NEAR(dist.probability(0b111), 0.6, 1e-12);
+    EXPECT_NEAR(dist.probability(0b011), 0.3, 1e-12);
+    EXPECT_NEAR(dist.probability(0b000), 0.1, 1e-12);
+}
+
+TEST(Io, ReadsProbabilities)
+{
+    const auto dist = readDistributionCsv("10,0.25\n01,0.75\n");
+    EXPECT_NEAR(dist.probability(0b10), 0.25, 1e-12);
+    EXPECT_NEAR(dist.probability(0b01), 0.75, 1e-12);
+}
+
+TEST(Io, SkipsCommentsAndBlankLines)
+{
+    const auto dist = readDistributionCsv(
+        "# device: machineA\n\n11,1\n# trailer\n00,1\n");
+    EXPECT_EQ(dist.support(), 2u);
+}
+
+TEST(Io, HandlesCrlfLineEndings)
+{
+    const auto dist = readDistributionCsv("11,2\r\n00,2\r\n");
+    EXPECT_NEAR(dist.probability(0b11), 0.5, 1e-12);
+}
+
+TEST(Io, AccumulatesDuplicateOutcomes)
+{
+    const auto dist = readDistributionCsv("1,1\n1,1\n0,2\n");
+    EXPECT_NEAR(dist.probability(1), 0.5, 1e-12);
+}
+
+TEST(Io, RejectsMalformedInput)
+{
+    EXPECT_THROW(readDistributionCsv(""), std::invalid_argument);
+    EXPECT_THROW(readDistributionCsv("11\n"), std::invalid_argument);
+    EXPECT_THROW(readDistributionCsv("1x,3\n"), std::invalid_argument);
+    EXPECT_THROW(readDistributionCsv("11,abc\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(readDistributionCsv("11,3junk\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(readDistributionCsv("11,-1\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(readDistributionCsv("11,1\n011,1\n"),
+                 std::invalid_argument)
+        << "inconsistent widths must be rejected";
+}
+
+TEST(Io, WriteSortsByProbabilityDescending)
+{
+    Distribution dist(3);
+    dist.set(0b001, 0.2);
+    dist.set(0b110, 0.5);
+    dist.set(0b111, 0.3);
+    std::ostringstream out;
+    writeDistributionCsv(out, dist, 2);
+    EXPECT_EQ(out.str(), "110,0.50\n111,0.30\n001,0.20\n");
+}
+
+TEST(Io, RoundTripPreservesDistribution)
+{
+    Distribution dist(5);
+    dist.set(0b10101, 0.40625);
+    dist.set(0b01010, 0.34375);
+    dist.set(0b11111, 0.25);
+    std::ostringstream out;
+    writeDistributionCsv(out, dist);
+    const auto reread = readDistributionCsv(out.str());
+    ASSERT_EQ(reread.support(), dist.support());
+    for (const auto &e : dist.entries())
+        EXPECT_NEAR(reread.probability(e.outcome), e.probability,
+                    1e-7);
+}
+
+TEST(Io, WriteRejectsBadPrecision)
+{
+    Distribution dist(2);
+    dist.set(0, 1.0);
+    std::ostringstream out;
+    EXPECT_THROW(writeDistributionCsv(out, dist, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(writeDistributionCsv(out, dist, 99),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the Hamming spectrum and CHS machinery (paper
+ * Sections 3.2 and 4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/spectrum.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::core::Distribution;
+using namespace hammer::core;
+
+Distribution
+exampleDistribution()
+{
+    // The worked example of paper Fig. 6(a).
+    Distribution d(3);
+    d.set(0b111, 0.30);
+    d.set(0b101, 0.40);
+    d.set(0b110, 0.05);
+    d.set(0b011, 0.10);
+    d.set(0b010, 0.10);
+    d.set(0b001, 0.05);
+    return d;
+}
+
+TEST(Spectrum, BinsPartitionTheDistribution)
+{
+    const Distribution d = exampleDistribution();
+    const HammingSpectrum s = hammingSpectrum(d, {0b111});
+    double total = 0.0;
+    int count = 0;
+    for (std::size_t bin = 0; bin < s.binTotal.size(); ++bin) {
+        total += s.binTotal[bin];
+        count += s.binCount[bin];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_EQ(count, 6);
+}
+
+TEST(Spectrum, CorrectOutcomeLandsInBinZero)
+{
+    const Distribution d = exampleDistribution();
+    const HammingSpectrum s = hammingSpectrum(d, {0b111});
+    EXPECT_NEAR(s.binTotal[0], 0.30, 1e-12);
+    EXPECT_EQ(s.binCount[0], 1);
+}
+
+TEST(Spectrum, BinContentsMatchHandCount)
+{
+    const Distribution d = exampleDistribution();
+    const HammingSpectrum s = hammingSpectrum(d, {0b111});
+    // Distance 1 from 111: 101, 110, 011 -> 0.40+0.05+0.10.
+    EXPECT_NEAR(s.binTotal[1], 0.55, 1e-12);
+    EXPECT_EQ(s.binCount[1], 3);
+    // Distance 2: 010, 001 -> 0.15.
+    EXPECT_NEAR(s.binTotal[2], 0.15, 1e-12);
+    EXPECT_EQ(s.binCount[2], 2);
+    EXPECT_NEAR(s.binAverage[2], 0.075, 1e-12);
+}
+
+TEST(Spectrum, MultipleReferencesUseMinimumDistance)
+{
+    Distribution d(3);
+    d.set(0b000, 0.5);
+    d.set(0b110, 0.5);
+    // 110 is distance 2 from 000 but distance 1 from 111.
+    const HammingSpectrum s = hammingSpectrum(d, {0b000, 0b111});
+    EXPECT_NEAR(s.binTotal[0], 0.5, 1e-12);
+    EXPECT_NEAR(s.binTotal[1], 0.5, 1e-12);
+    EXPECT_NEAR(s.binTotal[2], 0.0, 1e-12);
+}
+
+TEST(Spectrum, BinMaxTracksDominantOutcome)
+{
+    const Distribution d = exampleDistribution();
+    const HammingSpectrum s = hammingSpectrum(d, {0b111});
+    EXPECT_NEAR(s.binMax[1], 0.40, 1e-12);
+}
+
+TEST(Spectrum, RejectsEmptyReferences)
+{
+    const Distribution d = exampleDistribution();
+    EXPECT_THROW(hammingSpectrum(d, {}), std::invalid_argument);
+}
+
+TEST(Spectrum, UniformOutcomeProbability)
+{
+    EXPECT_DOUBLE_EQ(uniformOutcomeProbability(3), 0.125);
+    EXPECT_DOUBLE_EQ(uniformOutcomeProbability(10), 1.0 / 1024.0);
+}
+
+TEST(Spectrum, ChsOfIsolatedOutcomeIsOnlySelf)
+{
+    Distribution d(6);
+    d.set(0b000000, 0.9);
+    d.set(0b111111, 0.1);
+    const auto chs = cumulativeHammingStrength(d, 0b000000, 2);
+    ASSERT_EQ(chs.size(), 3u);
+    EXPECT_NEAR(chs[0], 0.9, 1e-12);
+    EXPECT_NEAR(chs[1], 0.0, 1e-12);
+    EXPECT_NEAR(chs[2], 0.0, 1e-12);
+}
+
+TEST(Spectrum, ChsMatchesHandComputedNeighbourhood)
+{
+    const Distribution d = exampleDistribution();
+    const auto chs = cumulativeHammingStrength(d, 0b111, 3);
+    EXPECT_NEAR(chs[0], 0.30, 1e-12);
+    EXPECT_NEAR(chs[1], 0.55, 1e-12);
+    EXPECT_NEAR(chs[2], 0.15, 1e-12);
+    EXPECT_NEAR(chs[3], 0.00, 1e-12);
+}
+
+TEST(Spectrum, ChsForOutcomeAbsentFromDistribution)
+{
+    // CHS is well-defined for any string, observed or not.
+    const Distribution d = exampleDistribution();
+    const auto chs = cumulativeHammingStrength(d, 0b000, 1);
+    EXPECT_NEAR(chs[0], 0.0, 1e-12);
+    // Distance 1 from 000: 001, 010, 100 -> 0.05 + 0.10 + 0.
+    EXPECT_NEAR(chs[1], 0.15, 1e-12);
+}
+
+TEST(Spectrum, AggregateChsEqualsSumOfPerOutcomeChs)
+{
+    const Distribution d = exampleDistribution();
+    const int dmax = 2;
+    const auto aggregate = aggregateChs(d, dmax);
+    std::vector<double> manual(static_cast<std::size_t>(dmax) + 1, 0.0);
+    for (const auto &e : d.entries()) {
+        const auto chs = cumulativeHammingStrength(d, e.outcome, dmax);
+        for (std::size_t i = 0; i < manual.size(); ++i)
+            manual[i] += chs[i];
+    }
+    for (std::size_t i = 0; i < manual.size(); ++i)
+        EXPECT_NEAR(aggregate[i], manual[i], 1e-12) << "bin " << i;
+}
+
+TEST(Spectrum, AggregateChsBinZeroIsTotalMass)
+{
+    const Distribution d = exampleDistribution();
+    const auto aggregate = aggregateChs(d, 0);
+    EXPECT_NEAR(aggregate[0], 1.0, 1e-12);
+}
+
+TEST(Spectrum, DefaultMaxDistanceMatchesPaperRule)
+{
+    // Largest d with d < n/2.
+    EXPECT_EQ(defaultMaxDistance(4), 1);
+    EXPECT_EQ(defaultMaxDistance(5), 2);
+    EXPECT_EQ(defaultMaxDistance(8), 3);
+    EXPECT_EQ(defaultMaxDistance(9), 4);
+    EXPECT_EQ(defaultMaxDistance(10), 4);
+    EXPECT_EQ(defaultMaxDistance(1), 0);
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the graph generators backing Tables 1-2 workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using hammer::common::Rng;
+using namespace hammer::graph;
+
+TEST(Generators, ErdosRenyiConnectedAndSimple)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Graph g = erdosRenyi(10, 0.4, rng);
+        EXPECT_TRUE(g.connected());
+        EXPECT_GT(g.numEdges(), 0u);
+        EXPECT_LE(g.numEdges(), 45u);
+    }
+}
+
+TEST(Generators, ErdosRenyiDensityTracksP)
+{
+    Rng rng(2);
+    // Average edge count over several samples should approach
+    // p * C(n, 2).
+    const int n = 12;
+    const double p = 0.5;
+    double total = 0.0;
+    const int samples = 40;
+    for (int i = 0; i < samples; ++i)
+        total += static_cast<double>(erdosRenyi(n, p, rng).numEdges());
+    const double expected = p * n * (n - 1) / 2.0;
+    EXPECT_NEAR(total / samples, expected, expected * 0.2);
+}
+
+TEST(Generators, ErdosRenyiRejectsBadP)
+{
+    Rng rng(3);
+    EXPECT_THROW(erdosRenyi(5, 0.0, rng), std::invalid_argument);
+    EXPECT_THROW(erdosRenyi(5, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Generators, KRegularDegreesAreExact)
+{
+    Rng rng(4);
+    for (int k : {2, 3, 4}) {
+        const Graph g = kRegular(10, k, rng);
+        for (int v = 0; v < g.numVertices(); ++v)
+            EXPECT_EQ(g.degree(v), k) << "vertex " << v << " k=" << k;
+        EXPECT_TRUE(g.connected());
+    }
+}
+
+TEST(Generators, KRegularRejectsOddProduct)
+{
+    Rng rng(5);
+    EXPECT_THROW(kRegular(5, 3, rng), std::invalid_argument);
+    EXPECT_THROW(kRegular(4, 4, rng), std::invalid_argument);
+}
+
+TEST(Generators, RingIsTwoRegular)
+{
+    const Graph g = ring(7);
+    EXPECT_EQ(g.numEdges(), 7u);
+    for (int v = 0; v < 7; ++v)
+        EXPECT_EQ(g.degree(v), 2);
+    EXPECT_TRUE(g.connected());
+}
+
+TEST(Generators, GridShapeAndEdgeCount)
+{
+    const Graph g = grid(3, 4);
+    EXPECT_EQ(g.numVertices(), 12);
+    // rows*(cols-1) + (rows-1)*cols horizontal+vertical edges.
+    EXPECT_EQ(g.numEdges(), static_cast<std::size_t>(3 * 3 + 2 * 4));
+    EXPECT_TRUE(g.connected());
+}
+
+TEST(Generators, GridCornerDegreeIsTwo)
+{
+    const Graph g = grid(3, 3);
+    EXPECT_EQ(g.degree(0), 2);  // corner
+    EXPECT_EQ(g.degree(4), 4);  // centre
+}
+
+TEST(Generators, SherringtonKirkpatrickIsCompleteWithSignWeights)
+{
+    Rng rng(6);
+    const int n = 8;
+    const Graph g = sherringtonKirkpatrick(n, rng);
+    EXPECT_EQ(g.numEdges(), static_cast<std::size_t>(n * (n - 1) / 2));
+    for (const Edge &e : g.edges())
+        EXPECT_DOUBLE_EQ(std::abs(e.weight), 1.0);
+}
+
+TEST(Generators, SherringtonKirkpatrickMixesSigns)
+{
+    Rng rng(7);
+    const Graph g = sherringtonKirkpatrick(10, rng);
+    int plus = 0, minus = 0;
+    for (const Edge &e : g.edges())
+        (e.weight > 0 ? plus : minus)++;
+    EXPECT_GT(plus, 0);
+    EXPECT_GT(minus, 0);
+}
+
+TEST(Generators, DeterministicForFixedSeed)
+{
+    Rng a(99), b(99);
+    const Graph ga = erdosRenyi(9, 0.4, a);
+    const Graph gb = erdosRenyi(9, 0.4, b);
+    ASSERT_EQ(ga.numEdges(), gb.numEdges());
+    for (std::size_t i = 0; i < ga.edges().size(); ++i) {
+        EXPECT_EQ(ga.edges()[i].u, gb.edges()[i].u);
+        EXPECT_EQ(ga.edges()[i].v, gb.edges()[i].v);
+    }
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the Graph container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+
+namespace {
+
+using hammer::graph::Graph;
+
+TEST(Graph, StartsEdgeless)
+{
+    Graph g(4);
+    EXPECT_EQ(g.numVertices(), 4);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_FALSE(g.hasEdge(0, 1));
+}
+
+TEST(Graph, AddEdgeIsUndirected)
+{
+    Graph g(3);
+    g.addEdge(0, 2);
+    EXPECT_TRUE(g.hasEdge(0, 2));
+    EXPECT_TRUE(g.hasEdge(2, 0));
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(Graph, RejectsSelfLoopAndDuplicates)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    EXPECT_THROW(g.addEdge(1, 1), std::invalid_argument);
+    EXPECT_THROW(g.addEdge(0, 1), std::invalid_argument);
+    EXPECT_THROW(g.addEdge(1, 0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints)
+{
+    Graph g(3);
+    EXPECT_THROW(g.addEdge(0, 3), std::invalid_argument);
+    EXPECT_THROW(g.addEdge(-1, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsBadVertexCount)
+{
+    EXPECT_THROW(Graph(0), std::invalid_argument);
+    EXPECT_THROW(Graph(65), std::invalid_argument);
+}
+
+TEST(Graph, DegreeCountsIncidentEdges)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(0, 3);
+    EXPECT_EQ(g.degree(0), 3);
+    EXPECT_EQ(g.degree(1), 1);
+}
+
+TEST(Graph, TotalWeightSumsEdgeWeights)
+{
+    Graph g(3);
+    g.addEdge(0, 1, 2.5);
+    g.addEdge(1, 2, -1.0);
+    EXPECT_DOUBLE_EQ(g.totalWeight(), 1.5);
+}
+
+TEST(Graph, ConnectedDetectsComponents)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    EXPECT_FALSE(g.connected());
+    g.addEdge(1, 2);
+    EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, SingleVertexIsConnected)
+{
+    EXPECT_TRUE(Graph(1).connected());
+}
+
+TEST(Graph, EdgesPreserveInsertionOrderAndWeights)
+{
+    Graph g(3);
+    g.addEdge(0, 1, 1.0);
+    g.addEdge(1, 2, -1.0);
+    ASSERT_EQ(g.edges().size(), 2u);
+    EXPECT_EQ(g.edges()[0].u, 0);
+    EXPECT_EQ(g.edges()[0].v, 1);
+    EXPECT_DOUBLE_EQ(g.edges()[1].weight, -1.0);
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for PST, IST, TVD and classical fidelity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "metrics/metrics.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::core::Distribution;
+using namespace hammer::metrics;
+
+Distribution
+noisyBv3()
+{
+    Distribution d(3);
+    d.set(0b111, 0.5);
+    d.set(0b011, 0.3);
+    d.set(0b101, 0.2);
+    return d;
+}
+
+TEST(Metrics, PstSumsCorrectOutcomes)
+{
+    const Distribution d = noisyBv3();
+    EXPECT_NEAR(pst(d, {0b111}), 0.5, 1e-12);
+    EXPECT_NEAR(pst(d, {0b111, 0b011}), 0.8, 1e-12);
+}
+
+TEST(Metrics, PstZeroWhenCorrectNeverAppears)
+{
+    const Distribution d = noisyBv3();
+    EXPECT_DOUBLE_EQ(pst(d, {0b000}), 0.0);
+}
+
+TEST(Metrics, IstRatioOfBestCorrectToBestIncorrect)
+{
+    const Distribution d = noisyBv3();
+    EXPECT_NEAR(ist(d, {0b111}), 0.5 / 0.3, 1e-12);
+}
+
+TEST(Metrics, IstBelowOneWhenWrongAnswerDominates)
+{
+    Distribution d(3);
+    d.set(0b111, 0.2);
+    d.set(0b000, 0.6);
+    d.set(0b001, 0.2);
+    EXPECT_NEAR(ist(d, {0b111}), 0.2 / 0.6, 1e-12);
+}
+
+TEST(Metrics, IstInfiniteWithoutIncorrectOutcomes)
+{
+    Distribution d(2);
+    d.set(0b11, 1.0);
+    EXPECT_TRUE(std::isinf(ist(d, {0b11})));
+}
+
+TEST(Metrics, IstZeroWhenCorrectAbsent)
+{
+    Distribution d(2);
+    d.set(0b00, 1.0);
+    EXPECT_DOUBLE_EQ(ist(d, {0b11}), 0.0);
+}
+
+TEST(Metrics, IstWithMultipleCorrectTakesBest)
+{
+    Distribution d(2);
+    d.set(0b00, 0.3);
+    d.set(0b11, 0.5);
+    d.set(0b01, 0.2);
+    EXPECT_NEAR(ist(d, {0b00, 0b11}), 0.5 / 0.2, 1e-12);
+}
+
+TEST(Metrics, TvdIdenticalDistributionsIsZero)
+{
+    const Distribution d = noisyBv3();
+    EXPECT_NEAR(tvd(d, d), 0.0, 1e-12);
+}
+
+TEST(Metrics, TvdDisjointSupportsIsOne)
+{
+    Distribution p(2), q(2);
+    p.set(0b00, 1.0);
+    q.set(0b11, 1.0);
+    EXPECT_NEAR(tvd(p, q), 1.0, 1e-12);
+}
+
+TEST(Metrics, TvdHandComputedValue)
+{
+    Distribution p(2), q(2);
+    p.set(0b00, 0.5);
+    p.set(0b01, 0.5);
+    q.set(0b00, 0.25);
+    q.set(0b01, 0.25);
+    q.set(0b10, 0.5);
+    // 0.5 * (|0.5-0.25| + |0.5-0.25| + 0.5) = 0.5.
+    EXPECT_NEAR(tvd(p, q), 0.5, 1e-12);
+}
+
+TEST(Metrics, TvdSymmetric)
+{
+    Distribution p(3), q(3);
+    p.set(0b000, 0.6);
+    p.set(0b111, 0.4);
+    q.set(0b000, 0.1);
+    q.set(0b101, 0.9);
+    EXPECT_NEAR(tvd(p, q), tvd(q, p), 1e-12);
+}
+
+TEST(Metrics, TvdRejectsWidthMismatch)
+{
+    Distribution p(2), q(3);
+    p.set(0, 1.0);
+    q.set(0, 1.0);
+    EXPECT_THROW(tvd(p, q), std::invalid_argument);
+}
+
+TEST(Metrics, FidelityIdenticalIsOne)
+{
+    const Distribution d = noisyBv3();
+    EXPECT_NEAR(classicalFidelity(d, d), 1.0, 1e-12);
+}
+
+TEST(Metrics, FidelityDisjointIsZero)
+{
+    Distribution p(2), q(2);
+    p.set(0b00, 1.0);
+    q.set(0b11, 1.0);
+    EXPECT_NEAR(classicalFidelity(p, q), 0.0, 1e-12);
+}
+
+TEST(Metrics, FidelityHandComputedValue)
+{
+    Distribution p(1), q(1);
+    p.set(0, 0.5);
+    p.set(1, 0.5);
+    q.set(0, 1.0);
+    // (sqrt(0.5 * 1))^2 = 0.5.
+    EXPECT_NEAR(classicalFidelity(p, q), 0.5, 1e-12);
+}
+
+TEST(Metrics, FidelityBoundedAndSymmetric)
+{
+    Distribution p(2), q(2);
+    p.set(0b00, 0.7);
+    p.set(0b01, 0.3);
+    q.set(0b00, 0.2);
+    q.set(0b10, 0.8);
+    const double f = classicalFidelity(p, q);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    EXPECT_NEAR(f, classicalFidelity(q, p), 1e-12);
+}
+
+TEST(Metrics, InferredCorrectlyMatchesArgmax)
+{
+    const Distribution d = noisyBv3();
+    EXPECT_TRUE(inferredCorrectly(d, {0b111}));
+    EXPECT_FALSE(inferredCorrectly(d, {0b011}));
+    EXPECT_TRUE(inferredCorrectly(d, {0b011, 0b111}));
+}
+
+TEST(Metrics, RejectsEmptyReferences)
+{
+    const Distribution d = noisyBv3();
+    EXPECT_THROW(pst(d, {}), std::invalid_argument);
+    EXPECT_THROW(ist(d, {}), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for noise model presets and scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noise/noise_model.hpp"
+
+namespace {
+
+using namespace hammer::noise;
+
+TEST(NoiseModel, IdealPresetIsNoiseless)
+{
+    const NoiseModel m = machinePreset("ideal");
+    EXPECT_DOUBLE_EQ(m.p1q, 0.0);
+    EXPECT_DOUBLE_EQ(m.p2q, 0.0);
+    EXPECT_DOUBLE_EQ(m.readout01, 0.0);
+    EXPECT_DOUBLE_EQ(m.readout10, 0.0);
+}
+
+TEST(NoiseModel, PresetsInPaperRanges)
+{
+    for (const auto &name : machinePresetNames()) {
+        if (name == "ideal")
+            continue;
+        const NoiseModel m = machinePreset(name);
+        EXPECT_GT(m.p1q, 0.0) << name;
+        EXPECT_LT(m.p1q, 0.01) << name << ": 1q error ~0.1%";
+        EXPECT_GT(m.p2q, 0.001) << name;
+        EXPECT_LT(m.p2q, 0.05) << name << ": 2q error 1-2%";
+        EXPECT_LT(m.readout01, 0.1) << name;
+        EXPECT_LT(m.readout10, 0.1) << name;
+    }
+}
+
+TEST(NoiseModel, MachinesHaveDistinctProfiles)
+{
+    const NoiseModel a = machinePreset("machineA");
+    const NoiseModel b = machinePreset("machineB");
+    const NoiseModel c = machinePreset("machineC");
+    EXPECT_NE(a.p2q, b.p2q);
+    EXPECT_NE(a.readout01, c.readout01);
+    EXPECT_GT(b.p2q, a.p2q) << "machineB is gate-error heavy";
+    EXPECT_GT(c.readout01, a.readout01) << "machineC is readout heavy";
+}
+
+TEST(NoiseModel, ReadoutAsymmetryModelsRelaxation)
+{
+    // 1 -> 0 errors (relaxation during readout) should dominate.
+    for (const std::string name : {"machineA", "machineB", "machineC"}) {
+        const NoiseModel m = machinePreset(name);
+        EXPECT_GT(m.readout10, m.readout01) << name;
+    }
+}
+
+TEST(NoiseModel, UnknownPresetRejected)
+{
+    EXPECT_THROW(machinePreset("hal9000"), std::invalid_argument);
+}
+
+TEST(NoiseModel, ScaledMultipliesEveryRate)
+{
+    const NoiseModel m = machinePreset("machineA");
+    const NoiseModel twice = m.scaled(2.0);
+    EXPECT_DOUBLE_EQ(twice.p1q, 2.0 * m.p1q);
+    EXPECT_DOUBLE_EQ(twice.p2q, 2.0 * m.p2q);
+    EXPECT_DOUBLE_EQ(twice.readout01, 2.0 * m.readout01);
+    EXPECT_DOUBLE_EQ(twice.readout10, 2.0 * m.readout10);
+}
+
+TEST(NoiseModel, ScaledClampsAtHalf)
+{
+    const NoiseModel m = machinePreset("machineB").scaled(1000.0);
+    EXPECT_LE(m.p2q, 0.5);
+    EXPECT_LE(m.readout10, 0.5);
+}
+
+TEST(NoiseModel, ScaledZeroIsIdeal)
+{
+    const NoiseModel m = machinePreset("machineA").scaled(0.0);
+    EXPECT_DOUBLE_EQ(m.p2q, 0.0);
+}
+
+TEST(NoiseModel, ScaledRejectsNegativeFactor)
+{
+    EXPECT_THROW(machinePreset("machineA").scaled(-1.0),
+                 std::invalid_argument);
+}
+
+TEST(NoiseModel, PresetNamesListIsConsistent)
+{
+    for (const auto &name : machinePresetNames())
+        EXPECT_NO_THROW(machinePreset(name));
+    EXPECT_GE(machinePresetNames().size(), 5u);
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the readout error channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "noise/readout.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::common::Rng;
+using hammer::core::Distribution;
+using namespace hammer::noise;
+
+TEST(Readout, TransitionProbabilitiesRowStochastic)
+{
+    const NoiseModel m{0.0, 0.0, 0.02, 0.05};
+    EXPECT_NEAR(readoutTransition(0, 0, m) + readoutTransition(0, 1, m),
+                1.0, 1e-12);
+    EXPECT_NEAR(readoutTransition(1, 0, m) + readoutTransition(1, 1, m),
+                1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(readoutTransition(0, 1, m), 0.02);
+    EXPECT_DOUBLE_EQ(readoutTransition(1, 0, m), 0.05);
+}
+
+TEST(Readout, NoErrorMeansIdentity)
+{
+    const NoiseModel m{0.0, 0.0, 0.0, 0.0};
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(applyReadoutError(0b10110, 5, m, rng), Bits{0b10110});
+}
+
+TEST(Readout, FlipRateMatchesModel)
+{
+    const NoiseModel m{0.0, 0.0, 0.1, 0.2};
+    Rng rng(2);
+    const int trials = 50000;
+    int flips0 = 0, flips1 = 0;
+    for (int i = 0; i < trials; ++i) {
+        // Qubit 0 in state 0, qubit 1 in state 1.
+        const Bits observed = applyReadoutError(0b10, 2, m, rng);
+        if (observed & 0b01)
+            ++flips0;
+        if (!(observed & 0b10))
+            ++flips1;
+    }
+    EXPECT_NEAR(flips0 / static_cast<double>(trials), 0.1, 0.01);
+    EXPECT_NEAR(flips1 / static_cast<double>(trials), 0.2, 0.01);
+}
+
+TEST(Readout, ChannelPreservesNormalisation)
+{
+    Distribution d(4);
+    d.set(0b1111, 0.6);
+    d.set(0b0000, 0.4);
+    const NoiseModel m{0.0, 0.0, 0.03, 0.06};
+    const Distribution noisy = applyReadoutChannel(d, m);
+    EXPECT_TRUE(noisy.normalized(1e-6));
+}
+
+TEST(Readout, ChannelSpreadsMassToNeighbours)
+{
+    Distribution d(3);
+    d.set(0b111, 1.0);
+    const NoiseModel m{0.0, 0.0, 0.0, 0.1};
+    const Distribution noisy = applyReadoutChannel(d, m);
+    // P(unchanged) = 0.9^3.
+    EXPECT_NEAR(noisy.probability(0b111), 0.729, 1e-6);
+    // Each single flip: 0.9^2 * 0.1.
+    EXPECT_NEAR(noisy.probability(0b110), 0.081, 1e-6);
+    EXPECT_NEAR(noisy.probability(0b101), 0.081, 1e-6);
+    EXPECT_NEAR(noisy.probability(0b011), 0.081, 1e-6);
+}
+
+TEST(Readout, ChannelAsymmetryRespected)
+{
+    Distribution d(1);
+    d.set(0b0, 0.5);
+    d.set(0b1, 0.5);
+    const NoiseModel m{0.0, 0.0, 0.0, 0.2};
+    const Distribution noisy = applyReadoutChannel(d, m);
+    // Only 1 -> 0 errors: P(0) = 0.5 + 0.5*0.2.
+    EXPECT_NEAR(noisy.probability(0b0), 0.6, 1e-9);
+    EXPECT_NEAR(noisy.probability(0b1), 0.4, 1e-9);
+}
+
+TEST(Readout, IdentityChannelIsExactCopy)
+{
+    Distribution d(3);
+    d.set(0b101, 0.7);
+    d.set(0b010, 0.3);
+    const NoiseModel m{0.0, 0.0, 0.0, 0.0};
+    const Distribution noisy = applyReadoutChannel(d, m);
+    EXPECT_NEAR(noisy.probability(0b101), 0.7, 1e-12);
+    EXPECT_NEAR(noisy.probability(0b010), 0.3, 1e-12);
+    EXPECT_EQ(noisy.support(), 2u);
+}
+
+TEST(Readout, RejectsBadBitArguments)
+{
+    const NoiseModel m{};
+    EXPECT_THROW(readoutTransition(2, 0, m), std::invalid_argument);
+    EXPECT_THROW(readoutTransition(0, -1, m), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the Pauli-trajectory noisy sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/bv.hpp"
+#include "circuits/ghz.hpp"
+#include "circuits/transpiler.hpp"
+#include "core/ehd.hpp"
+#include "metrics/metrics.hpp"
+#include "noise/trajectory_sampler.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::common::Rng;
+using hammer::core::Distribution;
+using namespace hammer::circuits;
+using namespace hammer::noise;
+
+TEST(TrajectorySampler, IdealNoiseReproducesIdealOutput)
+{
+    const auto routed = trivialRouting(bernsteinVazirani(4, 0b1011));
+    TrajectorySampler sampler(machinePreset("ideal"), 10);
+    Rng rng(1);
+    const Distribution dist = sampler.sample(routed, 4, 2000, rng);
+    EXPECT_EQ(dist.support(), 1u);
+    EXPECT_NEAR(dist.probability(0b1011), 1.0, 1e-12);
+}
+
+TEST(TrajectorySampler, NoisyInstanceInsertsOnlyPaulis)
+{
+    const auto circuit = bernsteinVazirani(5, 0b11111);
+    TrajectorySampler sampler(NoiseModel{0.5, 0.5, 0.0, 0.0}, 1);
+    Rng rng(2);
+    const auto noisy = sampler.noisyInstance(circuit, rng);
+    EXPECT_GT(noisy.size(), circuit.size())
+        << "50% error rate must insert errors";
+    // Every extra gate is a Pauli.
+    int paulis = 0;
+    for (const auto &g : noisy.gates()) {
+        if (g.kind == hammer::sim::GateKind::X ||
+            g.kind == hammer::sim::GateKind::Y ||
+            g.kind == hammer::sim::GateKind::Z) {
+            ++paulis;
+        }
+    }
+    EXPECT_GE(paulis,
+              static_cast<int>(noisy.size() - circuit.size()));
+}
+
+TEST(TrajectorySampler, ZeroRateInsertsNothing)
+{
+    const auto circuit = ghz(5);
+    TrajectorySampler sampler(machinePreset("ideal"), 1);
+    Rng rng(3);
+    EXPECT_EQ(sampler.noisyInstance(circuit, rng).size(),
+              circuit.size());
+}
+
+TEST(TrajectorySampler, NoisyBvKeepsKeyDominantAtLowNoise)
+{
+    const Bits key = 0b10101;
+    const auto routed = trivialRouting(bernsteinVazirani(5, key));
+    TrajectorySampler sampler(machinePreset("machineA"), 100);
+    Rng rng(4);
+    const Distribution dist = sampler.sample(routed, 5, 8000, rng);
+    EXPECT_GT(hammer::metrics::pst(dist, {key}), 0.5);
+    EXPECT_TRUE(hammer::metrics::inferredCorrectly(dist, {key}));
+}
+
+TEST(TrajectorySampler, ErrorsClusterInHammingSpace)
+{
+    // The core claim of the paper, reproduced by the physics-faithful
+    // backend: EHD far below the uniform model's n/2.
+    const Bits key = 0b11111111;
+    const auto routed = trivialRouting(bernsteinVazirani(8, key));
+    TrajectorySampler sampler(machinePreset("machineB").scaled(3.0),
+                              150);
+    Rng rng(5);
+    const Distribution dist = sampler.sample(routed, 8, 12000, rng);
+    const double ehd = hammer::core::expectedHammingDistance(dist, {key});
+    EXPECT_GT(ehd, 0.0) << "noise must produce some errors";
+    EXPECT_LT(ehd, 2.0) << "errors must cluster near the key";
+}
+
+TEST(TrajectorySampler, MoreNoiseMeansLowerFidelity)
+{
+    const Bits key = 0b111111;
+    const auto routed = trivialRouting(bernsteinVazirani(6, key));
+    Rng rng(6);
+    auto pst_at = [&](double scale) {
+        TrajectorySampler sampler(
+            machinePreset("machineA").scaled(scale), 80);
+        const Distribution dist = sampler.sample(routed, 6, 6000, rng);
+        return hammer::metrics::pst(dist, {key});
+    };
+    EXPECT_GT(pst_at(1.0), pst_at(8.0));
+}
+
+TEST(TrajectorySampler, TwoQubitDepolarizingMarginalRates)
+{
+    // One CX on |00> with error rate p: a measured bit flips when
+    // its error component is X or Y — 8 of the 15 non-identity
+    // two-qubit Paulis per qubit, and both flip for 4 of 15.
+    const double p = 0.3;
+    hammer::sim::Circuit c(2);
+    c.cx(0, 1);
+    TrajectorySampler sampler(NoiseModel{0.0, p, 0.0, 0.0}, 4000);
+    Rng rng(40);
+    const Distribution dist = sampler.sample(
+        trivialRouting(c), 2, 40000, rng);
+
+    const double flip_a = dist.probability(0b01) +
+                          dist.probability(0b11);
+    const double flip_b = dist.probability(0b10) +
+                          dist.probability(0b11);
+    const double flip_both = dist.probability(0b11);
+    EXPECT_NEAR(flip_a, p * 8.0 / 15.0, 0.02);
+    EXPECT_NEAR(flip_b, p * 8.0 / 15.0, 0.02);
+    EXPECT_NEAR(flip_both, p * 4.0 / 15.0, 0.02);
+    // Correlation check: joint rate far above the independent
+    // product.
+    EXPECT_GT(flip_both, 1.5 * flip_a * flip_b);
+}
+
+TEST(TrajectorySampler, SingleQubitDepolarizingFlipRate)
+{
+    // One H-H pair (identity) on |0> with 1q error rate p: each of
+    // the two gates flips the measured bit with probability
+    // ~ (2/3) p to first order.
+    const double p = 0.15;
+    hammer::sim::Circuit c(1);
+    c.h(0).h(0);
+    TrajectorySampler sampler(NoiseModel{p, 0.0, 0.0, 0.0}, 4000);
+    Rng rng(41);
+    const Distribution dist = sampler.sample(
+        trivialRouting(c), 1, 40000, rng);
+    // Two opportunities; X/Y after the first H act differently than
+    // after the second, so just bound the flip rate near 2*(2/3)p.
+    EXPECT_GT(dist.probability(1), 0.5 * 2.0 * (2.0 / 3.0) * p);
+    EXPECT_LT(dist.probability(1), 1.5 * 2.0 * (2.0 / 3.0) * p);
+}
+
+TEST(TrajectorySampler, MarginalisesAncillaQubit)
+{
+    const auto routed = trivialRouting(bernsteinVazirani(4, 0b1111));
+    TrajectorySampler sampler(machinePreset("machineA"), 50);
+    Rng rng(7);
+    const Distribution dist = sampler.sample(routed, 4, 4000, rng);
+    EXPECT_EQ(dist.numBits(), 4);
+    for (const auto &e : dist.entries())
+        EXPECT_LT(e.outcome, Bits{1} << 4);
+}
+
+TEST(TrajectorySampler, GhzBothPolesSurvive)
+{
+    const auto routed = trivialRouting(ghz(6));
+    TrajectorySampler sampler(machinePreset("machineA"), 100);
+    Rng rng(8);
+    const Distribution dist = sampler.sample(routed, 6, 8000, rng);
+    EXPECT_GT(dist.probability(0b000000), 0.3);
+    EXPECT_GT(dist.probability(0b111111), 0.3);
+}
+
+TEST(TrajectorySampler, DeterministicForFixedSeed)
+{
+    const auto routed = trivialRouting(ghz(4));
+    TrajectorySampler sampler(machinePreset("machineB"), 20);
+    Rng a(9), b(9);
+    const Distribution da = sampler.sample(routed, 4, 1000, a);
+    const Distribution db = sampler.sample(routed, 4, 1000, b);
+    ASSERT_EQ(da.support(), db.support());
+    for (const auto &e : da.entries())
+        EXPECT_DOUBLE_EQ(e.probability, db.probability(e.outcome));
+}
+
+TEST(TrajectorySampler, RejectsBadArguments)
+{
+    const auto routed = trivialRouting(ghz(4));
+    TrajectorySampler sampler(machinePreset("machineA"), 10);
+    Rng rng(10);
+    EXPECT_THROW(sampler.sample(routed, 0, 100, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(sampler.sample(routed, 5, 100, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(sampler.sample(routed, 4, 0, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(TrajectorySampler(machinePreset("machineA"), 0),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the QAOA cost / cost-ratio machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/distribution.hpp"
+#include "graph/generators.hpp"
+#include "qaoa/cost.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::common::Rng;
+using hammer::core::Distribution;
+using hammer::graph::Graph;
+using namespace hammer::qaoa;
+
+TEST(Cost, ExpectationOfPointMass)
+{
+    const Graph g = hammer::graph::ring(4);
+    Distribution d(4);
+    d.set(0b0101, 1.0);
+    // Alternating cut on an even ring cuts every edge: cost -4.
+    EXPECT_DOUBLE_EQ(costExpectation(d, g), -4.0);
+}
+
+TEST(Cost, ExpectationIsLinearInProbabilities)
+{
+    const Graph g = hammer::graph::ring(4);
+    Distribution d(4);
+    d.set(0b0101, 0.5);  // cost -4
+    d.set(0b0000, 0.5);  // cost +4
+    EXPECT_NEAR(costExpectation(d, g), 0.0, 1e-12);
+}
+
+TEST(Cost, UniformDistributionHasZeroExpectation)
+{
+    // Each edge contributes E[z_u z_v] = 0 under uniform bits.
+    const Graph g = hammer::graph::ring(6);
+    std::vector<double> dense(64, 1.0 / 64.0);
+    const Distribution d = Distribution::fromDense(6, dense);
+    EXPECT_NEAR(costExpectation(d, g), 0.0, 1e-12);
+}
+
+TEST(Cost, CostRatioOfOptimalCutIsOne)
+{
+    const Graph g = hammer::graph::ring(6);
+    Distribution d(6);
+    d.set(0b010101, 1.0);
+    EXPECT_NEAR(costRatio(d, g), 1.0, 1e-12);
+}
+
+TEST(Cost, CostRatioNegativeForAntiOptimalOutput)
+{
+    const Graph g = hammer::graph::ring(6);
+    Distribution d(6);
+    d.set(0b000000, 1.0); // cost +6, C_min = -6
+    EXPECT_NEAR(costRatio(d, g), -1.0, 1e-12);
+}
+
+TEST(Cost, ExplicitMinCostOverloadAgrees)
+{
+    Rng rng(1);
+    const Graph g = hammer::graph::kRegular(8, 3, rng);
+    Distribution d(8);
+    d.set(0b10101010, 0.6);
+    d.set(0b01010101, 0.4);
+    const double cmin = hammer::graph::bruteForceOptimum(g).minCost;
+    EXPECT_NEAR(costRatio(d, g, cmin), costRatio(d, g), 1e-12);
+}
+
+TEST(Cost, CostRatioRejectsNonNegativeMin)
+{
+    const Graph g = hammer::graph::ring(4);
+    Distribution d(4);
+    d.set(0, 1.0);
+    EXPECT_THROW(costRatio(d, g, 0.0), std::invalid_argument);
+    EXPECT_THROW(costRatio(d, g, 2.0), std::invalid_argument);
+}
+
+TEST(Cost, WidthMismatchRejected)
+{
+    const Graph g = hammer::graph::ring(4);
+    Distribution d(5);
+    d.set(0, 1.0);
+    EXPECT_THROW(costExpectation(d, g), std::invalid_argument);
+}
+
+TEST(Cost, CumulativeProbabilityAboveThreshold)
+{
+    const Graph g = hammer::graph::ring(4); // C_min = -4
+    Distribution d(4);
+    d.set(0b0101, 0.3);  // quality 1.0
+    d.set(0b1010, 0.2);  // quality 1.0
+    d.set(0b0001, 0.3);  // cost 0 -> quality 0
+    d.set(0b0000, 0.2);  // cost +4 -> quality -1
+    EXPECT_NEAR(cumulativeProbabilityAbove(d, g, -4.0, 1.0), 0.5, 1e-12);
+    EXPECT_NEAR(cumulativeProbabilityAbove(d, g, -4.0, 0.0), 0.8, 1e-12);
+    EXPECT_NEAR(cumulativeProbabilityAbove(d, g, -4.0, -1.0), 1.0,
+                1e-12);
+}
+
+TEST(Cost, HigherQualityDistributionHasHigherRatio)
+{
+    Rng rng(2);
+    const Graph g = hammer::graph::kRegular(6, 3, rng);
+    const auto opt = hammer::graph::bruteForceOptimum(g);
+
+    Distribution good(6), bad(6);
+    good.set(opt.bestCuts.front(), 0.8);
+    good.set(0, 0.2);
+    bad.set(opt.bestCuts.front(), 0.2);
+    bad.set(0, 0.8);
+    EXPECT_GT(costRatio(good, g, opt.minCost),
+              costRatio(bad, g, opt.minCost));
+}
+
+} // namespace

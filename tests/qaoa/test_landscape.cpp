@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the (beta, gamma) landscape sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/qaoa_circuit.hpp"
+#include "graph/generators.hpp"
+#include "qaoa/landscape.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using hammer::core::Distribution;
+using hammer::graph::Graph;
+using namespace hammer::qaoa;
+
+/** Ideal-simulation distribution producer for a p=1 ansatz. */
+DistributionAt
+idealProducer(const Graph &g)
+{
+    return [&g](double beta, double gamma) {
+        hammer::circuits::QaoaParams params;
+        params.gammas = {gamma};
+        params.betas = {beta};
+        const auto state = hammer::sim::runCircuit(
+            hammer::circuits::qaoaCircuit(g, params));
+        return Distribution::fromDense(g.numVertices(),
+                                       state.probabilities());
+    };
+}
+
+TEST(Landscape, GridShapeMatchesRequest)
+{
+    const Graph g = hammer::graph::ring(4);
+    const Landscape scape = sweepLandscape(
+        g, idealProducer(g), 3, -0.5, 0.5, 4, 0.0, 1.0);
+    EXPECT_EQ(scape.betas.size(), 3u);
+    EXPECT_EQ(scape.gammas.size(), 4u);
+    ASSERT_EQ(scape.costRatio.size(), 3u);
+    EXPECT_EQ(scape.costRatio[0].size(), 4u);
+    EXPECT_DOUBLE_EQ(scape.betas.front(), -0.5);
+    EXPECT_DOUBLE_EQ(scape.betas.back(), 0.5);
+}
+
+TEST(Landscape, ZeroAngleRowIsFlatZero)
+{
+    // beta = gamma = 0 keeps the uniform state whose CR is 0.
+    const Graph g = hammer::graph::ring(4);
+    const Landscape scape = sweepLandscape(
+        g, idealProducer(g), 2, 0.0, 0.3, 2, 0.0, 0.4);
+    EXPECT_NEAR(scape.costRatio[0][0], 0.0, 1e-9);
+}
+
+TEST(Landscape, IdealLandscapeHasStructure)
+{
+    const Graph g = hammer::graph::ring(6);
+    const Landscape scape = sweepLandscape(
+        g, idealProducer(g), 5, -0.8, 0.8, 5, 0.0, 1.6);
+    EXPECT_GT(scape.peak(), 0.2)
+        << "a good (beta, gamma) region must exist";
+    EXPECT_GT(scape.meanGradientMagnitude(), 0.01)
+        << "the ideal landscape is not flat";
+}
+
+TEST(Landscape, FlatteningProducerFlattensGradient)
+{
+    // Mixing the ideal distribution with uniform noise must reduce
+    // the mean gradient (the Fig. 1c / Fig. 10b effect).
+    const Graph g = hammer::graph::ring(6);
+    const auto ideal = idealProducer(g);
+    const DistributionAt noisy = [&](double beta, double gamma) {
+        Distribution d = ideal(beta, gamma);
+        Distribution out(d.numBits());
+        const double dim =
+            static_cast<double>(std::size_t{1} << d.numBits());
+        for (std::size_t x = 0; x < (std::size_t{1} << d.numBits());
+             ++x) {
+            out.set(x, 0.2 * d.probability(x) + 0.8 / dim);
+        }
+        return out;
+    };
+    const Landscape sharp = sweepLandscape(
+        g, ideal, 4, -0.8, 0.8, 4, 0.0, 1.6);
+    const Landscape flat = sweepLandscape(
+        g, noisy, 4, -0.8, 0.8, 4, 0.0, 1.6);
+    EXPECT_LT(flat.meanGradientMagnitude(),
+              sharp.meanGradientMagnitude());
+    EXPECT_LT(flat.peak(), sharp.peak());
+}
+
+TEST(Landscape, RejectsDegenerateGrid)
+{
+    const Graph g = hammer::graph::ring(4);
+    EXPECT_THROW(sweepLandscape(g, idealProducer(g), 1, 0, 1, 3, 0, 1),
+                 std::invalid_argument);
+}
+
+TEST(Landscape, EmptyLandscapeHelpers)
+{
+    Landscape empty;
+    EXPECT_DOUBLE_EQ(empty.meanGradientMagnitude(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the Nelder-Mead and grid-search optimisers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qaoa/optimizer.hpp"
+
+namespace {
+
+using namespace hammer::qaoa;
+
+TEST(Optimizer, NelderMeadMinimisesQuadratic)
+{
+    const Objective f = [](const std::vector<double> &x) {
+        return (x[0] - 2.0) * (x[0] - 2.0) +
+               (x[1] + 1.0) * (x[1] + 1.0);
+    };
+    const OptimizeResult r = nelderMead(f, {0.0, 0.0});
+    EXPECT_NEAR(r.best[0], 2.0, 1e-3);
+    EXPECT_NEAR(r.best[1], -1.0, 1e-3);
+    EXPECT_NEAR(r.value, 0.0, 1e-5);
+}
+
+TEST(Optimizer, NelderMeadOneDimensional)
+{
+    const Objective f = [](const std::vector<double> &x) {
+        return std::cos(x[0]);
+    };
+    const OptimizeResult r = nelderMead(f, {3.0});
+    EXPECT_NEAR(std::fmod(std::abs(r.best[0]), 2.0 * M_PI), M_PI, 1e-2);
+    EXPECT_NEAR(r.value, -1.0, 1e-4);
+}
+
+TEST(Optimizer, NelderMeadRosenbrockMakesProgress)
+{
+    const Objective f = [](const std::vector<double> &x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    NelderMeadOptions options;
+    options.maxEvaluations = 2000;
+    const OptimizeResult r = nelderMead(f, {-1.2, 1.0}, options);
+    EXPECT_LT(r.value, f({-1.2, 1.0}) * 0.01);
+}
+
+TEST(Optimizer, NelderMeadRespectsBudget)
+{
+    int calls = 0;
+    const Objective f = [&calls](const std::vector<double> &x) {
+        ++calls;
+        return x[0] * x[0];
+    };
+    NelderMeadOptions options;
+    options.maxEvaluations = 50;
+    const OptimizeResult r = nelderMead(f, {10.0}, options);
+    EXPECT_LE(calls, 60) << "small overshoot from the final shrink";
+    EXPECT_EQ(r.evaluations, calls);
+}
+
+TEST(Optimizer, NelderMeadRejectsBadInput)
+{
+    const Objective f = [](const std::vector<double> &) { return 0.0; };
+    EXPECT_THROW(nelderMead(f, {}), std::invalid_argument);
+    NelderMeadOptions tiny;
+    tiny.maxEvaluations = 1;
+    EXPECT_THROW(nelderMead(f, {0.0, 0.0}, tiny),
+                 std::invalid_argument);
+}
+
+TEST(Optimizer, GridSearchFindsBestCell)
+{
+    const Objective f = [](const std::vector<double> &x) {
+        return std::abs(x[0] - 0.5) + std::abs(x[1] - 0.25);
+    };
+    const OptimizeResult r = gridSearch(f, {0.0, 0.0}, {1.0, 1.0}, 5);
+    EXPECT_NEAR(r.best[0], 0.5, 1e-12);
+    EXPECT_NEAR(r.best[1], 0.25, 0.26);
+    EXPECT_EQ(r.evaluations, 25);
+}
+
+TEST(Optimizer, GridSearchExactOnGridAlignedOptimum)
+{
+    const Objective f = [](const std::vector<double> &x) {
+        return (x[0] - 0.5) * (x[0] - 0.5);
+    };
+    const OptimizeResult r = gridSearch(f, {0.0}, {1.0}, 3);
+    EXPECT_DOUBLE_EQ(r.best[0], 0.5);
+    EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(Optimizer, GridSearchSeedsNelderMead)
+{
+    // The common two-stage pattern: coarse scan then refine.
+    const Objective f = [](const std::vector<double> &x) {
+        return std::sin(5.0 * x[0]) + x[0] * x[0];
+    };
+    const OptimizeResult coarse = gridSearch(f, {-2.0}, {2.0}, 9);
+    const OptimizeResult fine = nelderMead(f, coarse.best);
+    EXPECT_LE(fine.value, coarse.value + 1e-12);
+}
+
+TEST(Optimizer, GridSearchRejectsBadBox)
+{
+    const Objective f = [](const std::vector<double> &) { return 0.0; };
+    EXPECT_THROW(gridSearch(f, {0.0}, {1.0, 2.0}, 3),
+                 std::invalid_argument);
+    EXPECT_THROW(gridSearch(f, {0.0}, {1.0}, 1), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Integration-grade tests for the variational QAOA driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/coupling.hpp"
+#include "graph/generators.hpp"
+#include "noise/channel_sampler.hpp"
+#include "qaoa/variational.hpp"
+
+namespace {
+
+using hammer::common::Rng;
+using namespace hammer::qaoa;
+
+TEST(Variational, IdealBackendFindsGoodAngles)
+{
+    Rng rng(1);
+    const auto g = hammer::graph::ring(6);
+    const auto coupling = hammer::circuits::CouplingMap::ring(6);
+    hammer::noise::ChannelSampler sampler(
+        hammer::noise::machinePreset("ideal"));
+
+    VariationalOptions options;
+    options.shotsPerEvaluation = 2048;
+    const VariationalResult result =
+        optimizeMaxcut(g, coupling, sampler, rng, options);
+
+    EXPECT_GT(result.costRatio, 0.35)
+        << "p=1 ideal QAOA on a ring should clear CR ~0.4";
+    EXPECT_GT(result.evaluations, 25);
+    EXPECT_EQ(result.finalDistribution.numBits(), 6);
+    EXPECT_TRUE(result.finalDistribution.normalized(1e-9));
+}
+
+TEST(Variational, CostRatioConsistentWithExpectation)
+{
+    Rng rng(2);
+    const auto g = hammer::graph::ring(4);
+    const auto coupling = hammer::circuits::CouplingMap::full(4);
+    hammer::noise::ChannelSampler sampler(
+        hammer::noise::machinePreset("ideal"));
+    VariationalOptions options;
+    options.gridPointsPerDim = 3;
+    options.refineEvaluations = 20;
+    const VariationalResult result =
+        optimizeMaxcut(g, coupling, sampler, rng, options);
+    // CR = E[C] / C_min with C_min = -4 for the 4-ring.
+    EXPECT_NEAR(result.costRatio, result.costExpectation / -4.0,
+                1e-12);
+}
+
+TEST(Variational, HammerInTheLoopImprovesFinalQuality)
+{
+    Rng rng(3);
+    const auto g = hammer::graph::ring(8);
+    const auto coupling = hammer::circuits::CouplingMap::ring(8);
+    hammer::noise::ChannelSampler sampler(
+        hammer::noise::machinePreset("sycamore").scaled(2.5));
+
+    VariationalOptions base;
+    base.gridPointsPerDim = 4;
+    base.refineEvaluations = 30;
+    VariationalOptions with_hammer = base;
+    with_hammer.useHammer = true;
+
+    const double cr_base =
+        optimizeMaxcut(g, coupling, sampler, rng, base).costRatio;
+    const double cr_hammer =
+        optimizeMaxcut(g, coupling, sampler, rng, with_hammer)
+            .costRatio;
+    EXPECT_GT(cr_hammer, cr_base);
+}
+
+TEST(Variational, MultiLayerScheduleHasRequestedDepth)
+{
+    Rng rng(4);
+    const auto g = hammer::graph::ring(4);
+    const auto coupling = hammer::circuits::CouplingMap::full(4);
+    hammer::noise::ChannelSampler sampler(
+        hammer::noise::machinePreset("ideal"));
+    VariationalOptions options;
+    options.layers = 3;
+    options.gridPointsPerDim = 3;
+    options.refineEvaluations = 15;
+    const VariationalResult result =
+        optimizeMaxcut(g, coupling, sampler, rng, options);
+    EXPECT_EQ(result.params.layers(), 3);
+}
+
+TEST(Variational, RejectsBadOptions)
+{
+    Rng rng(5);
+    const auto g = hammer::graph::ring(4);
+    const auto coupling = hammer::circuits::CouplingMap::full(4);
+    hammer::noise::ChannelSampler sampler(
+        hammer::noise::machinePreset("ideal"));
+    VariationalOptions bad;
+    bad.layers = 0;
+    EXPECT_THROW(optimizeMaxcut(g, coupling, sampler, rng, bad),
+                 std::invalid_argument);
+    VariationalOptions empty_box;
+    empty_box.betaHi = empty_box.betaLo;
+    EXPECT_THROW(optimizeMaxcut(g, coupling, sampler, rng, empty_box),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the circuit IR: builders, validation, depth and
+ * gate accounting, inversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/circuit.hpp"
+
+namespace {
+
+using namespace hammer::sim;
+
+TEST(Circuit, BuilderAppendsInOrder)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).rz(2, 0.5);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.gates()[0].kind, GateKind::H);
+    EXPECT_EQ(c.gates()[1].kind, GateKind::CX);
+    EXPECT_EQ(c.gates()[2].kind, GateKind::Rz);
+    EXPECT_DOUBLE_EQ(c.gates()[2].theta, 0.5);
+}
+
+TEST(Circuit, RejectsOutOfRangeQubits)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.h(2), std::invalid_argument);
+    EXPECT_THROW(c.cx(0, 2), std::invalid_argument);
+    EXPECT_THROW(c.h(-1), std::invalid_argument);
+}
+
+TEST(Circuit, RejectsDegenerateTwoQubitGate)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.cx(1, 1), std::invalid_argument);
+    EXPECT_THROW(c.swap(0, 0), std::invalid_argument);
+}
+
+TEST(Circuit, RejectsBadWidth)
+{
+    EXPECT_THROW(Circuit(0), std::invalid_argument);
+    EXPECT_THROW(Circuit(25), std::invalid_argument);
+}
+
+TEST(Circuit, DepthOfParallelGatesIsOne)
+{
+    Circuit c(4);
+    c.h(0).h(1).h(2).h(3);
+    EXPECT_EQ(c.depth(), 1);
+}
+
+TEST(Circuit, DepthOfSerialChain)
+{
+    Circuit c(3);
+    c.cx(0, 1).cx(1, 2).cx(0, 1);
+    EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, DepthMixesParallelAndSerial)
+{
+    Circuit c(4);
+    c.h(0).h(1);        // layer 1 on q0,q1
+    c.cx(0, 1);         // layer 2
+    c.cx(2, 3);         // layer 1 on q2,q3
+    EXPECT_EQ(c.depth(), 2);
+}
+
+TEST(Circuit, GateCountsSplit1q2q)
+{
+    Circuit c(3);
+    c.h(0).x(1).cx(0, 1).cz(1, 2).rz(2, 0.1);
+    const GateCounts counts = c.gateCounts();
+    EXPECT_EQ(counts.total, 5);
+    EXPECT_EQ(counts.singleQubit, 3);
+    EXPECT_EQ(counts.twoQubit, 2);
+    EXPECT_EQ(counts.perQubit1q[0], 1);
+    EXPECT_EQ(counts.perQubit2q[1], 2);
+    EXPECT_EQ(counts.perQubit2q[2], 1);
+}
+
+TEST(Circuit, AppendCircuitConcatenates)
+{
+    Circuit a(2), b(2);
+    a.h(0);
+    b.cx(0, 1);
+    a.appendCircuit(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.gates()[1].kind, GateKind::CX);
+}
+
+TEST(Circuit, AppendCircuitRejectsWidthMismatch)
+{
+    Circuit a(2), b(3);
+    EXPECT_THROW(a.appendCircuit(b), std::invalid_argument);
+}
+
+TEST(Circuit, InverseReversesAndInverts)
+{
+    Circuit c(2);
+    c.h(0).s(1).rx(0, 0.3).cx(0, 1);
+    const Circuit inv = c.inverse();
+    ASSERT_EQ(inv.size(), 4u);
+    EXPECT_EQ(inv.gates()[0].kind, GateKind::CX);
+    EXPECT_EQ(inv.gates()[1].kind, GateKind::Rx);
+    EXPECT_DOUBLE_EQ(inv.gates()[1].theta, -0.3);
+    EXPECT_EQ(inv.gates()[2].kind, GateKind::Sdg);
+    EXPECT_EQ(inv.gates()[3].kind, GateKind::H);
+}
+
+TEST(Circuit, ToStringListsEveryGate)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    const std::string text = c.toString();
+    EXPECT_NE(text.find("h q0"), std::string::npos);
+    EXPECT_NE(text.find("cx q0, q1"), std::string::npos);
+}
+
+class DepthProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DepthProperty, DepthBoundedByGateCountAndLowerBound)
+{
+    // A chain of n CX gates down a line has depth exactly n; the
+    // depth of any circuit is at most its gate count.
+    const int n = GetParam();
+    Circuit c(n);
+    for (int q = 0; q + 1 < n; ++q)
+        c.cx(q, q + 1);
+    EXPECT_EQ(c.depth(), n - 1);
+    EXPECT_LE(c.depth(), static_cast<int>(c.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DepthProperty,
+                         ::testing::Values(2, 3, 5, 8, 13, 21));
+
+} // namespace

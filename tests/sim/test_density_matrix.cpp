@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Unit tests for the density-matrix backend: agreement with the
+ * state-vector simulator on pure evolution, channel fixed points,
+ * trace/purity invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::common::Rng;
+using namespace hammer::sim;
+
+/** Random test circuit exercising all gate kinds. */
+Circuit
+randomCircuit(int n, int gates, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Circuit c(n);
+    for (int step = 0; step < gates; ++step) {
+        if (n >= 2 && rng.bernoulli(0.4)) {
+            const int a = static_cast<int>(rng.uniformInt(n));
+            int b = static_cast<int>(rng.uniformInt(n));
+            while (b == a)
+                b = static_cast<int>(rng.uniformInt(n));
+            switch (rng.uniformInt(3)) {
+              case 0: c.cx(a, b); break;
+              case 1: c.cz(a, b); break;
+              default: c.swap(a, b); break;
+            }
+        } else {
+            const GateKind kinds[] = {GateKind::H, GateKind::S,
+                                      GateKind::T, GateKind::Rx,
+                                      GateKind::Ry, GateKind::Rz};
+            c.append({kinds[rng.uniformInt(6)],
+                      static_cast<int>(rng.uniformInt(n)), -1,
+                      rng.uniform(0.0, 2.0 * M_PI)});
+        }
+    }
+    return c;
+}
+
+TEST(DensityMatrix, StartsPureInGroundState)
+{
+    DensityMatrix rho(3);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.probabilities()[0], 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, PureEvolutionMatchesStateVector)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        const Circuit c = randomCircuit(4, 25, seed);
+        DensityMatrix rho(4);
+        rho.applyCircuit(c);
+        const StateVector psi = runCircuit(c);
+        const auto dm_probs = rho.probabilities();
+        for (Bits x = 0; x < 16; ++x) {
+            EXPECT_NEAR(dm_probs[x], psi.probability(x), 1e-10)
+                << "seed " << seed << " outcome " << x;
+        }
+        EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+    }
+}
+
+TEST(DensityMatrix, OffDiagonalsMatchOuterProduct)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1); // Bell state
+    DensityMatrix rho(2);
+    rho.applyCircuit(c);
+    // rho = |phi+><phi+| with amplitudes 1/sqrt(2) on 00 and 11.
+    EXPECT_NEAR(rho.element(0b00, 0b11).real(), 0.5, 1e-12);
+    EXPECT_NEAR(rho.element(0b11, 0b00).real(), 0.5, 1e-12);
+    EXPECT_NEAR(rho.element(0b00, 0b01).real(), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, GatesPreserveTraceAndHermiticity)
+{
+    const Circuit c = randomCircuit(3, 30, 9);
+    DensityMatrix rho(3);
+    rho.applyCircuit(c);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+    for (Bits r = 0; r < 8; ++r) {
+        for (Bits col = 0; col < 8; ++col) {
+            const auto a = rho.element(r, col);
+            const auto b = std::conj(rho.element(col, r));
+            EXPECT_NEAR(std::abs(a - b), 0.0, 1e-10);
+        }
+    }
+}
+
+TEST(DensityMatrix, Depolarizing1qReducesPurity)
+{
+    DensityMatrix rho(2);
+    rho.applyGate({GateKind::H, 0});
+    const double before = rho.purity();
+    rho.applyDepolarizing1q(0, 0.2);
+    EXPECT_LT(rho.purity(), before);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, Depolarizing1qFullStrengthGivesMaximallyMixed)
+{
+    // p = 3/4 is the completely-depolarising point of the 1q channel.
+    DensityMatrix rho(1);
+    rho.applyGate({GateKind::Rx, 0, -1, 0.7});
+    rho.applyDepolarizing1q(0, 0.75);
+    EXPECT_NEAR(rho.probabilities()[0], 0.5, 1e-12);
+    EXPECT_NEAR(rho.probabilities()[1], 0.5, 1e-12);
+    EXPECT_NEAR(rho.purity(), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, Depolarizing1qMatchesExplicitPauliMixture)
+{
+    // Verify the closed form against (1-p) rho + p/3 sum P rho P
+    // computed with explicit gate conjugations.
+    const double p = 0.3;
+    const Circuit prep = randomCircuit(2, 12, 21);
+
+    DensityMatrix channel(2);
+    channel.applyCircuit(prep);
+    channel.applyDepolarizing1q(0, p);
+
+    // Explicit mixture.
+    DensityMatrix identity(2), x(2), y(2), z(2);
+    for (auto *m : {&identity, &x, &y, &z})
+        m->applyCircuit(prep);
+    x.applyGate({GateKind::X, 0});
+    y.applyGate({GateKind::Y, 0});
+    z.applyGate({GateKind::Z, 0});
+
+    for (Bits r = 0; r < 4; ++r) {
+        for (Bits c = 0; c < 4; ++c) {
+            const auto expected = (1.0 - p) * identity.element(r, c) +
+                (p / 3.0) * (x.element(r, c) + y.element(r, c) +
+                             z.element(r, c));
+            EXPECT_NEAR(std::abs(channel.element(r, c) - expected),
+                        0.0, 1e-10)
+                << "entry " << r << "," << c;
+        }
+    }
+}
+
+TEST(DensityMatrix, Depolarizing2qFullStrengthMixesThePair)
+{
+    DensityMatrix rho(3);
+    rho.applyGate({GateKind::H, 0});
+    rho.applyGate({GateKind::CX, 0, 1});
+    rho.applyDepolarizing2q(0, 1, 15.0 / 16.0);
+    const auto probs = rho.probabilities();
+    // Qubits 0 and 1 maximally mixed; qubit 2 stays |0>.
+    for (Bits x = 0; x < 4; ++x)
+        EXPECT_NEAR(probs[x], 0.25, 1e-12);
+    for (Bits x = 4; x < 8; ++x)
+        EXPECT_NEAR(probs[x], 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, ChannelsPreserveTrace)
+{
+    DensityMatrix rho(3);
+    rho.applyCircuit(randomCircuit(3, 20, 31));
+    rho.applyDepolarizing1q(1, 0.4);
+    rho.applyDepolarizing2q(0, 2, 0.3);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, ChannelOnOneQubitLeavesOthersMarginal)
+{
+    // Depolarising qubit 0 must not change qubit 1's marginal.
+    DensityMatrix rho(2);
+    rho.applyGate({GateKind::Ry, 1, -1, 0.9});
+    const auto before = rho.probabilities();
+    const double marginal_before = before[0b10] + before[0b11];
+    rho.applyDepolarizing1q(0, 0.5);
+    const auto after = rho.probabilities();
+    EXPECT_NEAR(after[0b10] + after[0b11], marginal_before, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingDecaysExcitedState)
+{
+    DensityMatrix rho(1);
+    rho.applyGate({GateKind::X, 0}); // |1>
+    rho.applyAmplitudeDamping(0, 0.3);
+    EXPECT_NEAR(rho.probabilities()[1], 0.7, 1e-12);
+    EXPECT_NEAR(rho.probabilities()[0], 0.3, 1e-12);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingLeavesGroundStateAlone)
+{
+    DensityMatrix rho(2);
+    rho.applyAmplitudeDamping(0, 0.5);
+    rho.applyAmplitudeDamping(1, 0.5);
+    EXPECT_NEAR(rho.probabilities()[0], 1.0, 1e-12);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingShrinksCoherences)
+{
+    // On |+>, damping with gamma shrinks the off-diagonal by
+    // sqrt(1 - gamma).
+    DensityMatrix rho(1);
+    rho.applyGate({GateKind::H, 0});
+    rho.applyAmplitudeDamping(0, 0.36);
+    EXPECT_NEAR(rho.element(0, 1).real(), 0.5 * std::sqrt(0.64),
+                1e-12);
+    // Population tilts toward |0>.
+    EXPECT_NEAR(rho.probabilities()[0], 0.5 + 0.5 * 0.36, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingFullStrengthResetsQubit)
+{
+    DensityMatrix rho(2);
+    rho.applyGate({GateKind::H, 0});
+    rho.applyGate({GateKind::CX, 0, 1});
+    rho.applyAmplitudeDamping(0, 1.0);
+    const auto probs = rho.probabilities();
+    // Qubit 0 fully reset to |0>.
+    EXPECT_NEAR(probs[0b01] + probs[0b11], 0.0, 1e-12);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, KrausIdentityChannelIsNoOp)
+{
+    DensityMatrix rho(2);
+    rho.applyCircuit(randomCircuit(2, 10, 55));
+    const auto before = rho.probabilities();
+    const Mat2 identity{Amp(1.0), Amp(0.0), Amp(0.0), Amp(1.0)};
+    rho.applyKraus1q({identity}, 0);
+    const auto after = rho.probabilities();
+    for (std::size_t i = 0; i < before.size(); ++i)
+        EXPECT_NEAR(before[i], after[i], 1e-12);
+}
+
+TEST(DensityMatrix, KrausRejectsNonTracePreservingSet)
+{
+    DensityMatrix rho(1);
+    const Mat2 half{Amp(0.5), Amp(0.0), Amp(0.0), Amp(0.5)};
+    EXPECT_THROW(rho.applyKraus1q({half}, 0), std::invalid_argument);
+    EXPECT_THROW(rho.applyKraus1q({}, 0), std::invalid_argument);
+}
+
+TEST(DensityMatrix, RejectsBadArguments)
+{
+    EXPECT_THROW(DensityMatrix(0), std::invalid_argument);
+    EXPECT_THROW(DensityMatrix(11), std::invalid_argument);
+    DensityMatrix rho(2);
+    EXPECT_THROW(rho.applyDepolarizing1q(2, 0.1),
+                 std::invalid_argument);
+    EXPECT_THROW(rho.applyDepolarizing1q(0, 0.9),
+                 std::invalid_argument);
+    EXPECT_THROW(rho.applyDepolarizing2q(0, 0, 0.1),
+                 std::invalid_argument);
+}
+
+} // namespace

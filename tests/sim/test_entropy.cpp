@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for entanglement entropy: product states have zero,
+ * Bell/GHZ states have one bit, and values stay within bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/entropy.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using hammer::common::Rng;
+using namespace hammer::sim;
+
+TEST(Entropy, ProductStateHasZeroEntropy)
+{
+    Circuit c(4);
+    c.h(0).rx(1, 0.3).ry(2, 1.1); // still a product state
+    const StateVector state = runCircuit(c);
+    EXPECT_NEAR(entanglementEntropy(state, 2), 0.0, 1e-9);
+    EXPECT_NEAR(entanglementEntropy(state, 1), 0.0, 1e-9);
+    EXPECT_NEAR(entanglementEntropy(state, 3), 0.0, 1e-9);
+}
+
+TEST(Entropy, BellPairHasOneBit)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    const StateVector state = runCircuit(c);
+    EXPECT_NEAR(entanglementEntropy(state, 1), 1.0, 1e-9);
+}
+
+TEST(Entropy, GhzEntropyIsOneBitAcrossAnyCut)
+{
+    Circuit c(6);
+    c.h(0);
+    for (int q = 0; q + 1 < 6; ++q)
+        c.cx(q, q + 1);
+    const StateVector state = runCircuit(c);
+    for (int k = 1; k < 6; ++k)
+        EXPECT_NEAR(entanglementEntropy(state, k), 1.0, 1e-9)
+            << "cut at k=" << k;
+}
+
+TEST(Entropy, TwoBellPairsGiveTwoBits)
+{
+    Circuit c(4);
+    // Entangle q0 with q2 and q1 with q3; cutting {q0,q1} from
+    // {q2,q3} severs both pairs.
+    c.h(0).cx(0, 2);
+    c.h(1).cx(1, 3);
+    const StateVector state = runCircuit(c);
+    EXPECT_NEAR(entanglementEntropy(state, 2), 2.0, 1e-9);
+}
+
+TEST(Entropy, BoundedBySubsystemSize)
+{
+    Rng rng(3);
+    Circuit c(6);
+    for (int layer = 0; layer < 4; ++layer) {
+        for (int q = 0; q < 6; ++q)
+            c.ry(q, rng.uniform(0.0, 2.0 * M_PI));
+        for (int q = layer % 2; q + 1 < 6; q += 2)
+            c.cx(q, q + 1);
+    }
+    const StateVector state = runCircuit(c);
+    for (int k = 1; k < 6; ++k) {
+        const double s = entanglementEntropy(state, k);
+        EXPECT_GE(s, -1e-9);
+        EXPECT_LE(s, std::min(k, 6 - k) + 1e-9);
+    }
+}
+
+TEST(Entropy, DefaultOverloadUsesHalfCut)
+{
+    Circuit c(4);
+    c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+    const StateVector state = runCircuit(c);
+    EXPECT_NEAR(entanglementEntropy(state),
+                entanglementEntropy(state, 2), 1e-12);
+}
+
+TEST(Entropy, MoreEntanglingLayersDoNotDecreaseEntropyOnAverage)
+{
+    // A brickwork random circuit's half-cut entropy should grow from
+    // depth 1 to depth 6 (coarse monotonicity check on averages).
+    auto average_entropy = [](int depth) {
+        Rng rng(17);
+        double total = 0.0;
+        const int samples = 5;
+        for (int s = 0; s < samples; ++s) {
+            Circuit c(6);
+            for (int layer = 0; layer < depth; ++layer) {
+                for (int q = 0; q < 6; ++q)
+                    c.ry(q, rng.uniform(0.0, 2.0 * M_PI));
+                for (int q = layer % 2; q + 1 < 6; q += 2)
+                    c.cx(q, q + 1);
+            }
+            total += entanglementEntropy(runCircuit(c));
+        }
+        return total / samples;
+    };
+    EXPECT_GT(average_entropy(6), average_entropy(1));
+}
+
+TEST(Entropy, RejectsBadSubsystem)
+{
+    const StateVector state = runCircuit(Circuit(3));
+    EXPECT_THROW(entanglementEntropy(state, 0), std::invalid_argument);
+    EXPECT_THROW(entanglementEntropy(state, 3), std::invalid_argument);
+}
+
+} // namespace

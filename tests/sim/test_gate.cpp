@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for gate definitions: unitarity, inverses, matrices.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/gate.hpp"
+
+namespace {
+
+using namespace hammer::sim;
+
+/** || M M^dagger - I ||_max for a 2x2 matrix. */
+double
+unitarityDefect(const Mat2 &m)
+{
+    // Rows of M.
+    const Amp r0[2] = {m[0], m[1]};
+    const Amp r1[2] = {m[2], m[3]};
+    Amp prod[4];
+    prod[0] = r0[0] * std::conj(r0[0]) + r0[1] * std::conj(r0[1]);
+    prod[1] = r0[0] * std::conj(r1[0]) + r0[1] * std::conj(r1[1]);
+    prod[2] = r1[0] * std::conj(r0[0]) + r1[1] * std::conj(r0[1]);
+    prod[3] = r1[0] * std::conj(r1[0]) + r1[1] * std::conj(r1[1]);
+    double defect = 0.0;
+    defect = std::max(defect, std::abs(prod[0] - Amp(1.0)));
+    defect = std::max(defect, std::abs(prod[1]));
+    defect = std::max(defect, std::abs(prod[2]));
+    defect = std::max(defect, std::abs(prod[3] - Amp(1.0)));
+    return defect;
+}
+
+TEST(Gate, SingleQubitMatricesAreUnitary)
+{
+    const GateKind fixed[] = {GateKind::H, GateKind::X, GateKind::Y,
+                              GateKind::Z, GateKind::S, GateKind::Sdg,
+                              GateKind::T, GateKind::Tdg};
+    for (GateKind kind : fixed) {
+        EXPECT_LT(unitarityDefect(gateMatrix(kind)), 1e-12)
+            << gateName(kind);
+    }
+    for (double theta : {0.1, 0.7, 2.3, -1.1}) {
+        EXPECT_LT(unitarityDefect(gateMatrix(GateKind::Rx, theta)), 1e-12);
+        EXPECT_LT(unitarityDefect(gateMatrix(GateKind::Ry, theta)), 1e-12);
+        EXPECT_LT(unitarityDefect(gateMatrix(GateKind::Rz, theta)), 1e-12);
+    }
+}
+
+TEST(Gate, HadamardSquaredIsIdentity)
+{
+    const Mat2 h = gateMatrix(GateKind::H);
+    const Amp top_left = h[0] * h[0] + h[1] * h[2];
+    const Amp off = h[0] * h[1] + h[1] * h[3];
+    EXPECT_NEAR(std::abs(top_left - Amp(1.0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(off), 0.0, 1e-12);
+}
+
+TEST(Gate, TwoQubitKindClassification)
+{
+    EXPECT_TRUE(isTwoQubitKind(GateKind::CX));
+    EXPECT_TRUE(isTwoQubitKind(GateKind::CZ));
+    EXPECT_TRUE(isTwoQubitKind(GateKind::Swap));
+    EXPECT_FALSE(isTwoQubitKind(GateKind::H));
+    EXPECT_FALSE(isTwoQubitKind(GateKind::Rz));
+}
+
+TEST(Gate, InverseOfSelfInverseGates)
+{
+    for (GateKind kind : {GateKind::H, GateKind::X, GateKind::CX,
+                          GateKind::CZ, GateKind::Swap}) {
+        Gate g{kind, 0, isTwoQubitKind(kind) ? 1 : -1};
+        EXPECT_EQ(g.inverse().kind, kind);
+    }
+}
+
+TEST(Gate, InverseOfPhaseGates)
+{
+    const Gate s{GateKind::S, 0};
+    const Gate sdg{GateKind::Sdg, 0};
+    const Gate t{GateKind::T, 0};
+    const Gate tdg{GateKind::Tdg, 0};
+    EXPECT_EQ(s.inverse().kind, GateKind::Sdg);
+    EXPECT_EQ(sdg.inverse().kind, GateKind::S);
+    EXPECT_EQ(t.inverse().kind, GateKind::Tdg);
+    EXPECT_EQ(tdg.inverse().kind, GateKind::T);
+}
+
+TEST(Gate, InverseOfRotationNegatesAngle)
+{
+    const Gate g{GateKind::Rx, 2, -1, 0.8};
+    const Gate inv = g.inverse();
+    EXPECT_EQ(inv.kind, GateKind::Rx);
+    EXPECT_DOUBLE_EQ(inv.theta, -0.8);
+    EXPECT_EQ(inv.q0, 2);
+}
+
+TEST(Gate, RotationInverseComposesToIdentity)
+{
+    for (GateKind kind : {GateKind::Rx, GateKind::Ry, GateKind::Rz}) {
+        const double theta = 1.234;
+        const Mat2 m = gateMatrix(kind, theta);
+        const Mat2 mi = gateMatrix(kind, -theta);
+        // m * mi should be the identity.
+        const Amp a = m[0] * mi[0] + m[1] * mi[2];
+        const Amp b = m[0] * mi[1] + m[1] * mi[3];
+        const Amp c = m[2] * mi[0] + m[3] * mi[2];
+        const Amp d = m[2] * mi[1] + m[3] * mi[3];
+        EXPECT_NEAR(std::abs(a - Amp(1.0)), 0.0, 1e-12);
+        EXPECT_NEAR(std::abs(b), 0.0, 1e-12);
+        EXPECT_NEAR(std::abs(c), 0.0, 1e-12);
+        EXPECT_NEAR(std::abs(d - Amp(1.0)), 0.0, 1e-12);
+    }
+}
+
+TEST(Gate, ToStringFormats)
+{
+    EXPECT_EQ((Gate{GateKind::H, 3}).toString(), "h q3");
+    EXPECT_EQ((Gate{GateKind::CX, 0, 2}).toString(), "cx q0, q2");
+    const std::string rz = Gate{GateKind::Rz, 1, -1, 0.5}.toString();
+    EXPECT_NE(rz.find("rz(0.5)"), std::string::npos);
+}
+
+TEST(Gate, GateMatrixRejectsTwoQubitKinds)
+{
+    EXPECT_DEATH(gateMatrix(GateKind::CX), "");
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the Jacobi eigensolvers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/linalg.hpp"
+
+namespace {
+
+using namespace hammer::sim::linalg;
+using Complex = std::complex<double>;
+
+TEST(Linalg, DiagonalMatrixEigenvalues)
+{
+    RealMatrix m(3);
+    m.at(0, 0) = 3.0;
+    m.at(1, 1) = -1.0;
+    m.at(2, 2) = 2.0;
+    const auto eig = symmetricEigenvalues(m);
+    ASSERT_EQ(eig.size(), 3u);
+    EXPECT_NEAR(eig[0], -1.0, 1e-10);
+    EXPECT_NEAR(eig[1], 2.0, 1e-10);
+    EXPECT_NEAR(eig[2], 3.0, 1e-10);
+}
+
+TEST(Linalg, TwoByTwoSymmetricKnownSpectrum)
+{
+    // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+    RealMatrix m(2);
+    m.at(0, 0) = 2.0;
+    m.at(0, 1) = 1.0;
+    m.at(1, 1) = 2.0;
+    const auto eig = symmetricEigenvalues(m);
+    EXPECT_NEAR(eig[0], 1.0, 1e-10);
+    EXPECT_NEAR(eig[1], 3.0, 1e-10);
+}
+
+TEST(Linalg, TraceAndSumOfEigenvaluesAgree)
+{
+    RealMatrix m(4);
+    // Symmetric matrix with deterministic pseudo-random entries.
+    unsigned state = 12345;
+    auto next = [&state]() {
+        state = state * 1103515245u + 12345u;
+        return ((state >> 16) % 1000) / 500.0 - 1.0;
+    };
+    double trace = 0.0;
+    for (int r = 0; r < 4; ++r) {
+        for (int c = r; c < 4; ++c) {
+            const double v = next();
+            m.at(r, c) = v;
+            if (r == c)
+                trace += v;
+        }
+    }
+    const auto eig = symmetricEigenvalues(m);
+    double sum = 0.0;
+    for (double e : eig)
+        sum += e;
+    EXPECT_NEAR(sum, trace, 1e-8);
+}
+
+TEST(Linalg, HermitianPauliYSpectrum)
+{
+    // sigma_y = [[0, -i], [i, 0]] has eigenvalues -1 and +1.
+    const std::vector<Complex> h{
+        Complex(0, 0), Complex(0, -1),
+        Complex(0, 1), Complex(0, 0)};
+    const auto eig = hermitianEigenvalues(h, 2);
+    ASSERT_EQ(eig.size(), 2u);
+    EXPECT_NEAR(eig[0], -1.0, 1e-10);
+    EXPECT_NEAR(eig[1], 1.0, 1e-10);
+}
+
+TEST(Linalg, HermitianRankOneProjector)
+{
+    // |psi><psi| with |psi> = (1, i)/sqrt(2): eigenvalues {0, 1}.
+    const Complex a(1.0 / std::sqrt(2.0), 0.0);
+    const Complex b(0.0, 1.0 / std::sqrt(2.0));
+    const std::vector<Complex> h{
+        a * std::conj(a), a * std::conj(b),
+        b * std::conj(a), b * std::conj(b)};
+    const auto eig = hermitianEigenvalues(h, 2);
+    EXPECT_NEAR(eig[0], 0.0, 1e-10);
+    EXPECT_NEAR(eig[1], 1.0, 1e-10);
+}
+
+TEST(Linalg, HermitianIdentityAllOnes)
+{
+    const int n = 5;
+    std::vector<Complex> h(static_cast<std::size_t>(n * n),
+                           Complex(0.0));
+    for (int i = 0; i < n; ++i)
+        h[static_cast<std::size_t>(i * n + i)] = Complex(1.0);
+    for (double e : hermitianEigenvalues(h, n))
+        EXPECT_NEAR(e, 1.0, 1e-10);
+}
+
+TEST(Linalg, RejectsBadInput)
+{
+    EXPECT_THROW(RealMatrix(0), std::invalid_argument);
+    EXPECT_THROW(hermitianEigenvalues({Complex(1.0)}, 2),
+                 std::invalid_argument);
+}
+
+} // namespace

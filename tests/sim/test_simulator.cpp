@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit and property tests for the circuit executor: known-state
+ * checks plus the mirror property (C then C^-1 returns to |0...0>)
+ * over random circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::common::Rng;
+using namespace hammer::sim;
+
+TEST(Simulator, EmptyCircuitLeavesGroundState)
+{
+    const StateVector state = runCircuit(Circuit(4));
+    EXPECT_DOUBLE_EQ(state.probability(0), 1.0);
+}
+
+TEST(Simulator, XChainPreparesBasisState)
+{
+    Circuit c(4);
+    c.x(0).x(2);
+    const StateVector state = runCircuit(c);
+    EXPECT_DOUBLE_EQ(state.probability(0b0101), 1.0);
+}
+
+TEST(Simulator, IdealProbabilitiesMatchStateVector)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).rx(2, 0.9);
+    const auto probs = idealProbabilities(c);
+    const StateVector state = runCircuit(c);
+    ASSERT_EQ(probs.size(), 8u);
+    for (Bits x = 0; x < 8; ++x)
+        EXPECT_NEAR(probs[x], state.probability(x), 1e-12);
+}
+
+TEST(Simulator, GateOrderMatters)
+{
+    Circuit xh(1), hx(1);
+    xh.x(0).h(0);
+    hx.h(0).x(0);
+    const StateVector a = runCircuit(xh);
+    const StateVector b = runCircuit(hx);
+    // |-> vs |+>: probabilities equal, amplitudes differ in sign.
+    EXPECT_NEAR(a.probability(0), b.probability(0), 1e-12);
+    EXPECT_GT(std::abs(a.amplitude(1) - b.amplitude(1)), 0.5);
+}
+
+TEST(Simulator, RotationAnglePeriodicity)
+{
+    // Rx(2 pi) = -I: probabilities identical to the identity.
+    Circuit c(1);
+    c.rx(0, 2.0 * M_PI);
+    const StateVector state = runCircuit(c);
+    EXPECT_NEAR(state.probability(0), 1.0, 1e-12);
+}
+
+class MirrorProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MirrorProperty, CircuitTimesInverseIsIdentity)
+{
+    // Random circuit followed by its inverse returns to |0...0> —
+    // exercises every gate kind's inverse and the executor.
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const int n = 2 + GetParam() % 5;
+    Circuit c(n);
+    const GateKind one_q[] = {GateKind::H, GateKind::X, GateKind::Y,
+                              GateKind::Z, GateKind::S, GateKind::Sdg,
+                              GateKind::T, GateKind::Tdg, GateKind::Rx,
+                              GateKind::Ry, GateKind::Rz};
+    for (int step = 0; step < 30; ++step) {
+        if (n >= 2 && rng.bernoulli(0.4)) {
+            const int a = static_cast<int>(rng.uniformInt(n));
+            int b = static_cast<int>(rng.uniformInt(n));
+            while (b == a)
+                b = static_cast<int>(rng.uniformInt(n));
+            switch (rng.uniformInt(3)) {
+              case 0: c.cx(a, b); break;
+              case 1: c.cz(a, b); break;
+              default: c.swap(a, b); break;
+            }
+        } else {
+            const auto kind = one_q[rng.uniformInt(11)];
+            c.append({kind, static_cast<int>(rng.uniformInt(n)), -1,
+                      rng.uniform(0.0, 2.0 * M_PI)});
+        }
+    }
+    c.appendCircuit(c.inverse());
+    const StateVector state = runCircuit(c);
+    EXPECT_NEAR(state.probability(0), 1.0, 1e-9)
+        << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MirrorProperty,
+                         ::testing::Range(1, 17));
+
+class NormPreservation : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NormPreservation, RandomCircuitKeepsUnitNorm)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+    const int n = 3 + GetParam() % 4;
+    Circuit c(n);
+    for (int step = 0; step < 40; ++step) {
+        if (rng.bernoulli(0.3)) {
+            const int a = static_cast<int>(rng.uniformInt(n));
+            int b = static_cast<int>(rng.uniformInt(n));
+            while (b == a)
+                b = static_cast<int>(rng.uniformInt(n));
+            c.cx(a, b);
+        } else {
+            c.ry(static_cast<int>(rng.uniformInt(n)),
+                 rng.uniform(0.0, 2.0 * M_PI));
+        }
+    }
+    EXPECT_NEAR(runCircuit(c).normSquared(), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormPreservation,
+                         ::testing::Range(1, 9));
+
+} // namespace

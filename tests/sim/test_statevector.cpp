@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests for the state-vector backend: gate semantics on known
+ * states, norm preservation, sampling statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::common::Rng;
+using namespace hammer::sim;
+
+TEST(StateVector, StartsInAllZero)
+{
+    StateVector sv(3);
+    EXPECT_EQ(sv.dimension(), 8u);
+    EXPECT_DOUBLE_EQ(sv.probability(0), 1.0);
+    EXPECT_DOUBLE_EQ(sv.probability(5), 0.0);
+}
+
+TEST(StateVector, XFlipsQubit)
+{
+    StateVector sv(2);
+    sv.apply1q(gateMatrix(GateKind::X), 0);
+    EXPECT_DOUBLE_EQ(sv.probability(0b01), 1.0);
+    sv.apply1q(gateMatrix(GateKind::X), 1);
+    EXPECT_DOUBLE_EQ(sv.probability(0b11), 1.0);
+}
+
+TEST(StateVector, HadamardCreatesEqualSuperposition)
+{
+    StateVector sv(1);
+    sv.apply1q(gateMatrix(GateKind::H), 0);
+    EXPECT_NEAR(sv.probability(0), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probability(1), 0.5, 1e-12);
+}
+
+TEST(StateVector, CXActsOnlyWhenControlSet)
+{
+    StateVector sv(2);
+    sv.applyCX(0, 1);
+    EXPECT_DOUBLE_EQ(sv.probability(0b00), 1.0) << "control 0: no-op";
+
+    sv.apply1q(gateMatrix(GateKind::X), 0);
+    sv.applyCX(0, 1);
+    EXPECT_DOUBLE_EQ(sv.probability(0b11), 1.0) << "control 1: flips";
+}
+
+TEST(StateVector, BellStateViaHAndCX)
+{
+    StateVector sv(2);
+    sv.apply1q(gateMatrix(GateKind::H), 0);
+    sv.applyCX(0, 1);
+    EXPECT_NEAR(sv.probability(0b00), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probability(0b11), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probability(0b01), 0.0, 1e-12);
+    EXPECT_NEAR(sv.probability(0b10), 0.0, 1e-12);
+}
+
+TEST(StateVector, CZAddsPhaseOnlyOn11)
+{
+    StateVector sv(2);
+    sv.apply1q(gateMatrix(GateKind::H), 0);
+    sv.apply1q(gateMatrix(GateKind::H), 1);
+    sv.applyCZ(0, 1);
+    EXPECT_NEAR(sv.amplitude(0b11).real(), -0.5, 1e-12);
+    EXPECT_NEAR(sv.amplitude(0b00).real(), 0.5, 1e-12);
+    // Probabilities are untouched by the phase.
+    for (Bits x = 0; x < 4; ++x)
+        EXPECT_NEAR(sv.probability(x), 0.25, 1e-12);
+}
+
+TEST(StateVector, CZSymmetricInArguments)
+{
+    StateVector a(2), b(2);
+    for (auto *sv : {&a, &b}) {
+        sv->apply1q(gateMatrix(GateKind::H), 0);
+        sv->apply1q(gateMatrix(GateKind::H), 1);
+    }
+    a.applyCZ(0, 1);
+    b.applyCZ(1, 0);
+    for (Bits x = 0; x < 4; ++x) {
+        EXPECT_NEAR(std::abs(a.amplitude(x) - b.amplitude(x)), 0.0,
+                    1e-12);
+    }
+}
+
+TEST(StateVector, SwapExchangesQubits)
+{
+    StateVector sv(2);
+    sv.apply1q(gateMatrix(GateKind::X), 0); // |01>
+    sv.applySwap(0, 1);
+    EXPECT_DOUBLE_EQ(sv.probability(0b10), 1.0);
+}
+
+TEST(StateVector, SwapEqualsThreeCX)
+{
+    Rng rng(5);
+    StateVector a(3), b(3);
+    // Prepare an arbitrary product state on both.
+    for (auto *sv : {&a, &b}) {
+        sv->apply1q(gateMatrix(GateKind::Rx, 0.7), 0);
+        sv->apply1q(gateMatrix(GateKind::Ry, 1.3), 1);
+        sv->apply1q(gateMatrix(GateKind::Rz, 0.4), 2);
+        sv->apply1q(gateMatrix(GateKind::H), 2);
+    }
+    a.applySwap(0, 2);
+    b.applyCX(0, 2);
+    b.applyCX(2, 0);
+    b.applyCX(0, 2);
+    for (Bits x = 0; x < 8; ++x)
+        EXPECT_NEAR(std::abs(a.amplitude(x) - b.amplitude(x)), 0.0,
+                    1e-12);
+}
+
+TEST(StateVector, UnitaryEvolutionPreservesNorm)
+{
+    StateVector sv(4);
+    sv.apply1q(gateMatrix(GateKind::H), 0);
+    sv.apply1q(gateMatrix(GateKind::Rx, 0.7), 1);
+    sv.applyCX(0, 2);
+    sv.applyCZ(1, 3);
+    sv.apply1q(gateMatrix(GateKind::T), 2);
+    sv.applySwap(0, 3);
+    EXPECT_NEAR(sv.normSquared(), 1.0, 1e-12);
+}
+
+TEST(StateVector, ProbabilitiesSumToOne)
+{
+    StateVector sv(5);
+    for (int q = 0; q < 5; ++q)
+        sv.apply1q(gateMatrix(GateKind::H), q);
+    const auto probs = sv.probabilities();
+    double total = 0.0;
+    for (double p : probs)
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_EQ(probs.size(), 32u);
+}
+
+TEST(StateVector, ApplyGateDispatch)
+{
+    StateVector a(2), b(2);
+    a.applyGate({GateKind::H, 0});
+    a.applyGate({GateKind::CX, 0, 1});
+    b.apply1q(gateMatrix(GateKind::H), 0);
+    b.applyCX(0, 1);
+    for (Bits x = 0; x < 4; ++x)
+        EXPECT_NEAR(std::abs(a.amplitude(x) - b.amplitude(x)), 0.0,
+                    1e-12);
+}
+
+TEST(StateVector, SampleOutcomeFollowsDistribution)
+{
+    StateVector sv(1);
+    sv.apply1q(gateMatrix(GateKind::Ry, 2.0 * std::acos(std::sqrt(0.8))),
+               0);
+    // P(0) should be ~0.8.
+    Rng rng(11);
+    int zeros = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        if (sv.sampleOutcome(rng) == 0)
+            ++zeros;
+    }
+    EXPECT_NEAR(zeros / static_cast<double>(trials), 0.8, 0.02);
+}
+
+TEST(StateVector, SampleShotsMatchesSampleOutcomeStatistics)
+{
+    StateVector sv(2);
+    sv.apply1q(gateMatrix(GateKind::H), 0);
+    sv.applyCX(0, 1);
+    Rng rng(13);
+    const auto shots = sv.sampleShots(rng, 10000);
+    std::map<Bits, int> counts;
+    for (Bits s : shots)
+        ++counts[s];
+    EXPECT_EQ(counts.count(0b01) + counts.count(0b10), 0u)
+        << "Bell state should only produce 00 and 11";
+    EXPECT_NEAR(counts[0b00] / 10000.0, 0.5, 0.03);
+    EXPECT_NEAR(counts[0b11] / 10000.0, 0.5, 0.03);
+}
+
+TEST(StateVector, NormalizeRestoresUnitNorm)
+{
+    StateVector sv(1);
+    sv.setAmplitude(0, {3.0, 0.0});
+    sv.setAmplitude(1, {4.0, 0.0});
+    sv.normalize();
+    EXPECT_NEAR(sv.normSquared(), 1.0, 1e-12);
+    EXPECT_NEAR(sv.probability(0), 9.0 / 25.0, 1e-12);
+}
+
+TEST(StateVector, RejectsBadArguments)
+{
+    StateVector sv(2);
+    EXPECT_THROW(sv.apply1q(gateMatrix(GateKind::H), 2),
+                 std::invalid_argument);
+    EXPECT_THROW(sv.applyCX(0, 0), std::invalid_argument);
+    EXPECT_THROW(sv.probability(4), std::invalid_argument);
+    EXPECT_THROW(StateVector(0), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * hammer_cli — apply Hamming Reconstruction to a histogram file.
+ *
+ * Usage:
+ *   hammer_cli [options] < input.csv > output.csv
+ *
+ * Input/output format: CSV lines `bitstring,count-or-probability`
+ * (the format core/io.hpp reads and writes).  This is the adoption
+ * path for users whose measurement data comes from real hardware or
+ * another stack: no linking against the library required.
+ *
+ * Options:
+ *   --radius <d>       neighbourhood bound (default: floor((n-1)/2))
+ *   --no-filter        disable the lower-probability filter pi
+ *   --weights <w>      inverse-chs | uniform | inverse-binomial
+ *   --additive         additive score combination (default:
+ *                      multiplicative)
+ *   --iterations <k>   apply the reconstruction k times (default 1)
+ *   --fast             use the popcount-pruned implementation
+ *   --top <k>          print only the k most probable outcomes
+ *   --stats            print reconstruction statistics to stderr
+ *   --help             this text
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/hammer.hpp"
+#include "core/io.hpp"
+
+namespace {
+
+[[noreturn]] void
+usage(int exit_code)
+{
+    std::fprintf(
+        exit_code == 0 ? stdout : stderr,
+        "usage: hammer_cli [options] < histogram.csv > out.csv\n"
+        "  --radius <d>      neighbourhood bound "
+        "(default floor((n-1)/2))\n"
+        "  --no-filter       disable the lower-probability filter\n"
+        "  --weights <w>     inverse-chs | uniform | "
+        "inverse-binomial\n"
+        "  --additive        additive score combination\n"
+        "  --iterations <k>  apply reconstruction k times\n"
+        "  --fast            popcount-pruned implementation\n"
+        "  --top <k>         emit only the k most probable outcomes\n"
+        "  --stats           reconstruction statistics on stderr\n");
+    std::exit(exit_code);
+}
+
+int
+parsePositiveInt(const char *text, const char *flag)
+{
+    char *end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || value <= 0) {
+        std::fprintf(stderr, "hammer_cli: bad value for %s: '%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return static_cast<int>(value);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hammer;
+
+    core::HammerConfig config;
+    bool fast = false;
+    bool print_stats = false;
+    int iterations = 1;
+    int top = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "hammer_cli: %s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (arg == "--radius") {
+            config.maxDistance =
+                parsePositiveInt(next_value("--radius"), "--radius");
+        } else if (arg == "--no-filter") {
+            config.filterLowerProbability = false;
+        } else if (arg == "--weights") {
+            const std::string scheme = next_value("--weights");
+            if (scheme == "inverse-chs") {
+                config.weightScheme = core::WeightScheme::InverseChs;
+            } else if (scheme == "uniform") {
+                config.weightScheme = core::WeightScheme::Uniform;
+            } else if (scheme == "inverse-binomial") {
+                config.weightScheme =
+                    core::WeightScheme::InverseBinomial;
+            } else {
+                std::fprintf(stderr,
+                             "hammer_cli: unknown weight scheme "
+                             "'%s'\n", scheme.c_str());
+                return 2;
+            }
+        } else if (arg == "--additive") {
+            config.scoreCombine = core::ScoreCombine::Additive;
+        } else if (arg == "--iterations") {
+            iterations = parsePositiveInt(
+                next_value("--iterations"), "--iterations");
+        } else if (arg == "--fast") {
+            fast = true;
+        } else if (arg == "--top") {
+            top = parsePositiveInt(next_value("--top"), "--top");
+        } else if (arg == "--stats") {
+            print_stats = true;
+        } else {
+            std::fprintf(stderr, "hammer_cli: unknown option '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+
+    try {
+        core::Distribution dist =
+            core::readDistributionCsv(std::cin);
+
+        core::HammerStats stats;
+        for (int pass = 0; pass < iterations; ++pass) {
+            dist = fast ? core::reconstructFast(dist, config, &stats)
+                        : core::reconstruct(dist, config, &stats);
+        }
+
+        if (print_stats) {
+            std::fprintf(stderr,
+                         "unique outcomes : %zu\n"
+                         "max distance    : %d\n"
+                         "pair operations : %llu (per pass)\n",
+                         stats.uniqueOutcomes, stats.maxDistance,
+                         static_cast<unsigned long long>(
+                             stats.pairOperations));
+        }
+
+        if (top > 0) {
+            core::Distribution truncated(dist.numBits());
+            int emitted = 0;
+            for (const auto &e : dist.sortedByProbability()) {
+                if (emitted++ >= top)
+                    break;
+                truncated.set(e.outcome, e.probability);
+            }
+            core::writeDistributionCsv(std::cout, truncated);
+        } else {
+            core::writeDistributionCsv(std::cout, dist);
+        }
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "hammer_cli: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}
