@@ -37,8 +37,9 @@ main()
     // Pre-sample the noisy distributions once; every variant
     // post-processes the same inputs.
     const auto workload = bench::makeBvWorkload(
-        {6, 8, 10, 12, 14}, 6, {"machineA", "machineB", "machineC"},
-        rng);
+        bench::smokeSizes({6, 8, 10, 12, 14}),
+        bench::smokeCount(6, 2),
+        {"machineA", "machineB", "machineC"}, rng);
     std::vector<core::Distribution> noisy;
     std::vector<common::Bits> keys;
     for (const auto &instance : workload) {
@@ -46,7 +47,8 @@ main()
             noise::machinePreset(instance.machine).scaled(2.0);
         auto shot_rng = rng.split();
         noisy.push_back(bench::sampleNoisy(
-            instance.routed, instance.keyBits, model, 8192, shot_rng));
+            instance.routed, instance.keyBits, model,
+            bench::smokeShots(8192), shot_rng));
         keys.push_back(instance.key);
     }
 

@@ -28,7 +28,8 @@ main()
 
     common::Rng rng(0xAB1B);
     const auto workload = bench::makeBvWorkload(
-        {6, 8, 10, 12}, 8, {"machineC"}, rng);
+        bench::smokeSizes({6, 8, 10, 12}), bench::smokeCount(8, 2),
+        {"machineC"}, rng);
 
     std::vector<double> pst_raw, pst_ro, pst_ham, pst_ro_ham;
     std::vector<double> pst_edm, pst_edm_ham;
@@ -38,7 +39,8 @@ main()
         noise::ChannelSampler sampler(model);
         auto shot_rng = rng.split();
         const auto noisy = sampler.sample(
-            instance.routed, instance.keyBits, 8192, shot_rng);
+            instance.routed, instance.keyBits,
+            bench::smokeShots(8192), shot_rng);
 
         const auto ro = mitigation::mitigateReadout(noisy, model);
         const auto ham = core::reconstruct(noisy);
@@ -51,8 +53,8 @@ main()
             instance.keyBits + 1);
         auto edm_rng = rng.split();
         const auto edm = mitigation::ensembleSample(
-            circuit, coupling, instance.keyBits, sampler, 8192,
-            edm_rng, {3});
+            circuit, coupling, instance.keyBits, sampler,
+            bench::smokeShots(8192), edm_rng, {3});
         const auto edm_ham = core::reconstruct(edm);
 
         pst_raw.push_back(metrics::pst(noisy, {instance.key}));

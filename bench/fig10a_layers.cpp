@@ -28,9 +28,9 @@ main()
     // Noise high enough that depth hurts; this is the regime where
     // the paper's baseline peaks early.
     const auto model = noise::machinePreset("sycamore").scaled(1.5);
-    const std::vector<std::pair<int, int>> shapes{
-        {2, 3}, {2, 4}, {3, 3}, {2, 5}, {3, 4}, {2, 7}, {4, 4},
-        {3, 6}, {4, 5}};
+    const std::vector<std::pair<int, int>> shapes =
+        bench::smokeShapes({{2, 3}, {2, 4}, {3, 3}, {2, 5}, {3, 4},
+                            {2, 7}, {4, 4}, {3, 6}, {4, 5}});
 
     common::Table table({"p", "CR_noiseless", "CR_baseline",
                          "CR_hammer"});
@@ -51,8 +51,8 @@ main()
 
             auto shot_rng = rng.split();
             const auto noisy = bench::sampleNoisy(
-                instance.routed, g.numVertices(), model, 8192,
-                shot_rng);
+                instance.routed, g.numVertices(), model,
+                bench::smokeShots(8192), shot_rng);
             baseline.push_back(
                 qaoa::costRatio(noisy, g, instance.minCost));
             hammered.push_back(qaoa::costRatio(

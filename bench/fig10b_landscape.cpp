@@ -39,12 +39,13 @@ main()
                     circuits::CouplingMap::line(g.numVertices()));
                 auto shot_rng = rng.split();
                 auto dist = bench::sampleNoisy(
-                    routed, g.numVertices(), model, 4096, shot_rng);
+                    routed, g.numVertices(), model,
+                    bench::smokeShots(4096), shot_rng);
                 return use_hammer ? core::reconstruct(dist) : dist;
             });
     };
 
-    const int grid_points = 7;
+    const int grid_points = bench::smokeCount(7, 3);
     const auto baseline = qaoa::sweepLandscape(
         g, producer(false), grid_points, -0.8, 0.8, grid_points, -1.6,
         0.0);

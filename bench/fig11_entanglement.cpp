@@ -22,6 +22,7 @@
 #include "noise/trajectory_sampler.hpp"
 #include "sim/entropy.hpp"
 #include "sim/simulator.hpp"
+#include "support/workloads.hpp"
 
 namespace {
 
@@ -40,8 +41,9 @@ runEntropyFamily(const char *title, int depth, int circuits_count,
 {
     const int n = 10;
     noise::TrajectorySampler sampler(
-        noise::machinePreset("machineB"), 60);
+        noise::machinePreset("machineB"), bench::smokeCount(60, 10));
 
+    circuits_count = bench::smokeCount(circuits_count, 4);
     std::vector<double> entropies, ehds;
     for (int i = 0; i < circuits_count; ++i) {
         const double angle_scale = rng.uniform(0.02, 1.0);
@@ -51,8 +53,9 @@ runEntropyFamily(const char *title, int depth, int circuits_count,
             sim::runCircuit(mirror.firstHalf)));
 
         auto shot_rng = rng.split();
-        const auto dist = sampler.sample(
-            circuits::trivialRouting(mirror.full), n, 3000, shot_rng);
+        const auto dist = sampler.sampleBatch(
+            circuits::trivialRouting(mirror.full), n,
+            bench::smokeShots(3000), shot_rng);
         ehds.push_back(core::expectedHammingDistance(dist, {0}));
     }
 
@@ -80,16 +83,18 @@ runFidelityFamily(const char *title, int depth, int circuits_count,
 {
     const int n = 10;
     noise::TrajectorySampler sampler(
-        noise::machinePreset("machineB"), 60);
+        noise::machinePreset("machineB"), bench::smokeCount(60, 10));
 
+    circuits_count = bench::smokeCount(circuits_count, 4);
     std::vector<double> fidelities, ehds;
     for (int i = 0; i < circuits_count; ++i) {
         const double density = rng.uniform(0.05, 0.95);
         const auto mirror = circuits::randomMirrorCircuit(
             n, depth, density, rng);
         auto shot_rng = rng.split();
-        const auto dist = sampler.sample(
-            circuits::trivialRouting(mirror.full), n, 3000, shot_rng);
+        const auto dist = sampler.sampleBatch(
+            circuits::trivialRouting(mirror.full), n,
+            bench::smokeShots(3000), shot_rng);
         fidelities.push_back(dist.probability(0));
         ehds.push_back(core::expectedHammingDistance(dist, {0}));
     }

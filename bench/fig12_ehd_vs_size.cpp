@@ -27,7 +27,8 @@ bvEhd(int n, const noise::NoiseModel &model, common::Rng &rng)
     const auto instance = bench::makeBvInstance(n, key, "machineA");
     auto shot_rng = rng.split();
     const auto dist = bench::sampleNoisy(instance.routed, n, model,
-                                         4096, shot_rng);
+                                         bench::smokeShots(4096),
+                                         shot_rng);
     return core::expectedHammingDistance(dist, {key});
 }
 
@@ -41,7 +42,8 @@ qaoaEhd(int n, int p, const noise::NoiseModel &model, common::Rng &rng)
                                                       0, "3reg");
         auto shot_rng = rng.split();
         const auto dist = bench::sampleNoisy(
-            instance.routed, n, model, 4096, shot_rng);
+            instance.routed, n, model, bench::smokeShots(4096),
+            shot_rng);
         ehds.push_back(core::expectedHammingDistance(
             dist, instance.bestCuts));
     }
@@ -60,7 +62,7 @@ main()
     const auto ibm = noise::machinePreset("machineA");
     common::Table a({"qubits", "EHD_BV(111..1)", "EHD_QAOA_p2",
                      "EHD_QAOA_p4", "uniform"});
-    for (int n : {6, 8, 10, 12, 14, 16, 18, 20}) {
+    for (int n : bench::smokeSizes({6, 8, 10, 12, 14, 16, 18, 20})) {
         a.addRow({common::Table::fmt(static_cast<long long>(n)),
                   common::Table::fmt(bvEhd(n, ibm, rng), 3),
                   common::Table::fmt(qaoaEhd(n, 2, ibm, rng), 3),
@@ -73,16 +75,17 @@ main()
     const auto google = noise::machinePreset("sycamore");
     common::Table b({"qubits", "EHD_3Reg_p3", "EHD_Grid_p4",
                      "uniform"});
-    const std::vector<std::pair<int, int>> shapes{
-        {2, 2}, {2, 3}, {2, 4}, {2, 5}, {3, 4}, {2, 7}, {4, 4},
-        {3, 6}, {4, 5}};
+    const std::vector<std::pair<int, int>> shapes =
+        bench::smokeShapes({{2, 2}, {2, 3}, {2, 4}, {2, 5}, {3, 4},
+                            {2, 7}, {4, 4}, {3, 6}, {4, 5}});
     for (const auto &[rows, cols] : shapes) {
         const int n = rows * cols;
         const auto grid_instance = bench::makeQaoaInstance(
             graph::grid(rows, cols), 4, true, rows, cols, "grid");
         auto shot_rng = rng.split();
         const auto grid_dist = bench::sampleNoisy(
-            grid_instance.routed, n, google, 4096, shot_rng);
+            grid_instance.routed, n, google,
+            bench::smokeShots(4096), shot_rng);
         const double grid_ehd = core::expectedHammingDistance(
             grid_dist, grid_instance.bestCuts);
         const double reg_ehd =

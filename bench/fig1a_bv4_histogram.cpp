@@ -28,7 +28,7 @@ main()
     const auto model =
         noise::machinePreset(instance.machine).scaled(2.5);
     const auto dist = bench::sampleNoisy(instance.routed, 4, model,
-                                         8192, rng);
+                                         bench::smokeShots(8192), rng);
 
     common::Table table({"outcome", "probability", "hamming_d(key)"});
     for (const auto &entry : dist.sortedByProbability()) {

@@ -25,14 +25,15 @@ main()
 
     common::Table table({"qubits", "EHD_qaoa_p2", "EHD_uniform"});
     bool structure_everywhere = true;
-    for (int n : {6, 8, 10, 12, 14, 16, 18, 20}) {
+    for (int n : bench::smokeSizes({6, 8, 10, 12, 14, 16, 18, 20})) {
         std::vector<double> ehds;
-        for (int i = 0; i < 3; ++i) {
+        for (int i = 0; i < bench::smokeCount(3); ++i) {
             const auto g = graph::kRegular(n, 3, rng);
             const auto instance =
                 bench::makeQaoaInstance(g, 2, false, 0, 0, "3reg");
             const auto dist = bench::sampleNoisy(
-                instance.routed, n, model, 4096, rng);
+                instance.routed, n, model, bench::smokeShots(4096),
+                rng);
             ehds.push_back(core::expectedHammingDistance(
                 dist, instance.bestCuts));
         }

@@ -30,8 +30,8 @@ main()
     common::Rng rng(0xF192);
     const auto bv = bench::makeBvInstance(3, 0b111, "machineB");
     const auto model = noise::machinePreset("machineB").scaled(6.0);
-    const auto noisy = bench::sampleNoisy(bv.routed, 3, model, 8192,
-                                          rng);
+    const auto noisy = bench::sampleNoisy(bv.routed, 3, model,
+                                          bench::smokeShots(8192), rng);
 
     common::Table bv_table({"outcome", "ideal", "noisy"});
     for (common::Bits x = 0; x < 8; ++x) {
@@ -54,7 +54,7 @@ main()
         9, ideal_state.probabilities());
     const auto noisy_qaoa = bench::sampleNoisy(
         instance.routed, 9, noise::machinePreset("machineB").scaled(3.0),
-        8192, rng);
+        bench::smokeShots(8192), rng);
 
     const double e_ideal = qaoa::costExpectation(ideal, g);
     const double e_noisy = qaoa::costExpectation(noisy_qaoa, g);

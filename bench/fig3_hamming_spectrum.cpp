@@ -57,7 +57,7 @@ main()
     const auto bv = bench::makeBvInstance(8, 0b11111111, "machineB");
     const auto bv_dist = bench::sampleNoisy(
         bv.routed, 8, noise::machinePreset("machineB").scaled(2.0),
-        16384, rng);
+        bench::smokeShots(16384), rng);
     printSpectrum(bv_dist, {0b11111111});
 
     std::puts("\n== Fig 3(c): Hamming spectrum of QAOA-8 "
@@ -65,7 +65,8 @@ main()
     const auto g = graph::kRegular(8, 3, rng);
     const auto qaoa = bench::makeQaoaInstance(g, 2, false, 0, 0, "3reg");
     const auto qaoa_dist = bench::sampleNoisy(
-        qaoa.routed, 8, noise::machinePreset("machineB"), 16384, rng);
+        qaoa.routed, 8, noise::machinePreset("machineB"),
+        bench::smokeShots(16384), rng);
     std::printf("(instance has %zu optimal cuts)\n",
                 qaoa.bestCuts.size());
     printSpectrum(qaoa_dist, qaoa.bestCuts);

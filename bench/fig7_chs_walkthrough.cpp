@@ -49,7 +49,8 @@ main()
     channel.burstProbability = 0.10;
     noise::ChannelSampler sampler(
         noise::machinePreset("machineB").scaled(2.0), channel);
-    const auto dist = sampler.sample(instance.routed, 10, 16384, rng);
+    const auto dist = sampler.sample(instance.routed, 10,
+                                     bench::smokeShots(16384), rng);
 
     // Identify the most frequent incorrect outcome.
     common::Bits top_incorrect = 0;

@@ -38,7 +38,7 @@ main()
     noise::ChannelSampler example_sampler(
         noise::machinePreset("machineB").scaled(2.0), example_channel);
     const auto example_noisy = example_sampler.sample(
-        example.routed, 10, 16384, rng);
+        example.routed, 10, bench::smokeShots(16384), rng);
     const auto example_fixed = core::reconstruct(example_noisy);
     std::printf("PST baseline %.3f -> HAMMER %.3f\n",
                 metrics::pst(example_noisy, {example_key}),
@@ -49,12 +49,12 @@ main()
                 metrics::ist(example_fixed, {example_key}));
 
     std::puts("== Fig 8(b): PST/IST improvement over the BV sweep ==");
-    const std::vector<int> sizes{5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
-                                 15, 16};
+    const std::vector<int> sizes = bench::smokeSizes(
+        {5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
     const std::vector<std::string> machines{"machineA", "machineB",
                                             "machineC"};
-    const auto workload = bench::makeBvWorkload(sizes, 12, machines,
-                                                rng);
+    const auto workload = bench::makeBvWorkload(
+        sizes, bench::smokeCount(12, 3), machines, rng);
 
     std::vector<double> pst_gains, ist_gains;
     int pst_improved = 0;
@@ -67,7 +67,8 @@ main()
             noise::machinePreset(instance.machine).scaled(scale);
         auto shot_rng = rng.split();
         const auto noisy = bench::sampleNoisy(
-            instance.routed, instance.keyBits, model, 8192, shot_rng);
+            instance.routed, instance.keyBits, model,
+            bench::smokeShots(8192), shot_rng);
         const auto fixed = core::reconstruct(noisy);
 
         const double pst0 = metrics::pst(noisy, {instance.key});

@@ -39,8 +39,8 @@ evaluate(const std::vector<bench::QaoaInstance> &workload,
     for (const auto &instance : workload) {
         auto shot_rng = rng.split();
         const auto noisy = bench::sampleNoisy(
-            instance.routed, instance.graph.numVertices(), model, 8192,
-            shot_rng);
+            instance.routed, instance.graph.numVertices(), model,
+            bench::smokeShots(8192), shot_rng);
         const auto fixed = core::reconstruct(noisy);
         points.push_back(
             {qaoa::costRatio(noisy, instance.graph, instance.minCost),
@@ -89,8 +89,8 @@ printCumulative(const char *title, const bench::QaoaInstance &instance,
 {
     std::printf("-- %s --\n", title);
     const auto noisy = bench::sampleNoisy(
-        instance.routed, instance.graph.numVertices(), model, 16384,
-        rng);
+        instance.routed, instance.graph.numVertices(), model,
+        bench::smokeShots(16384), rng);
     const auto fixed = core::reconstruct(noisy);
     common::Table table({"quality>=", "cum_prob_baseline",
                          "cum_prob_hammer"});
@@ -122,7 +122,8 @@ main()
     const auto model = noise::machinePreset("sycamore").scaled(2.0);
 
     const auto reg_workload = bench::makeQaoa3RegWorkload(
-        {6, 8, 10, 12, 14, 16}, {1, 2, 3}, 4, rng);
+        bench::smokeSizes({6, 8, 10, 12, 14, 16}), {1, 2, 3},
+        bench::smokeCount(4), rng);
     printSCurve("Fig 9(a): 3-regular S-curve",
                 evaluate(reg_workload, model, rng));
 
@@ -134,8 +135,9 @@ main()
         model, rng);
 
     const auto grid_workload = bench::makeQaoaGridWorkload(
-        {{2, 3}, {2, 4}, {3, 3}, {2, 5}, {3, 4}, {2, 6}, {2, 7},
-         {4, 4}, {3, 5}, {2, 8}, {3, 6}, {4, 5}},
+        bench::smokeShapes({{2, 3}, {2, 4}, {3, 3}, {2, 5}, {3, 4},
+                            {2, 6}, {2, 7}, {4, 4}, {3, 5}, {2, 8},
+                            {3, 6}, {4, 5}}),
         {1, 2, 3, 4, 5});
     printSCurve("Fig 9(c): grid S-curve",
                 evaluate(grid_workload, model, rng));

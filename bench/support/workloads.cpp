@@ -1,5 +1,8 @@
 #include "support/workloads.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "circuits/bv.hpp"
 #include "circuits/coupling.hpp"
 #include "circuits/qaoa_circuit.hpp"
@@ -7,6 +10,7 @@
 #include "graph/generators.hpp"
 #include "graph/maxcut.hpp"
 #include "noise/channel_sampler.hpp"
+#include "noise/trajectory_sampler.hpp"
 
 namespace hammer::bench {
 
@@ -113,10 +117,80 @@ makeQaoaRandWorkload(const std::vector<int> &sizes,
 
 core::Distribution
 sampleNoisy(const circuits::RoutedCircuit &routed, int measured_qubits,
-            const noise::NoiseModel &model, int shots, Rng &rng)
+            const noise::NoiseModel &model, int shots, Rng &rng,
+            int threads)
 {
     noise::ChannelSampler sampler(model);
-    return sampler.sample(routed, measured_qubits, shots, rng);
+    return sampler.sampleBatch(routed, measured_qubits, shots, rng,
+                               threads);
+}
+
+core::Distribution
+sampleNoisyTrajectory(const circuits::RoutedCircuit &routed,
+                      int measured_qubits,
+                      const noise::NoiseModel &model, int shots,
+                      int trajectories, Rng &rng, int threads)
+{
+    noise::TrajectorySampler sampler(model, trajectories);
+    return sampler.sampleBatch(routed, measured_qubits, shots, rng,
+                               threads);
+}
+
+bool
+smokeMode()
+{
+    const char *env = std::getenv("HAMMER_SMOKE");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+int
+smokeShots(int shots)
+{
+    return smokeMode() ? std::min(shots, 256) : shots;
+}
+
+std::vector<int>
+smokeSizes(std::vector<int> sizes, int keep, int max_size)
+{
+    if (!smokeMode())
+        return sizes;
+    std::vector<int> kept;
+    for (int n : sizes) {
+        if (n <= max_size)
+            kept.push_back(n);
+        if (static_cast<int>(kept.size()) >= keep)
+            break;
+    }
+    // A workload must never shrink to nothing: fall back to the
+    // smallest requested size.
+    if (kept.empty() && !sizes.empty())
+        kept.push_back(*std::min_element(sizes.begin(), sizes.end()));
+    return kept;
+}
+
+int
+smokeCount(int count, int cap)
+{
+    return smokeMode() ? std::min(count, cap) : count;
+}
+
+std::vector<std::pair<int, int>>
+smokeShapes(std::vector<std::pair<int, int>> shapes, int keep,
+            int max_qubits)
+{
+    if (!smokeMode())
+        return shapes;
+    std::vector<std::pair<int, int>> kept;
+    for (const auto &shape : shapes) {
+        if (shape.first * shape.second <= max_qubits)
+            kept.push_back(shape);
+        if (static_cast<int>(kept.size()) >= keep)
+            break;
+    }
+    if (kept.empty() && !shapes.empty())
+        kept.push_back(shapes.front());
+    return kept;
 }
 
 } // namespace hammer::bench

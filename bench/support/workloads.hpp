@@ -91,11 +91,60 @@ QaoaInstance makeQaoaInstance(const graph::Graph &g, int layers,
 /**
  * Execute an instance on the fast channel backend and return the
  * measured histogram over the logical output bits.
+ *
+ * Runs through the parallel batched engine
+ * (noise::NoisySampler::sampleBatch): the histogram is bit-identical
+ * for every thread count, so bench output is reproducible no matter
+ * the machine.
+ *
+ * @param threads Worker threads; 0 selects the default (the
+ *        HAMMER_THREADS environment variable, else all hardware
+ *        threads).
  */
 core::Distribution sampleNoisy(const circuits::RoutedCircuit &routed,
                                int measured_qubits,
                                const noise::NoiseModel &model, int shots,
-                               common::Rng &rng);
+                               common::Rng &rng, int threads = 0);
+
+/**
+ * Same, on the Monte-Carlo trajectory backend — the slow reference
+ * path the engine was built to parallelise.
+ */
+core::Distribution sampleNoisyTrajectory(
+    const circuits::RoutedCircuit &routed, int measured_qubits,
+    const noise::NoiseModel &model, int shots, int trajectories,
+    common::Rng &rng, int threads = 0);
+
+/**
+ * True when the HAMMER_SMOKE environment variable is set to a
+ * non-empty, non-"0" value.  The bench mains use this to shrink
+ * their shot/qubit budgets to seconds-scale so CI can execute every
+ * bench (the `bench_smoke` ctest label) without paying full figure
+ * runtime.
+ */
+bool smokeMode();
+
+/** @return @p shots, capped to a tiny budget in smoke mode. */
+int smokeShots(int shots);
+
+/**
+ * @return @p sizes, truncated in smoke mode to at most @p keep
+ * entries that do not exceed @p max_size.
+ */
+std::vector<int> smokeSizes(std::vector<int> sizes, int keep = 2,
+                            int max_size = 8);
+
+/** @return @p count, capped to @p cap in smoke mode. */
+int smokeCount(int count, int cap = 1);
+
+/**
+ * @return @p shapes, truncated in smoke mode to at most @p keep
+ * entries whose qubit count (rows*cols) does not exceed
+ * @p max_qubits.
+ */
+std::vector<std::pair<int, int>> smokeShapes(
+    std::vector<std::pair<int, int>> shapes, int keep = 2,
+    int max_qubits = 8);
 
 } // namespace hammer::bench
 

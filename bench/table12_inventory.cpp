@@ -60,19 +60,23 @@ main()
 
     summarise("QAOA grid (grid device)",
               bench::makeQaoaGridWorkload(
-                  {{2, 3}, {2, 4}, {3, 3}, {3, 4}, {4, 4}},
+                  bench::smokeShapes(
+                      {{2, 3}, {2, 4}, {3, 3}, {3, 4}, {4, 4}}),
                   {1, 2, 3}));
     summarise("QAOA 3-reg (line device)",
-              bench::makeQaoa3RegWorkload({6, 8, 10, 12}, {2, 4}, 3,
-                                          rng));
+              bench::makeQaoa3RegWorkload(
+                  bench::smokeSizes({6, 8, 10, 12}), {2, 4},
+                  bench::smokeCount(3), rng));
     summarise("QAOA rand (line device)",
-              bench::makeQaoaRandWorkload({6, 8, 10, 12}, {2, 4}, 3,
-                                          rng));
+              bench::makeQaoaRandWorkload(
+                  bench::smokeSizes({6, 8, 10, 12}), {2, 4},
+                  bench::smokeCount(3), rng));
 
     std::vector<double> bv_depth, bv_twoq, bv_swaps;
     const auto bv = bench::makeBvWorkload(
-        {5, 7, 9, 11, 13, 15}, 4,
-        {"machineA", "machineB", "machineC"}, rng);
+        bench::smokeSizes({5, 7, 9, 11, 13, 15}),
+        bench::smokeCount(4), {"machineA", "machineB", "machineC"},
+        rng);
     for (const auto &w : bv) {
         bv_depth.push_back(w.routed.circuit.depth());
         bv_twoq.push_back(w.routed.circuit.gateCounts().twoQubit);

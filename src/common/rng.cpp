@@ -135,4 +135,50 @@ Rng::split()
     return Rng((*this)());
 }
 
+Rng
+Rng::fork(std::uint64_t stream_id) const
+{
+    Rng child(0);
+    child.spareNormal_ = 0.0;
+    child.hasSpare_ = false;
+    // Mix the full 256-bit parent state with the stream counter
+    // through splitmix64.  Weyl-sequence multiplier on the counter
+    // decorrelates adjacent stream ids before the first mix.
+    std::uint64_t sm =
+        stream_id * 0xA24BAED4963EE407ull + 0x9E3779B97F4A7C15ull;
+    for (std::size_t i = 0; i < 4; ++i) {
+        sm ^= s_[i];
+        child.s_[i] = splitmix64(sm);
+    }
+    if (!(child.s_[0] | child.s_[1] | child.s_[2] | child.s_[3]))
+        child.s_[0] = 1;
+    return child;
+}
+
+void
+Rng::jump()
+{
+    static constexpr std::uint64_t kJump[] = {
+        0x180EC6D33CFD0ABAull, 0xD5A61266F0C9392Cull,
+        0xA9582618E03FC9AAull, 0x39ABDC4529B1661Cull};
+
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t word : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (word & (std::uint64_t{1} << b)) {
+                s0 ^= s_[0];
+                s1 ^= s_[1];
+                s2 ^= s_[2];
+                s3 ^= s_[3];
+            }
+            (*this)();
+        }
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+    hasSpare_ = false;
+}
+
 } // namespace hammer::common

@@ -71,6 +71,30 @@ class Rng
      */
     Rng split();
 
+    /**
+     * Derive the @p stream_id-th child stream *without* advancing this
+     * generator.
+     *
+     * Counter-based stream derivation: the child's state is a pure
+     * function of (parent state, stream_id), so forking streams
+     * 0..T-1 for T work items yields the same T generators no matter
+     * how many threads execute the items or in which order.  This is
+     * the determinism foundation of the parallel sampling engine —
+     * see noise::NoisySampler::sampleBatch().
+     */
+    Rng fork(std::uint64_t stream_id) const;
+
+    /**
+     * Advance the generator by 2^128 steps (the canonical xoshiro256**
+     * jump polynomial).
+     *
+     * Calling jump() k times on copies of one generator produces k
+     * non-overlapping subsequences of 2^128 draws each — an
+     * alternative to fork() when provable stream disjointness
+     * matters more than cheap random-access derivation.
+     */
+    void jump();
+
   private:
     std::uint64_t s_[4];
     double spareNormal_;

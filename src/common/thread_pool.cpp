@@ -1,0 +1,182 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace hammer::common {
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    require(threads >= 1, "ThreadPool: need at least one thread");
+    threadCount_ = threads;
+    workers_.reserve(static_cast<std::size_t>(threads - 1));
+    // The caller participates in every round as slot 0; only
+    // threads-1 dedicated workers are needed.
+    for (int slot = 1; slot < threads; ++slot)
+        workers_.emplace_back([this, slot] { workerLoop(slot); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+int
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("HAMMER_THREADS")) {
+        char *end = nullptr;
+        const long value = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && value >= 1)
+            return static_cast<int>(value);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+void
+ThreadPool::workerLoop(int slot)
+{
+    std::uint64_t seen_round = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || (task_ && round_ != seen_round);
+            });
+            if (stop_)
+                return;
+            seen_round = round_;
+        }
+        runRound(slot);
+    }
+}
+
+void
+ThreadPool::runRound(int slot)
+{
+    for (;;) {
+        std::size_t item;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (abandonRound_ || next_ >= count_)
+                return;
+            item = next_++;
+            ++inFlight_;
+        }
+        try {
+            (*task_)(item, slot);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+            abandonRound_ = true;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (inFlight_ == 0 &&
+                (abandonRound_ || next_ >= count_)) {
+                done_.notify_all();
+            }
+        }
+    }
+}
+
+int
+ThreadPool::resolveThreadCount(int threads, std::size_t items)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    require(threads >= 1,
+            "ThreadPool: thread count must be positive");
+    if (items < static_cast<std::size_t>(threads))
+        threads = items > 0 ? static_cast<int>(items) : 1;
+    return threads;
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool(defaultThreadCount());
+    return pool;
+}
+
+void
+ThreadPool::run(int workers, std::size_t count,
+                const std::function<void(std::size_t, int)> &task)
+{
+    if (workers == shared().threadCount()) {
+        shared().parallelFor(count, task);
+        return;
+    }
+    ThreadPool pool(workers);
+    pool.parallelFor(count, task);
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t count,
+    const std::function<void(std::size_t, int)> &task)
+{
+    if (count == 0)
+        return;
+    if (threadCount_ == 1 || count == 1) {
+        // Inline fast path: no handoff, exceptions propagate
+        // directly.
+        for (std::size_t item = 0; item < count; ++item)
+            task(item, 0);
+        return;
+    }
+
+    // One round at a time: the job slots below are single-occupancy,
+    // so concurrent callers (e.g. two samplers sharing the global
+    // pool) take turns.
+    std::lock_guard<std::mutex> round_lock(roundMutex_);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        task_ = &task;
+        count_ = count;
+        next_ = 0;
+        inFlight_ = 0;
+        abandonRound_ = false;
+        firstError_ = nullptr;
+        ++round_;
+    }
+    wake_.notify_all();
+
+    runRound(/*slot=*/0);
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] {
+            return inFlight_ == 0 &&
+                   (abandonRound_ || next_ >= count_);
+        });
+        task_ = nullptr;
+        error = firstError_;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &task)
+{
+    parallelFor(count,
+                [&task](std::size_t item, int) { task(item); });
+}
+
+} // namespace hammer::common

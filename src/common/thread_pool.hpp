@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Reusable fixed-size thread pool with a dynamic parallel-for.
+ *
+ * The pool backs the parallel sampling engine
+ * (noise::NoisySampler::sampleBatch): work items are claimed
+ * dynamically by worker threads, and callers keep per-worker
+ * accumulators (indexed by the slot id handed to each task) that are
+ * merged after the loop — no shared mutable state, no atomics on the
+ * hot path.  Determinism is the caller's contract: a task's output
+ * must depend only on its item index (see common::Rng::fork), never
+ * on which worker ran it.
+ */
+
+#ifndef HAMMER_COMMON_THREAD_POOL_HPP
+#define HAMMER_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hammer::common {
+
+/**
+ * Fixed-size pool of persistent worker threads.
+ *
+ * Workers are spawned once in the constructor and live until
+ * destruction, so a pool can be reused across many parallelFor
+ * rounds without paying thread start-up per call.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 selects defaultThreadCount().
+     *        A pool of 1 runs every task inline on the caller.
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of threads that execute tasks (callers included). */
+    int threadCount() const { return threadCount_; }
+
+    /**
+     * Run task(item, slot) for every item in [0, count), blocking
+     * until all items finish.
+     *
+     * Items are claimed dynamically (the calling thread participates),
+     * so uneven item costs balance automatically.  @p slot identifies
+     * the executing thread, 0 <= slot < threadCount(); tasks use it to
+     * index per-thread accumulators without synchronisation.
+     *
+     * The first exception thrown by a task is rethrown on the caller
+     * after the round drains; remaining items are skipped.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t, int)> &task);
+
+    /** Convenience overload for tasks that do not need the slot id. */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &task);
+
+    /**
+     * Thread count used when a caller passes 0: the HAMMER_THREADS
+     * environment variable when set to a positive integer, otherwise
+     * std::thread::hardware_concurrency() (minimum 1).
+     */
+    static int defaultThreadCount();
+
+    /**
+     * Resolve a caller-facing thread request against a work-item
+     * count: 0 becomes defaultThreadCount(), and the result is
+     * capped at @p items so no pool ever spawns workers with
+     * nothing to do.
+     */
+    static int resolveThreadCount(int threads, std::size_t items);
+
+    /**
+     * Process-wide pool of defaultThreadCount() threads, created on
+     * first use.  Callers whose resolved thread count matches it
+     * should prefer it over a fresh pool to avoid re-spawning OS
+     * threads on every batch — see run().
+     */
+    static ThreadPool &shared();
+
+    /**
+     * Run task(item, slot) for item in [0, count) on exactly
+     * @p workers threads (slot < workers), reusing the shared pool
+     * when @p workers matches its size and a temporary pool
+     * otherwise.  @p workers should come from resolveThreadCount().
+     * Safe to call from multiple threads concurrently (rounds on the
+     * shared pool are serialised); not reentrant from inside a task.
+     */
+    static void run(int workers, std::size_t count,
+                    const std::function<void(std::size_t, int)> &task);
+
+  private:
+    void workerLoop(int slot);
+    void runRound(int slot);
+
+    int threadCount_;
+    std::vector<std::thread> workers_;
+
+    std::mutex roundMutex_; // serialises concurrent parallelFor calls
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t, int)> *task_ = nullptr;
+    std::size_t count_ = 0;
+    std::size_t next_ = 0;
+    std::size_t inFlight_ = 0;
+    std::uint64_t round_ = 0;
+    bool stop_ = false;
+    bool abandonRound_ = false;
+    std::exception_ptr firstError_;
+};
+
+} // namespace hammer::common
+
+#endif // HAMMER_COMMON_THREAD_POOL_HPP

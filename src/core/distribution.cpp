@@ -173,4 +173,41 @@ Distribution::toString(int max_rows) const
     return out;
 }
 
+void
+CountAccumulator::add(Bits outcome, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    counts_[outcome] += count;
+    totalShots_ += count;
+}
+
+void
+CountAccumulator::merge(const CountAccumulator &other)
+{
+    for (const auto &[outcome, count] : other.counts_)
+        counts_[outcome] += count;
+    totalShots_ += other.totalShots_;
+}
+
+Distribution
+CountAccumulator::toDistribution(int num_bits) const
+{
+    return Distribution::fromCounts(num_bits, counts_);
+}
+
+CountAccumulator
+CountAccumulator::treeReduce(std::vector<CountAccumulator> &parts)
+{
+    require(!parts.empty(), "CountAccumulator::treeReduce: no parts");
+    for (std::size_t stride = 1; stride < parts.size(); stride *= 2) {
+        for (std::size_t i = 0; i + stride < parts.size();
+             i += 2 * stride) {
+            parts[i].merge(parts[i + stride]);
+            parts[i + stride] = CountAccumulator();
+        }
+    }
+    return std::move(parts[0]);
+}
+
 } // namespace hammer::core

@@ -107,6 +107,57 @@ class Distribution
     std::vector<Entry> entries_; // sorted by outcome
 };
 
+/**
+ * Mergeable shot-count accumulator.
+ *
+ * The building block of the parallel sampling engine: every worker
+ * thread histograms its own shots into a private CountAccumulator
+ * (no sharing, no atomics), and the per-worker partials are combined
+ * afterwards with treeReduce().  Counts are exact 64-bit integers,
+ * so the merged result is bit-identical no matter how the shots were
+ * partitioned across workers — the property the sampleBatch()
+ * determinism tests assert.
+ */
+class CountAccumulator
+{
+  public:
+    /** Record @p count observations of @p outcome. */
+    void add(common::Bits outcome, std::uint64_t count = 1);
+
+    /** Fold @p other's counts into this accumulator. */
+    void merge(const CountAccumulator &other);
+
+    /** Total number of recorded shots. */
+    std::uint64_t totalShots() const { return totalShots_; }
+
+    /** True when no shots have been recorded. */
+    bool empty() const { return counts_.empty(); }
+
+    /** Outcome -> count, ordered by outcome bit pattern. */
+    const std::map<common::Bits, std::uint64_t> &counts() const
+    {
+        return counts_;
+    }
+
+    /** Normalise into a Distribution. @pre totalShots() > 0. */
+    Distribution toDistribution(int num_bits) const;
+
+    /**
+     * Combine per-worker partials with a pairwise reduction tree
+     * (round k merges partials 2^k apart), leaving the result in
+     * parts[0].  Atomic-free: each merge touches two accumulators no
+     * other merge of the same round touches.
+     *
+     * @pre parts is non-empty.
+     */
+    static CountAccumulator treeReduce(
+        std::vector<CountAccumulator> &parts);
+
+  private:
+    std::map<common::Bits, std::uint64_t> counts_;
+    std::uint64_t totalShots_ = 0;
+};
+
 } // namespace hammer::core
 
 #endif // HAMMER_CORE_DISTRIBUTION_HPP

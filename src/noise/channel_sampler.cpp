@@ -1,9 +1,11 @@
 #include "noise/channel_sampler.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "noise/readout.hpp"
 #include "sim/simulator.hpp"
 
@@ -149,21 +151,10 @@ ChannelSampler::scrambleProbability(
     return std::min(1.0 - survive, params_.maxScramble);
 }
 
-Distribution
-ChannelSampler::sample(const circuits::RoutedCircuit &routed,
-                       int measured_qubits, int shots, Rng &rng)
+std::vector<double>
+ChannelSampler::independentFlipProbabilities(
+    const circuits::RoutedCircuit &routed, int measured_qubits) const
 {
-    const int n = routed.circuit.numQubits();
-    require(measured_qubits >= 1 && measured_qubits <= n,
-            "ChannelSampler: bad measured qubit count");
-    require(shots >= 1, "ChannelSampler: need at least one shot");
-
-    const sim::StateVector state = sim::runCircuit(routed.circuit);
-    const double scramble = scrambleProbability(routed);
-    const Bits mask = measured_qubits == 64
-        ? ~Bits{0}
-        : (Bits{1} << measured_qubits) - 1;
-
     // Independent per-bit flip probabilities.  Gates whose partner
     // bit also participates in the correlated channel contribute
     // only their single-sided (exclusive) share here; gates paired
@@ -214,8 +205,75 @@ ChannelSampler::sample(const circuits::RoutedCircuit &routed,
                      count_2q_lone[i]);
         independent_flip[i] = combineFlips(1.0 - keep, coherent[i]);
     }
+    return independent_flip;
+}
 
-    const auto correlated = correlatedFlips(routed, measured_qubits);
+namespace {
+
+/** Per-circuit channel quantities shared by every shot. */
+struct ShotPlan
+{
+    common::Bits mask;
+    double scramble;
+    std::vector<CorrelatedFlip> correlated;
+    std::vector<double> independentFlip;
+};
+
+/** Push one ideal logical outcome through the noise channels. */
+Bits
+applyShotNoise(const ShotPlan &plan, const ChannelParams &params,
+               const NoiseModel &model, Bits logical,
+               int measured_qubits, Rng &rng)
+{
+    if (plan.scramble > 0.0 && rng.bernoulli(plan.scramble))
+        return rng.uniformInt(Bits{1} << measured_qubits);
+    if (params.burstProbability > 0.0 &&
+        rng.bernoulli(params.burstProbability)) {
+        // Device-specific correlated error burst: when it fires it
+        // dominates the other channels, so the shot reports exactly
+        // the ideal outcome with the burst pattern applied.  The
+        // resulting spike has a thin neighbourhood of its own — the
+        // property HAMMER exploits to demote it.
+        return (logical & plan.mask) ^ (params.burstPattern & plan.mask);
+    }
+    Bits observed = logical & plan.mask;
+    // Correlated double flips from two-qubit gate errors.
+    for (const CorrelatedFlip &cf : plan.correlated) {
+        if (rng.bernoulli(cf.probability)) {
+            observed ^= Bits{1} << cf.qubitA;
+            observed ^= Bits{1} << cf.qubitB;
+        }
+    }
+    // Independent flips (gate singles + readout).
+    for (int q = 0; q < measured_qubits; ++q) {
+        const bool one = (observed >> q) & 1ull;
+        const double readout = one ? model.readout10 : model.readout01;
+        const double flip = combineFlips(
+            plan.independentFlip[static_cast<std::size_t>(q)], readout);
+        if (flip > 0.0 && rng.bernoulli(flip))
+            observed ^= Bits{1} << q;
+    }
+    return observed;
+}
+
+} // namespace
+
+Distribution
+ChannelSampler::sample(const circuits::RoutedCircuit &routed,
+                       int measured_qubits, int shots, Rng &rng)
+{
+    const int n = routed.circuit.numQubits();
+    require(measured_qubits >= 1 && measured_qubits <= n,
+            "ChannelSampler: bad measured qubit count");
+    require(shots >= 1, "ChannelSampler: need at least one shot");
+
+    const sim::StateVector state = sim::runCircuit(routed.circuit);
+    const ShotPlan plan{
+        measured_qubits == 64 ? ~Bits{0}
+                              : (Bits{1} << measured_qubits) - 1,
+        scrambleProbability(routed),
+        correlatedFlips(routed, measured_qubits),
+        independentFlipProbabilities(routed, measured_qubits)};
 
     // Sample all ideal shots in one pass (amortised CDF).
     const std::vector<Bits> ideal = state.sampleShots(rng, shots);
@@ -223,41 +281,65 @@ ChannelSampler::sample(const circuits::RoutedCircuit &routed,
     std::map<Bits, std::uint64_t> counts;
     for (Bits physical : ideal) {
         const Bits logical = routed.toLogical(physical);
-        Bits observed;
-        if (scramble > 0.0 && rng.bernoulli(scramble)) {
-            observed = rng.uniformInt(Bits{1} << measured_qubits);
-        } else if (params_.burstProbability > 0.0 &&
-                   rng.bernoulli(params_.burstProbability)) {
-            // Device-specific correlated error burst: when it fires
-            // it dominates the other channels, so the shot reports
-            // exactly the ideal outcome with the burst pattern
-            // applied.  The resulting spike has a thin neighbourhood
-            // of its own — the property HAMMER exploits to demote it.
-            observed = (logical & mask) ^ (params_.burstPattern & mask);
-        } else {
-            observed = logical & mask;
-            // Correlated double flips from two-qubit gate errors.
-            for (const CorrelatedFlip &cf : correlated) {
-                if (rng.bernoulli(cf.probability)) {
-                    observed ^= Bits{1} << cf.qubitA;
-                    observed ^= Bits{1} << cf.qubitB;
-                }
-            }
-            // Independent flips (gate singles + readout).
-            for (int q = 0; q < measured_qubits; ++q) {
-                const bool one = (observed >> q) & 1ull;
-                const double readout = one ? model_.readout10
-                                           : model_.readout01;
-                const double flip = combineFlips(
-                    independent_flip[static_cast<std::size_t>(q)],
-                    readout);
-                if (flip > 0.0 && rng.bernoulli(flip))
-                    observed ^= Bits{1} << q;
-            }
-        }
-        ++counts[observed];
+        ++counts[applyShotNoise(plan, params_, model_, logical,
+                                measured_qubits, rng)];
     }
     return Distribution::fromCounts(measured_qubits, counts);
+}
+
+Distribution
+ChannelSampler::sampleBatch(const circuits::RoutedCircuit &routed,
+                            int measured_qubits, int shots, Rng &rng,
+                            int threads)
+{
+    const int n = routed.circuit.numQubits();
+    require(measured_qubits >= 1 && measured_qubits <= n,
+            "ChannelSampler: bad measured qubit count");
+    require(shots >= 1, "ChannelSampler: need at least one shot");
+
+    const sim::StateVector state = sim::runCircuit(routed.circuit);
+    const ShotPlan plan{
+        measured_qubits == 64 ? ~Bits{0}
+                              : (Bits{1} << measured_qubits) - 1,
+        scrambleProbability(routed),
+        correlatedFlips(routed, measured_qubits),
+        independentFlipProbabilities(routed, measured_qubits)};
+
+    // Fixed-size chunks: the chunk schedule depends only on the shot
+    // count — never the thread count — so every thread count
+    // produces the same work items and (via fork) the same
+    // histogram.  Small enough that a default 8192-shot call still
+    // spreads across 8 workers.
+    constexpr int kChunkShots = 1024;
+    const int chunks = (shots + kChunkShots - 1) / kChunkShots;
+
+    const Rng master = rng.split();
+
+    // Resolve the request against the chunk count and run on the
+    // shared pool when possible (no per-call thread spawning).
+    const int workers = common::ThreadPool::resolveThreadCount(
+        threads, static_cast<std::size_t>(chunks));
+    std::vector<core::CountAccumulator> partials(
+        static_cast<std::size_t>(workers));
+    common::ThreadPool::run(
+        workers, static_cast<std::size_t>(chunks),
+        [&](std::size_t c, int slot) {
+            const int base = static_cast<int>(c) * kChunkShots;
+            const int quota = std::min(kChunkShots, shots - base);
+            Rng stream = master.fork(c);
+            core::CountAccumulator &local =
+                partials[static_cast<std::size_t>(slot)];
+            for (Bits physical : state.sampleShots(stream, quota)) {
+                const Bits logical = routed.toLogical(physical);
+                local.add(applyShotNoise(plan, params_, model_,
+                                         logical, measured_qubits,
+                                         stream));
+            }
+        });
+
+    const core::CountAccumulator merged =
+        core::CountAccumulator::treeReduce(partials);
+    return merged.toDistribution(measured_qubits);
 }
 
 } // namespace hammer::noise

@@ -114,6 +114,19 @@ class ChannelSampler : public NoisySampler
                               common::Rng &rng) override;
 
     /**
+     * Parallel shot fan-out: the ideal state and channel parameters
+     * are computed once, then the shot budget is split into
+     * fixed-size chunks (the chunking depends only on the shot
+     * count, never on the thread count), each chunk drawing from its
+     * own forked RNG stream.  Results are bit-identical for every
+     * thread count.
+     */
+    core::Distribution sampleBatch(const circuits::RoutedCircuit &routed,
+                                   int measured_qubits, int shots,
+                                   common::Rng &rng,
+                                   int threads = 0) override;
+
+    /**
      * Marginal per-logical-qubit gate-induced flip probabilities for
      * a routed circuit (before readout is folded in).  Exposed for
      * tests and the EHD scaling analysis.
@@ -142,6 +155,14 @@ class ChannelSampler : public NoisySampler
         const circuits::RoutedCircuit &routed) const;
 
   private:
+    /**
+     * Per-measured-bit independent flip probabilities (gate singles
+     * + coherent over-rotation; readout is folded in per shot).
+     */
+    std::vector<double> independentFlipProbabilities(
+        const circuits::RoutedCircuit &routed,
+        int measured_qubits) const;
+
     NoiseModel model_;
     ChannelParams params_;
 };

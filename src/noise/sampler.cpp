@@ -1,0 +1,19 @@
+#include "noise/sampler.hpp"
+
+namespace hammer::noise {
+
+core::Distribution
+NoisySampler::sampleBatch(const circuits::RoutedCircuit &routed,
+                          int measured_qubits, int shots,
+                          common::Rng &rng, int threads)
+{
+    (void)threads;
+    // Match the parallel backends' RNG discipline: consume exactly
+    // one draw from the caller's generator and run off the derived
+    // stream, so switching a call site between backends never shifts
+    // the caller's RNG sequence.
+    common::Rng stream = rng.split();
+    return sample(routed, measured_qubits, shots, stream);
+}
+
+} // namespace hammer::noise

@@ -42,6 +42,33 @@ class NoisySampler
     virtual core::Distribution sample(
         const circuits::RoutedCircuit &routed, int measured_qubits,
         int shots, common::Rng &rng) = 0;
+
+    /**
+     * Parallel batched execution: fan the shot budget across
+     * independent work items (noise trajectories or shot chunks,
+     * backend-specific) executed on a thread pool, then merge the
+     * per-worker histograms with an atomic-free tree reduction.
+     *
+     * Deterministic-parallelism contract: each work item draws from
+     * its own counter-based RNG stream (common::Rng::fork), so for a
+     * fixed @p rng state the returned distribution is bit-identical
+     * for every thread count, including 1.  @p rng is advanced by
+     * exactly one draw regardless of thread count, so a caller
+     * interleaving sampleBatch with other use of the generator also
+     * stays reproducible.
+     *
+     * @param threads Worker threads; 0 selects
+     *        common::ThreadPool::defaultThreadCount() (the
+     *        HAMMER_THREADS environment variable, else all hardware
+     *        threads).
+     *
+     * The base implementation runs the serial sample() — backends
+     * without a parallel decomposition stay correct, just not
+     * faster.
+     */
+    virtual core::Distribution sampleBatch(
+        const circuits::RoutedCircuit &routed, int measured_qubits,
+        int shots, common::Rng &rng, int threads = 0);
 };
 
 } // namespace hammer::noise

@@ -1,8 +1,10 @@
 #include "noise/trajectory_sampler.hpp"
 
 #include <map>
+#include <vector>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "noise/readout.hpp"
 #include "sim/simulator.hpp"
 
@@ -90,6 +92,67 @@ TrajectorySampler::sample(const circuits::RoutedCircuit &routed,
         }
     }
     return Distribution::fromCounts(measured_qubits, counts);
+}
+
+Distribution
+TrajectorySampler::sampleBatch(const circuits::RoutedCircuit &routed,
+                               int measured_qubits, int shots,
+                               Rng &rng, int threads)
+{
+    const int n = routed.circuit.numQubits();
+    require(measured_qubits >= 1 && measured_qubits <= n,
+            "TrajectorySampler: bad measured qubit count");
+    require(shots >= 1, "TrajectorySampler: need at least one shot");
+
+    const Bits mask = measured_qubits == 64
+        ? ~Bits{0}
+        : (Bits{1} << measured_qubits) - 1;
+
+    // Same quota schedule as the serial path: spread the budget
+    // evenly, earlier trajectories absorbing the remainder.
+    std::vector<int> quotas(static_cast<std::size_t>(trajectories_));
+    int assigned = 0;
+    for (int t = 0; t < trajectories_; ++t) {
+        quotas[static_cast<std::size_t>(t)] =
+            (shots - assigned) / (trajectories_ - t);
+        assigned += quotas[static_cast<std::size_t>(t)];
+    }
+
+    // One draw from the caller's generator seeds the whole batch;
+    // trajectory t then runs off master.fork(t), making its output a
+    // pure function of (caller RNG state, t) — independent of thread
+    // count and scheduling order.
+    const Rng master = rng.split();
+
+    // Resolve the request against the trajectory count and run on
+    // the shared pool when possible (no per-call thread spawning).
+    const int workers = common::ThreadPool::resolveThreadCount(
+        threads, static_cast<std::size_t>(trajectories_));
+    std::vector<core::CountAccumulator> partials(
+        static_cast<std::size_t>(workers));
+    common::ThreadPool::run(
+        workers, static_cast<std::size_t>(trajectories_),
+        [&](std::size_t t, int slot) {
+            const int quota = quotas[t];
+            if (quota == 0)
+                return;
+            Rng stream = master.fork(t);
+            const Circuit instance =
+                noisyInstance(routed.circuit, stream);
+            const sim::StateVector state = sim::runCircuit(instance);
+            core::CountAccumulator &local =
+                partials[static_cast<std::size_t>(slot)];
+            for (Bits physical : state.sampleShots(stream, quota)) {
+                physical =
+                    applyReadoutError(physical, n, model_, stream);
+                const Bits logical = routed.toLogical(physical);
+                local.add(logical & mask);
+            }
+        });
+
+    const core::CountAccumulator merged =
+        core::CountAccumulator::treeReduce(partials);
+    return merged.toDistribution(measured_qubits);
 }
 
 } // namespace hammer::noise

@@ -39,6 +39,18 @@ class TrajectorySampler : public NoisySampler
                               common::Rng &rng) override;
 
     /**
+     * Parallel trajectory fan-out: each trajectory is one work item
+     * with its own forked RNG stream, so the merged histogram is
+     * bit-identical for every thread count.  Trajectories dominate
+     * the cost of every figure reproduction (a full state-vector
+     * simulation each), which makes them the natural parallel grain.
+     */
+    core::Distribution sampleBatch(const circuits::RoutedCircuit &routed,
+                                   int measured_qubits, int shots,
+                                   common::Rng &rng,
+                                   int threads = 0) override;
+
+    /**
      * Build one noisy realisation of @p circuit: a copy with random
      * Pauli-error gates inserted after each gate.  Exposed for tests.
      */

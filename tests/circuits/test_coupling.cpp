@@ -41,8 +41,9 @@ TEST(Coupling, FullMapAllPairsAdjacent)
     const CouplingMap map = CouplingMap::full(6);
     for (int a = 0; a < 6; ++a) {
         for (int b = 0; b < 6; ++b) {
-            if (a != b)
+            if (a != b) {
                 EXPECT_TRUE(map.connected(a, b));
+            }
         }
     }
 }

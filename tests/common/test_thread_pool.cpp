@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the fixed-size thread pool: completeness of the
+ * parallel-for, slot-id contracts, exception propagation, and reuse
+ * across rounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace {
+
+using hammer::common::ThreadPool;
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallelFor(hits.size(), [&](std::size_t item) {
+        hits[item].fetch_add(1);
+    });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1);
+    std::vector<int> order;
+    pool.parallelFor(5, [&](std::size_t item, int slot) {
+        EXPECT_EQ(slot, 0);
+        order.push_back(static_cast<int>(item));
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, SlotIdsStayInRange)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> per_slot(3);
+    pool.parallelFor(100, [&](std::size_t, int slot) {
+        ASSERT_GE(slot, 0);
+        ASSERT_LT(slot, 3);
+        per_slot[static_cast<std::size_t>(slot)].fetch_add(1);
+    });
+    int total = 0;
+    for (const auto &count : per_slot)
+        total += count.load();
+    EXPECT_EQ(total, 100);
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossRounds)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<long> sum{0};
+        pool.parallelFor(64, [&](std::size_t item) {
+            sum.fetch_add(static_cast<long>(item));
+        });
+        EXPECT_EQ(sum.load(), 64L * 63 / 2);
+    }
+}
+
+TEST(ThreadPool, PerSlotAccumulatorsNeedNoSynchronisation)
+{
+    // The usage pattern of the sampling engine: every worker writes
+    // only to its own slot, and the partials are merged afterwards.
+    ThreadPool pool(4);
+    std::vector<long> partial(
+        static_cast<std::size_t>(pool.threadCount()), 0);
+    pool.parallelFor(1000, [&](std::size_t item, int slot) {
+        partial[static_cast<std::size_t>(slot)] +=
+            static_cast<long>(item);
+    });
+    const long total =
+        std::accumulate(partial.begin(), partial.end(), 0L);
+    EXPECT_EQ(total, 1000L * 999 / 2);
+}
+
+TEST(ThreadPool, PropagatesTaskException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](std::size_t item) {
+                             if (item == 37)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool must still be usable after a failed round.
+    std::atomic<int> hits{0};
+    pool.parallelFor(10, [&](std::size_t) { hits.fetch_add(1); });
+    EXPECT_EQ(hits.load(), 10);
+}
+
+TEST(ThreadPool, RejectsNegativeThreadCount)
+{
+    EXPECT_THROW(ThreadPool(-1), std::invalid_argument);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+    ThreadPool pool;
+    EXPECT_GE(pool.threadCount(), 1);
+}
+
+TEST(ThreadPool, ResolveThreadCountCapsAtItemCount)
+{
+    EXPECT_EQ(ThreadPool::resolveThreadCount(8, 3), 3);
+    EXPECT_EQ(ThreadPool::resolveThreadCount(2, 100), 2);
+    EXPECT_EQ(ThreadPool::resolveThreadCount(5, 0), 1);
+    EXPECT_GE(ThreadPool::resolveThreadCount(0, 1000), 1);
+    EXPECT_THROW(ThreadPool::resolveThreadCount(-2, 10),
+                 std::invalid_argument);
+}
+
+TEST(ThreadPool, StaticRunCoversAllItems)
+{
+    // Both branches: worker count matching the shared pool (reuse)
+    // and a mismatching one (temporary pool).
+    for (int workers :
+         {ThreadPool::shared().threadCount(),
+          ThreadPool::shared().threadCount() + 1}) {
+        std::vector<std::atomic<int>> hits(57);
+        ThreadPool::run(workers, hits.size(),
+                        [&](std::size_t item, int slot) {
+                            ASSERT_GE(slot, 0);
+                            ASSERT_LT(slot, workers);
+                            hits[item].fetch_add(1);
+                        });
+        for (const auto &hit : hits)
+            EXPECT_EQ(hit.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ConcurrentCallersOnSharedPoolSerialise)
+{
+    // Two threads driving the shared pool at once must not corrupt
+    // each other's rounds.
+    std::atomic<long> total{0};
+    auto hammer_rounds = [&] {
+        for (int round = 0; round < 25; ++round) {
+            ThreadPool::shared().parallelFor(
+                40, [&](std::size_t item) {
+                    total.fetch_add(static_cast<long>(item));
+                });
+        }
+    };
+    std::thread a(hammer_rounds), b(hammer_rounds);
+    a.join();
+    b.join();
+    EXPECT_EQ(total.load(), 2L * 25 * (40L * 39 / 2));
+}
+
+} // namespace

@@ -165,4 +165,62 @@ TEST(Distribution, RejectsBadWidth)
     EXPECT_THROW(Distribution(65), std::invalid_argument);
 }
 
+TEST(CountAccumulator, AccumulatesAndNormalises)
+{
+    hammer::core::CountAccumulator acc;
+    EXPECT_TRUE(acc.empty());
+    acc.add(0b01);
+    acc.add(0b01, 2);
+    acc.add(0b10, 7);
+    acc.add(0b11, 0); // zero counts are ignored
+    EXPECT_EQ(acc.totalShots(), 10u);
+
+    const Distribution d = acc.toDistribution(2);
+    EXPECT_EQ(d.support(), 2u);
+    EXPECT_NEAR(d.probability(0b01), 0.3, 1e-12);
+    EXPECT_NEAR(d.probability(0b10), 0.7, 1e-12);
+}
+
+TEST(CountAccumulator, MergeSumsOverlappingOutcomes)
+{
+    hammer::core::CountAccumulator a, b;
+    a.add(0b00, 4);
+    a.add(0b01, 1);
+    b.add(0b01, 3);
+    b.add(0b11, 2);
+    a.merge(b);
+    EXPECT_EQ(a.totalShots(), 10u);
+    EXPECT_EQ(a.counts().at(0b00), 4u);
+    EXPECT_EQ(a.counts().at(0b01), 4u);
+    EXPECT_EQ(a.counts().at(0b11), 2u);
+}
+
+TEST(CountAccumulator, TreeReduceMatchesLinearMergeForAnyPartition)
+{
+    // The property the parallel engine relies on: however shots are
+    // partitioned across workers, the reduced histogram is
+    // identical.
+    for (std::size_t parts : {1u, 2u, 3u, 5u, 8u, 13u}) {
+        std::vector<hammer::core::CountAccumulator> partials(parts);
+        for (std::uint64_t shot = 0; shot < 1000; ++shot)
+            partials[shot % parts].add(shot % 7);
+
+        hammer::core::CountAccumulator reduced =
+            hammer::core::CountAccumulator::treeReduce(partials);
+        EXPECT_EQ(reduced.totalShots(), 1000u) << parts << " parts";
+        for (std::uint64_t outcome = 0; outcome < 7; ++outcome) {
+            EXPECT_EQ(reduced.counts().at(outcome),
+                      outcome < 6 ? 143u : 142u)
+                << parts << " parts, outcome " << outcome;
+        }
+    }
+}
+
+TEST(CountAccumulator, TreeReduceRejectsEmptyInput)
+{
+    std::vector<hammer::core::CountAccumulator> none;
+    EXPECT_THROW(hammer::core::CountAccumulator::treeReduce(none),
+                 std::invalid_argument);
+}
+
 } // namespace

@@ -1,16 +1,21 @@
 /**
  * @file
- * hammer_cli — apply Hamming Reconstruction to a histogram file.
+ * hammer_cli — apply Hamming Reconstruction to a histogram.
  *
  * Usage:
  *   hammer_cli [options] < input.csv > output.csv
+ *   hammer_cli --sample <spec> [options] > output.csv
  *
  * Input/output format: CSV lines `bitstring,count-or-probability`
  * (the format core/io.hpp reads and writes).  This is the adoption
  * path for users whose measurement data comes from real hardware or
  * another stack: no linking against the library required.
  *
- * Options:
+ * With --sample the histogram is produced by the built-in noisy
+ * simulator instead of stdin — the self-contained demo path, and the
+ * driver for the parallel execution engine (--threads).
+ *
+ * Reconstruction options:
  *   --radius <d>       neighbourhood bound (default: floor((n-1)/2))
  *   --no-filter        disable the lower-probability filter pi
  *   --weights <w>      inverse-chs | uniform | inverse-binomial
@@ -20,16 +25,40 @@
  *   --fast             use the popcount-pruned implementation
  *   --top <k>          print only the k most probable outcomes
  *   --stats            print reconstruction statistics to stderr
+ *
+ * Sampling options:
+ *   --sample <spec>    bv:<n> | ghz:<n> | qaoa:<n>:<p>
+ *   --machine <name>   noise preset (default machineA)
+ *   --backend <b>      trajectory | channel (default trajectory)
+ *   --shots <k>        shot budget (default 8192)
+ *   --trajectories <t> noise trajectories (default 250)
+ *   --threads <N>      worker threads; results are bit-identical for
+ *                      every N (default: HAMMER_THREADS env, else all
+ *                      hardware threads)
+ *   --seed <s>         RNG seed (default 1)
+ *   --time             print sampling wall-clock to stderr
  *   --help             this text
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "circuits/bv.hpp"
+#include "circuits/ghz.hpp"
+#include "circuits/qaoa_circuit.hpp"
+#include "circuits/transpiler.hpp"
+#include "common/thread_pool.hpp"
 #include "core/hammer.hpp"
 #include "core/io.hpp"
+#include "graph/generators.hpp"
+#include "noise/channel_sampler.hpp"
+#include "noise/trajectory_sampler.hpp"
 
 namespace {
 
@@ -39,6 +68,8 @@ usage(int exit_code)
     std::fprintf(
         exit_code == 0 ? stdout : stderr,
         "usage: hammer_cli [options] < histogram.csv > out.csv\n"
+        "       hammer_cli --sample <spec> [options] > out.csv\n"
+        "reconstruction:\n"
         "  --radius <d>      neighbourhood bound "
         "(default floor((n-1)/2))\n"
         "  --no-filter       disable the lower-probability filter\n"
@@ -48,7 +79,18 @@ usage(int exit_code)
         "  --iterations <k>  apply reconstruction k times\n"
         "  --fast            popcount-pruned implementation\n"
         "  --top <k>         emit only the k most probable outcomes\n"
-        "  --stats           reconstruction statistics on stderr\n");
+        "  --stats           reconstruction statistics on stderr\n"
+        "sampling (instead of reading stdin):\n"
+        "  --sample <spec>   bv:<n> | ghz:<n> | qaoa:<n>:<p>\n"
+        "  --machine <name>  noise preset (default machineA)\n"
+        "  --backend <b>     trajectory | channel "
+        "(default trajectory)\n"
+        "  --shots <k>       shot budget (default 8192)\n"
+        "  --trajectories <t> noise trajectories (default 250)\n"
+        "  --threads <N>     worker threads (default: HAMMER_THREADS "
+        "env, else all cores); output is bit-identical for every N\n"
+        "  --seed <s>        RNG seed (default 1)\n"
+        "  --time            sampling wall-clock on stderr\n");
     std::exit(exit_code);
 }
 
@@ -65,6 +107,78 @@ parsePositiveInt(const char *text, const char *flag)
     return static_cast<int>(value);
 }
 
+/** Circuit described by a --sample spec, routed onto a line device. */
+struct SampleSpec
+{
+    hammer::circuits::RoutedCircuit routed;
+    int measuredQubits;
+};
+
+SampleSpec
+parseSampleSpec(const std::string &spec, hammer::common::Rng &rng)
+{
+    using namespace hammer;
+    // Dense state-vector scale: beyond ~24 qubits a single
+    // trajectory no longer fits in memory (and Bits{1} << n would
+    // overflow long before 64).
+    constexpr int kMaxQubits = 24;
+    const auto parse_int = [](const std::string &text) {
+        return parsePositiveInt(text.c_str(), "--sample");
+    };
+    const auto check_width = [&spec](int n, int max_width) {
+        if (n > max_width) {
+            std::fprintf(stderr,
+                         "hammer_cli: --sample spec '%s' exceeds the "
+                         "%d-qubit simulator limit\n",
+                         spec.c_str(), max_width);
+            std::exit(2);
+        }
+    };
+
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t colon = spec.find(':', start);
+        parts.push_back(spec.substr(start, colon - start));
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+
+    if (parts[0] == "bv" && parts.size() == 2) {
+        const int n = parse_int(parts[1]);
+        check_width(n, kMaxQubits - 1); // + 1 ancilla qubit
+        common::Bits key = 0;
+        while (key == 0)
+            key = rng.uniformInt(common::Bits{1} << n);
+        const auto circuit = circuits::bernsteinVazirani(n, key);
+        const auto coupling = circuits::CouplingMap::line(n + 1);
+        std::fprintf(stderr, "hammer_cli: BV-%d key %s\n", n,
+                     common::toBitstring(key, n).c_str());
+        return {circuits::transpile(circuit, coupling), n};
+    }
+    if (parts[0] == "ghz" && parts.size() == 2) {
+        const int n = parse_int(parts[1]);
+        check_width(n, kMaxQubits);
+        const auto circuit = circuits::ghz(n);
+        const auto coupling = circuits::CouplingMap::line(n);
+        return {circuits::transpile(circuit, coupling), n};
+    }
+    if (parts[0] == "qaoa" && parts.size() == 3) {
+        const int n = parse_int(parts[1]);
+        check_width(n, kMaxQubits);
+        const int layers = parse_int(parts[2]);
+        const auto g = graph::kRegular(n, 3, rng);
+        const auto params = circuits::linearRampParams(layers);
+        const auto circuit = circuits::qaoaCircuit(g, params);
+        const auto coupling = circuits::CouplingMap::line(n);
+        return {circuits::transpile(circuit, coupling), n};
+    }
+    std::fprintf(stderr, "hammer_cli: bad --sample spec '%s'\n",
+                 spec.c_str());
+    std::exit(2);
+}
+
 } // namespace
 
 int
@@ -77,6 +191,15 @@ main(int argc, char **argv)
     bool print_stats = false;
     int iterations = 1;
     int top = -1;
+
+    std::string sample_spec;
+    std::string machine = "machineA";
+    std::string backend = "trajectory";
+    int shots = 8192;
+    int trajectories = 250;
+    int threads = 0;
+    std::uint64_t seed = 1;
+    bool print_time = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -121,6 +244,31 @@ main(int argc, char **argv)
             top = parsePositiveInt(next_value("--top"), "--top");
         } else if (arg == "--stats") {
             print_stats = true;
+        } else if (arg == "--sample") {
+            sample_spec = next_value("--sample");
+        } else if (arg == "--machine") {
+            machine = next_value("--machine");
+        } else if (arg == "--backend") {
+            backend = next_value("--backend");
+            if (backend != "trajectory" && backend != "channel") {
+                std::fprintf(stderr,
+                             "hammer_cli: unknown backend '%s'\n",
+                             backend.c_str());
+                return 2;
+            }
+        } else if (arg == "--shots") {
+            shots = parsePositiveInt(next_value("--shots"), "--shots");
+        } else if (arg == "--trajectories") {
+            trajectories = parsePositiveInt(
+                next_value("--trajectories"), "--trajectories");
+        } else if (arg == "--threads") {
+            threads = parsePositiveInt(next_value("--threads"),
+                                       "--threads");
+        } else if (arg == "--seed") {
+            seed = static_cast<std::uint64_t>(parsePositiveInt(
+                next_value("--seed"), "--seed"));
+        } else if (arg == "--time") {
+            print_time = true;
         } else {
             std::fprintf(stderr, "hammer_cli: unknown option '%s'\n",
                          arg.c_str());
@@ -129,8 +277,41 @@ main(int argc, char **argv)
     }
 
     try {
-        core::Distribution dist =
-            core::readDistributionCsv(std::cin);
+        core::Distribution dist = [&]() -> core::Distribution {
+            if (sample_spec.empty())
+                return core::readDistributionCsv(std::cin);
+
+            common::Rng rng(seed);
+            const SampleSpec spec = parseSampleSpec(sample_spec, rng);
+            const auto model = noise::machinePreset(machine);
+
+            std::unique_ptr<noise::NoisySampler> sampler;
+            if (backend == "channel") {
+                sampler =
+                    std::make_unique<noise::ChannelSampler>(model);
+            } else {
+                sampler = std::make_unique<noise::TrajectorySampler>(
+                    model, trajectories);
+            }
+
+            const auto start = std::chrono::steady_clock::now();
+            core::Distribution sampled = sampler->sampleBatch(
+                spec.routed, spec.measuredQubits, shots, rng, threads);
+            if (print_time) {
+                const std::chrono::duration<double> elapsed =
+                    std::chrono::steady_clock::now() - start;
+                // "up to": the engine caps workers at its work-item
+                // count, which can be below the request.
+                const int requested = threads > 0
+                    ? threads
+                    : common::ThreadPool::defaultThreadCount();
+                std::fprintf(stderr,
+                             "hammer_cli: sampled %d shots on up to "
+                             "%d thread(s) in %.3f s\n",
+                             shots, requested, elapsed.count());
+            }
+            return sampled;
+        }();
 
         core::HammerStats stats;
         for (int pass = 0; pass < iterations; ++pass) {
