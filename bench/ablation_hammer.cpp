@@ -14,6 +14,7 @@
 #include "common/table.hpp"
 #include "core/hammer.hpp"
 #include "metrics/metrics.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 namespace {
@@ -32,6 +33,7 @@ int
 main()
 {
     std::puts("== Ablation: HAMMER design choices (BV workload) ==");
+    bench::BenchReport report("ablation_hammer");
     common::Rng rng(0xAB1A);
 
     // Pre-sample the noisy distributions once; every variant
@@ -47,7 +49,7 @@ main()
             noise::machinePreset(instance.machine).scaled(2.0);
         auto shot_rng = rng.split();
         noisy.push_back(bench::sampleNoisy(
-            instance.routed, instance.keyBits, model,
+            instance.routed, instance.measuredQubits, model,
             bench::smokeShots(8192), shot_rng));
         keys.push_back(instance.key);
     }
@@ -103,6 +105,8 @@ main()
             if (pst1 > pst0)
                 ++improved;
         }
+        report.metric(std::string(variant.name) + " gmean_PST_gain",
+                      common::geomean(pst_gain));
         table.addRow(
             {variant.name,
              common::Table::fmt(common::geomean(pst_gain), 3),

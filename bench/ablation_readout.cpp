@@ -9,7 +9,6 @@
 #include <cstdio>
 #include <iostream>
 
-#include "circuits/bv.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/hammer.hpp"
@@ -17,6 +16,7 @@
 #include "mitigation/ensemble.hpp"
 #include "mitigation/readout_mitigation.hpp"
 #include "noise/channel_sampler.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 int
@@ -26,6 +26,7 @@ main()
     std::puts("== Ablation: HAMMER vs readout mitigation vs EDM "
               "(BV workload, readout-heavy machineC) ==");
 
+    bench::BenchReport report("ablation_readout");
     common::Rng rng(0xAB1B);
     const auto workload = bench::makeBvWorkload(
         bench::smokeSizes({6, 8, 10, 12}), bench::smokeCount(8, 2),
@@ -39,7 +40,7 @@ main()
         noise::ChannelSampler sampler(model);
         auto shot_rng = rng.split();
         const auto noisy = sampler.sample(
-            instance.routed, instance.keyBits,
+            instance.routed, instance.measuredQubits,
             bench::smokeShots(8192), shot_rng);
 
         const auto ro = mitigation::mitigateReadout(noisy, model);
@@ -47,13 +48,11 @@ main()
         const auto ro_ham = core::reconstruct(ro);
 
         // EDM: same program, three diverse mappings, same budget.
-        const auto circuit = circuits::bernsteinVazirani(
-            instance.keyBits, instance.key);
         const auto coupling = circuits::CouplingMap::ring(
-            instance.keyBits + 1);
+            instance.measuredQubits + 1);
         auto edm_rng = rng.split();
         const auto edm = mitigation::ensembleSample(
-            circuit, coupling, instance.keyBits, sampler,
+            instance.logical, coupling, instance.measuredQubits, sampler,
             bench::smokeShots(8192), edm_rng, {3});
         const auto edm_ham = core::reconstruct(edm);
 
@@ -71,6 +70,9 @@ main()
         table.addRow({name, common::Table::fmt(common::mean(xs), 4),
                       common::Table::fmt(common::mean(xs) / raw, 3)});
     };
+    report.metric("mean_pst_raw", common::mean(pst_raw));
+    report.metric("mean_pst_hammer", common::mean(pst_ham));
+    report.metric("mean_pst_readout_hammer", common::mean(pst_ro_ham));
     add("raw (baseline)", pst_raw);
     add("readout mitigation only", pst_ro);
     add("EDM (3 diverse mappings)", pst_edm);

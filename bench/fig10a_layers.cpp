@@ -16,6 +16,7 @@
 #include "qaoa/cost.hpp"
 #include "sim/simulator.hpp"
 #include "graph/generators.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 int
@@ -24,6 +25,7 @@ main()
     using namespace hammer;
     std::puts("== Fig 10(a): CR vs layers p (grid QAOA) ==");
 
+    bench::BenchReport report("fig10a_layers");
     common::Rng rng(0xF10A);
     // Noise high enough that depth hurts; this is the regime where
     // the paper's baseline peaks early.
@@ -76,6 +78,8 @@ main()
         }
         return best + 1;
     };
+    report.metric("peak_p_baseline", peak_at(baseline_curve));
+    report.metric("peak_p_hammer", peak_at(hammer_curve));
     std::printf("\nquality peaks: noiseless p=%d, baseline p=%d, "
                 "HAMMER p=%d\n",
                 peak_at(noiseless_curve), peak_at(baseline_curve),

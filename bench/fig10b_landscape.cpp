@@ -14,6 +14,7 @@
 #include "core/hammer.hpp"
 #include "graph/generators.hpp"
 #include "qaoa/landscape.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 int
@@ -23,6 +24,7 @@ main()
     std::puts("== Fig 10(b): QAOA-14 (beta, gamma) landscape, "
               "baseline vs HAMMER ==");
 
+    bench::BenchReport report("fig10b_landscape");
     common::Rng rng(0xF10B);
     const auto g = graph::kRegular(14, 3, rng);
     const auto model = noise::machinePreset("sycamore").scaled(2.0);

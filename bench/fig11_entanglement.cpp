@@ -22,6 +22,7 @@
 #include "noise/trajectory_sampler.hpp"
 #include "sim/entropy.hpp"
 #include "sim/simulator.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 namespace {
@@ -118,6 +119,7 @@ main()
 {
     std::puts("== Fig 11: EHD vs entanglement entropy and fidelity "
               "(mirror circuits) ==");
+    bench::BenchReport report("fig11_entanglement");
     common::Rng rng(0xF111);
     runEntropyFamily("Fig 11(a): high-depth entropy study", 25, 40,
                      rng);

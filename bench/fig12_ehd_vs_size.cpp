@@ -14,6 +14,7 @@
 #include "common/table.hpp"
 #include "core/ehd.hpp"
 #include "graph/generators.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 namespace {
@@ -45,7 +46,7 @@ qaoaEhd(int n, int p, const noise::NoiseModel &model, common::Rng &rng)
             instance.routed, n, model, bench::smokeShots(4096),
             shot_rng);
         ehds.push_back(core::expectedHammingDistance(
-            dist, instance.bestCuts));
+            dist, instance.correctOutcomes));
     }
     return common::mean(ehds);
 }
@@ -56,6 +57,7 @@ int
 main()
 {
     std::puts("== Fig 12: EHD vs circuit size ==");
+    bench::BenchReport report("fig12_ehd_vs_size");
     common::Rng rng(0xF112);
 
     std::puts("-- Fig 12(a): IBM-like device (machineA) --");
@@ -87,7 +89,7 @@ main()
             grid_instance.routed, n, google,
             bench::smokeShots(4096), shot_rng);
         const double grid_ehd = core::expectedHammingDistance(
-            grid_dist, grid_instance.bestCuts);
+            grid_dist, grid_instance.correctOutcomes);
         const double reg_ehd =
             (n >= 4 && n % 2 == 0) ? qaoaEhd(n, 3, google, rng) : -1.0;
         b.addRow({common::Table::fmt(static_cast<long long>(n)),

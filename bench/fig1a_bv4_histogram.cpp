@@ -12,6 +12,7 @@
 #include "common/table.hpp"
 #include "core/ehd.hpp"
 #include "metrics/metrics.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 int
@@ -20,6 +21,7 @@ main()
     using namespace hammer;
     std::puts("== Fig 1(a): BV-4 output histogram (key 1111) ==");
 
+    bench::BenchReport report("fig1a_bv4_histogram");
     common::Rng rng(0xF19A);
     const auto instance = bench::makeBvInstance(4, 0b1111, "machineB");
     // Scale the noise up so the 4-qubit circuit lands near the
@@ -40,6 +42,7 @@ main()
     }
     table.print(std::cout);
 
+    report.metric("pst_key_1111", metrics::pst(dist, {0b1111}));
     std::printf("\nPST(key 1111)          : %.3f (paper: ~0.40)\n",
                 metrics::pst(dist, {0b1111}));
     std::printf("EHD                    : %.3f (uniform model: %.1f)\n",

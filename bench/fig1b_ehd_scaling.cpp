@@ -12,6 +12,7 @@
 #include "common/table.hpp"
 #include "core/ehd.hpp"
 #include "graph/generators.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 int
@@ -20,6 +21,7 @@ main()
     using namespace hammer;
     std::puts("== Fig 1(b): EHD vs qubits, QAOA p=2 (vs uniform) ==");
 
+    bench::BenchReport report("fig1b_ehd_scaling");
     common::Rng rng(0xF19B);
     const auto model = noise::machinePreset("machineA");
 
@@ -35,12 +37,13 @@ main()
                 instance.routed, n, model, bench::smokeShots(4096),
                 rng);
             ehds.push_back(core::expectedHammingDistance(
-                dist, instance.bestCuts));
+                dist, instance.correctOutcomes));
         }
         const double ehd = common::mean(ehds);
         table.addRow({common::Table::fmt(static_cast<long long>(n)),
                       common::Table::fmt(ehd, 3),
                       common::Table::fmt(core::uniformModelEhd(n), 1)});
+        report.metric("ehd_n" + std::to_string(n), ehd);
         if (ehd >= core::uniformModelEhd(n))
             structure_everywhere = false;
     }

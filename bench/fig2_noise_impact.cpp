@@ -19,6 +19,7 @@
 #include "qaoa/cost.hpp"
 #include "sim/simulator.hpp"
 #include "graph/generators.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 int
@@ -27,6 +28,7 @@ main()
     using namespace hammer;
     std::puts("== Fig 2(b): BV-3 ideal vs noisy output ==");
 
+    bench::BenchReport report("fig2_noise_impact");
     common::Rng rng(0xF192);
     const auto bv = bench::makeBvInstance(3, 0b111, "machineB");
     const auto model = noise::machinePreset("machineB").scaled(6.0);
@@ -61,6 +63,8 @@ main()
     std::printf("C_min                : %.2f\n", instance.minCost);
     std::printf("E(x) ideal           : %.3f\n", e_ideal);
     std::printf("E(x) noisy           : %.3f\n", e_noisy);
+    report.metric("pst_bv3", metrics::pst(noisy, {0b111}));
+    report.metric("qaoa9_quality_retained", e_noisy / e_ideal);
     std::printf("quality retained     : %.1f%% "
                 "(paper: large collapse toward 0)\n",
                 100.0 * e_noisy / e_ideal);

@@ -16,6 +16,7 @@
 #include "common/table.hpp"
 #include "core/spectrum.hpp"
 #include "graph/generators.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 namespace {
@@ -51,6 +52,7 @@ int
 main()
 {
     using namespace hammer;
+    bench::BenchReport report("fig3_hamming_spectrum");
     common::Rng rng(0xF193);
 
     std::puts("== Fig 3(b): Hamming spectrum of BV-8 (key 11111111) ==");
@@ -68,7 +70,8 @@ main()
         qaoa.routed, 8, noise::machinePreset("machineB"),
         bench::smokeShots(16384), rng);
     std::printf("(instance has %zu optimal cuts)\n",
-                qaoa.bestCuts.size());
-    printSpectrum(qaoa_dist, qaoa.bestCuts);
+                qaoa.correctOutcomes.size());
+    report.metric("bv8_pst", bv_dist.probability(0b11111111));
+    printSpectrum(qaoa_dist, qaoa.correctOutcomes);
     return 0;
 }

@@ -15,6 +15,7 @@
 #include "common/table.hpp"
 #include "graph/generators.hpp"
 #include "graph/maxcut.hpp"
+#include "support/report.hpp"
 
 int
 main()
@@ -23,6 +24,7 @@ main()
     std::puts("== Fig 5: cost vs Hamming distance from desired cuts "
               "(QAOA-10 3-regular) ==");
 
+    bench::BenchReport report("fig5_landscape_distance");
     common::Rng rng(0xF195);
     const auto g = graph::kRegular(10, 3, rng);
     const auto opt = graph::bruteForceOptimum(g);
@@ -57,6 +59,9 @@ main()
                  common::Table::fmt(costs[i] / opt.minCost, 3)});
         }
         table.print(std::cout);
+        report.metric("worst_degradation_d" + std::to_string(d),
+                      (costs.back() - opt.minCost) /
+                          std::abs(opt.minCost));
         std::printf("worst degradation at d=%d: %.2f -> %.2f "
                     "(%.1fx of |C_min| worse)\n\n",
                     d, opt.minCost, costs.back(),

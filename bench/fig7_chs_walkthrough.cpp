@@ -27,6 +27,7 @@
 #include "core/hammer.hpp"
 #include "core/spectrum.hpp"
 #include "noise/channel_sampler.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 int
@@ -36,6 +37,7 @@ main()
     using common::Table;
     std::puts("== Fig 7: CHS / weights / score walkthrough (BV-10) ==");
 
+    bench::BenchReport report("fig7_chs_walkthrough");
     common::Rng rng(0xF197);
     const common::Bits key = 0b1111111111;
     const common::Bits burst_pattern = 0b0011000000;

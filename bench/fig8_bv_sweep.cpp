@@ -17,6 +17,7 @@
 #include "core/hammer.hpp"
 #include "metrics/metrics.hpp"
 #include "noise/channel_sampler.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 int
@@ -26,6 +27,7 @@ main()
     using common::Table;
 
     std::puts("== Fig 8(a): BV-10 example (key 1010101010) ==");
+    bench::BenchReport report("fig8_bv_sweep");
     common::Rng rng(0xF198);
     const common::Bits example_key = 0b1010101010;
     const auto example = bench::makeBvInstance(10, example_key,
@@ -62,12 +64,12 @@ main()
         // Scale noise so small circuits are not trivially clean
         // while large ones stay near the paper's PST range.
         const double scale =
-            instance.keyBits <= 8 ? 1.5 : 1.0;
+            instance.measuredQubits <= 8 ? 1.5 : 1.0;
         const auto model =
             noise::machinePreset(instance.machine).scaled(scale);
         auto shot_rng = rng.split();
         const auto noisy = bench::sampleNoisy(
-            instance.routed, instance.keyBits, model,
+            instance.routed, instance.measuredQubits, model,
             bench::smokeShots(8192), shot_rng);
         const auto fixed = core::reconstruct(noisy);
 
@@ -84,6 +86,8 @@ main()
         }
     }
 
+    report.metric("gmean_pst_gain", common::geomean(pst_gains));
+    report.metric("gmean_ist_gain", common::geomean(ist_gains));
     Table table({"metric", "gmean_gain", "max_gain", "min_gain",
                  "paper_gmean"});
     table.addRow({"PST", Table::fmt(common::geomean(pst_gains), 3),

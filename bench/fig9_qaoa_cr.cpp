@@ -19,6 +19,7 @@
 #include "core/hammer.hpp"
 #include "qaoa/cost.hpp"
 #include "graph/generators.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 namespace {
@@ -118,6 +119,7 @@ int
 main()
 {
     std::puts("== Fig 9: QAOA Cost Ratio, baseline vs HAMMER ==");
+    bench::BenchReport report("fig9_qaoa_cr");
     common::Rng rng(0xF199);
     const auto model = noise::machinePreset("sycamore").scaled(2.0);
 

@@ -1,0 +1,66 @@
+#include "support/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "api/json.hpp"
+#include "api/smoke.hpp"
+
+namespace hammer::bench {
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+BenchReport::metric(const std::string &key, double value)
+{
+    metrics_.emplace_back(key, value);
+}
+
+void
+BenchReport::note(const std::string &key, const std::string &value)
+{
+    notes_.emplace_back(key, value);
+}
+
+BenchReport::~BenchReport()
+{
+    const char *force = std::getenv("HAMMER_BENCH_JSON");
+    const bool enabled =
+        api::smokeMode() || (force != nullptr && force[0] != '\0');
+    if (!enabled)
+        return;
+
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+
+    api::JsonWriter json;
+    json.beginObject();
+    json.key("bench").value(name_);
+    json.key("smoke").value(api::smokeMode());
+    json.key("wall_clock_seconds").value(elapsed.count());
+    json.key("metrics").beginObject();
+    for (const auto &[key, value] : metrics_)
+        json.key(key).value(value);
+    json.endObject();
+    json.key("notes").beginObject();
+    for (const auto &[key, value] : notes_)
+        json.key(key).value(value);
+    json.endObject();
+    json.endObject();
+
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        // Telemetry must never fail a bench: report and move on.
+        std::fprintf(stderr, "BenchReport: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    out << json.str() << '\n';
+}
+
+} // namespace hammer::bench

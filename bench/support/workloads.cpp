@@ -1,196 +1,45 @@
 #include "support/workloads.hpp"
 
-#include <algorithm>
-#include <cstdlib>
-
-#include "circuits/bv.hpp"
-#include "circuits/coupling.hpp"
-#include "circuits/qaoa_circuit.hpp"
-#include "common/logging.hpp"
-#include "graph/generators.hpp"
-#include "graph/maxcut.hpp"
-#include "noise/channel_sampler.hpp"
-#include "noise/trajectory_sampler.hpp"
-
 namespace hammer::bench {
 
-using common::Bits;
-using common::Rng;
+namespace {
 
-BvInstance
-makeBvInstance(int key_bits, Bits key, const std::string &machine)
+core::Distribution
+sampleVia(const std::string &backend,
+          const circuits::RoutedCircuit &routed, int measured_qubits,
+          const noise::NoiseModel &model, int shots, int trajectories,
+          common::Rng &rng, int threads)
 {
-    const auto circuit = circuits::bernsteinVazirani(key_bits, key);
-    const auto coupling = circuits::CouplingMap::line(key_bits + 1);
-    return {key_bits, key, circuits::transpile(circuit, coupling),
-            machine};
+    api::BackendSpec spec;
+    spec.model = model;
+    spec.shots = shots;
+    spec.trajectories = trajectories;
+    spec.threads = threads;
+    const auto sampler =
+        api::BackendRegistry::global().make(backend, spec);
+    return sampler->sampleBatch(routed, measured_qubits, shots, rng,
+                                threads);
 }
 
-std::vector<BvInstance>
-makeBvWorkload(const std::vector<int> &sizes, int keys_per_size,
-               const std::vector<std::string> &machines, Rng &rng)
-{
-    common::require(!machines.empty(), "makeBvWorkload: no machines");
-    std::vector<BvInstance> workload;
-    std::size_t machine_index = 0;
-    for (int n : sizes) {
-        for (int k = 0; k < keys_per_size; ++k) {
-            // Avoid the empty key (no oracle, trivially noise-free).
-            Bits key = 0;
-            while (key == 0)
-                key = rng.uniformInt(Bits{1} << n);
-            workload.push_back(makeBvInstance(
-                n, key, machines[machine_index % machines.size()]));
-            ++machine_index;
-        }
-    }
-    return workload;
-}
-
-QaoaInstance
-makeQaoaInstance(const graph::Graph &g, int layers, bool grid_device,
-                 int grid_rows, int grid_cols, const std::string &family)
-{
-    const auto params = circuits::linearRampParams(layers);
-    const auto circuit = circuits::qaoaCircuit(g, params);
-    const auto coupling = grid_device
-        ? circuits::CouplingMap::grid(grid_rows, grid_cols)
-        : circuits::CouplingMap::line(g.numVertices());
-    const auto opt = graph::bruteForceOptimum(g);
-    return {g, layers, circuits::transpile(circuit, coupling),
-            opt.minCost, opt.bestCuts, family};
-}
-
-std::vector<QaoaInstance>
-makeQaoa3RegWorkload(const std::vector<int> &sizes,
-                     const std::vector<int> &layer_counts,
-                     int instances_per_config, Rng &rng)
-{
-    std::vector<QaoaInstance> workload;
-    for (int n : sizes) {
-        for (int p : layer_counts) {
-            for (int i = 0; i < instances_per_config; ++i) {
-                const auto g = graph::kRegular(n, 3, rng);
-                workload.push_back(
-                    makeQaoaInstance(g, p, false, 0, 0, "3reg"));
-            }
-        }
-    }
-    return workload;
-}
-
-std::vector<QaoaInstance>
-makeQaoaGridWorkload(const std::vector<std::pair<int, int>> &shapes,
-                     const std::vector<int> &layer_counts)
-{
-    std::vector<QaoaInstance> workload;
-    for (const auto &[rows, cols] : shapes) {
-        for (int p : layer_counts) {
-            const auto g = graph::grid(rows, cols);
-            workload.push_back(
-                makeQaoaInstance(g, p, true, rows, cols, "grid"));
-        }
-    }
-    return workload;
-}
-
-std::vector<QaoaInstance>
-makeQaoaRandWorkload(const std::vector<int> &sizes,
-                     const std::vector<int> &layer_counts,
-                     int instances_per_config, Rng &rng)
-{
-    std::vector<QaoaInstance> workload;
-    for (int n : sizes) {
-        for (int p : layer_counts) {
-            for (int i = 0; i < instances_per_config; ++i) {
-                // Edge density 0.2-0.8 as in the paper's Table 2
-                // methodology.
-                const double density = rng.uniform(0.2, 0.8);
-                const auto g = graph::erdosRenyi(n, density, rng);
-                workload.push_back(
-                    makeQaoaInstance(g, p, false, 0, 0, "rand"));
-            }
-        }
-    }
-    return workload;
-}
+} // namespace
 
 core::Distribution
 sampleNoisy(const circuits::RoutedCircuit &routed, int measured_qubits,
-            const noise::NoiseModel &model, int shots, Rng &rng,
+            const noise::NoiseModel &model, int shots, common::Rng &rng,
             int threads)
 {
-    noise::ChannelSampler sampler(model);
-    return sampler.sampleBatch(routed, measured_qubits, shots, rng,
-                               threads);
+    return sampleVia("channel", routed, measured_qubits, model, shots,
+                     1, rng, threads);
 }
 
 core::Distribution
 sampleNoisyTrajectory(const circuits::RoutedCircuit &routed,
                       int measured_qubits,
                       const noise::NoiseModel &model, int shots,
-                      int trajectories, Rng &rng, int threads)
+                      int trajectories, common::Rng &rng, int threads)
 {
-    noise::TrajectorySampler sampler(model, trajectories);
-    return sampler.sampleBatch(routed, measured_qubits, shots, rng,
-                               threads);
-}
-
-bool
-smokeMode()
-{
-    const char *env = std::getenv("HAMMER_SMOKE");
-    return env != nullptr && env[0] != '\0' &&
-           !(env[0] == '0' && env[1] == '\0');
-}
-
-int
-smokeShots(int shots)
-{
-    return smokeMode() ? std::min(shots, 256) : shots;
-}
-
-std::vector<int>
-smokeSizes(std::vector<int> sizes, int keep, int max_size)
-{
-    if (!smokeMode())
-        return sizes;
-    std::vector<int> kept;
-    for (int n : sizes) {
-        if (n <= max_size)
-            kept.push_back(n);
-        if (static_cast<int>(kept.size()) >= keep)
-            break;
-    }
-    // A workload must never shrink to nothing: fall back to the
-    // smallest requested size.
-    if (kept.empty() && !sizes.empty())
-        kept.push_back(*std::min_element(sizes.begin(), sizes.end()));
-    return kept;
-}
-
-int
-smokeCount(int count, int cap)
-{
-    return smokeMode() ? std::min(count, cap) : count;
-}
-
-std::vector<std::pair<int, int>>
-smokeShapes(std::vector<std::pair<int, int>> shapes, int keep,
-            int max_qubits)
-{
-    if (!smokeMode())
-        return shapes;
-    std::vector<std::pair<int, int>> kept;
-    for (const auto &shape : shapes) {
-        if (shape.first * shape.second <= max_qubits)
-            kept.push_back(shape);
-        if (static_cast<int>(kept.size()) >= keep)
-            break;
-    }
-    if (kept.empty() && !shapes.empty())
-        kept.push_back(shapes.front());
-    return kept;
+    return sampleVia("trajectory", routed, measured_qubits, model,
+                     shots, trajectories, rng, threads);
 }
 
 } // namespace hammer::bench

@@ -1,101 +1,104 @@
 /**
  * @file
- * Shared workload builders for the benchmark harness: the BV and
- * QAOA circuit families of Tables 1-2, routed onto device coupling
- * maps and executed through the noisy samplers.
+ * Bench-harness shims over the hammer::api experiment layer.
+ *
+ * The workload builders, smoke-mode budget helpers and noisy-sampling
+ * entry points the benches historically found here were promoted into
+ * the library (src/api) so the CLI, examples and tests share one
+ * implementation; this header re-exports them under the established
+ * bench names.  New bench code should prefer hammer::api directly.
  */
 
 #ifndef HAMMER_BENCH_SUPPORT_WORKLOADS_HPP
 #define HAMMER_BENCH_SUPPORT_WORKLOADS_HPP
 
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "circuits/transpiler.hpp"
-#include "common/rng.hpp"
-#include "core/distribution.hpp"
-#include "graph/graph.hpp"
-#include "noise/noise_model.hpp"
+#include "api/api.hpp"
 
 namespace hammer::bench {
 
-/** A ready-to-run BV experiment. */
-struct BvInstance
-{
-    int keyBits;                        ///< Measured width n.
-    common::Bits key;                   ///< Secret key.
-    circuits::RoutedCircuit routed;     ///< Routed onto a line device.
-    std::string machine;                ///< Noise preset name.
-};
+/** The shared experiment-instance type (see api::Workload). */
+using api::Workload;
 
-/** A ready-to-run QAOA max-cut experiment. */
-struct QaoaInstance
-{
-    graph::Graph graph;                 ///< Problem instance.
-    int layers;                         ///< p.
-    circuits::RoutedCircuit routed;     ///< Routed circuit.
-    double minCost;                     ///< Brute-force C_min.
-    std::vector<common::Bits> bestCuts; ///< Optimal assignments.
-    std::string family;                 ///< "3reg" | "grid" | "rand".
-};
+/** @{ Historical instance-type names (both are api::Workload now). */
+using BvInstance = api::Workload;
+using QaoaInstance = api::Workload;
+/** @} */
 
-/**
- * Build a batch of BV instances with random keys.
- *
- * @param sizes Key widths to include.
- * @param keys_per_size Random keys generated per width.
- * @param machines Noise presets cycled over the instances.
- * @param rng Random source.
- */
-std::vector<BvInstance>
-makeBvWorkload(const std::vector<int> &sizes, int keys_per_size,
-               const std::vector<std::string> &machines,
-               common::Rng &rng);
+/** @{ Smoke-mode budget helpers (promoted to api::smoke). */
+using api::smokeCount;
+using api::smokeMode;
+using api::smokeShapes;
+using api::smokeShots;
+using api::smokeSizes;
+/** @} */
 
 /** Build one routed BV instance on a line device. */
-BvInstance makeBvInstance(int key_bits, common::Bits key,
-                          const std::string &machine);
-
-/**
- * QAOA on random 3-regular graphs routed onto a line device (worst
- * case routing, as on the paper's heavy-hex IBM machines).
- */
-std::vector<QaoaInstance>
-makeQaoa3RegWorkload(const std::vector<int> &sizes,
-                     const std::vector<int> &layer_counts,
-                     int instances_per_config, common::Rng &rng);
-
-/**
- * QAOA on grid graphs routed onto a matching grid device (SWAP-free,
- * like the hardware-native Sycamore instances).
- */
-std::vector<QaoaInstance>
-makeQaoaGridWorkload(const std::vector<std::pair<int, int>> &shapes,
-                     const std::vector<int> &layer_counts);
-
-/**
- * QAOA on Erdos-Renyi random graphs (Table 2's "Rand Graphs" rows)
- * routed onto a line device.
- */
-std::vector<QaoaInstance>
-makeQaoaRandWorkload(const std::vector<int> &sizes,
-                     const std::vector<int> &layer_counts,
-                     int instances_per_config,
-                     common::Rng &rng);
+inline Workload
+makeBvInstance(int key_bits, common::Bits key,
+               const std::string &machine)
+{
+    return api::makeBvWorkload(key_bits, key, machine);
+}
 
 /** Build one routed QAOA instance from a graph. */
-QaoaInstance makeQaoaInstance(const graph::Graph &g, int layers,
-                              bool grid_device, int grid_rows,
-                              int grid_cols, const std::string &family);
+inline Workload
+makeQaoaInstance(const graph::Graph &g, int layers, bool grid_device,
+                 int grid_rows, int grid_cols,
+                 const std::string &family)
+{
+    return api::makeQaoaWorkload(g, layers, grid_device, grid_rows,
+                                 grid_cols, family);
+}
+
+/** Build a batch of BV instances with random keys. */
+inline std::vector<Workload>
+makeBvWorkload(const std::vector<int> &sizes, int keys_per_size,
+               const std::vector<std::string> &machines,
+               common::Rng &rng)
+{
+    return api::makeBvSweep(sizes, keys_per_size, machines, rng);
+}
+
+/** QAOA on random 3-regular graphs routed onto a line device. */
+inline std::vector<Workload>
+makeQaoa3RegWorkload(const std::vector<int> &sizes,
+                     const std::vector<int> &layer_counts,
+                     int instances_per_config, common::Rng &rng)
+{
+    return api::makeQaoa3RegSweep(sizes, layer_counts,
+                                  instances_per_config, rng);
+}
+
+/** QAOA on grid graphs routed onto a matching grid device. */
+inline std::vector<Workload>
+makeQaoaGridWorkload(const std::vector<std::pair<int, int>> &shapes,
+                     const std::vector<int> &layer_counts)
+{
+    return api::makeQaoaGridSweep(shapes, layer_counts);
+}
+
+/** QAOA on Erdos-Renyi random graphs routed onto a line device. */
+inline std::vector<Workload>
+makeQaoaRandWorkload(const std::vector<int> &sizes,
+                     const std::vector<int> &layer_counts,
+                     int instances_per_config, common::Rng &rng)
+{
+    return api::makeQaoaRandSweep(sizes, layer_counts,
+                                  instances_per_config, rng);
+}
 
 /**
  * Execute an instance on the fast channel backend and return the
  * measured histogram over the logical output bits.
  *
- * Runs through the parallel batched engine
- * (noise::NoisySampler::sampleBatch): the histogram is bit-identical
- * for every thread count, so bench output is reproducible no matter
- * the machine.
+ * Runs through the api::BackendRegistry-built sampler and the
+ * parallel batched engine (noise::NoisySampler::sampleBatch): the
+ * histogram is bit-identical for every thread count, so bench output
+ * is reproducible no matter the machine.
  *
  * @param threads Worker threads; 0 selects the default (the
  *        HAMMER_THREADS environment variable, else all hardware
@@ -114,37 +117,6 @@ core::Distribution sampleNoisyTrajectory(
     const circuits::RoutedCircuit &routed, int measured_qubits,
     const noise::NoiseModel &model, int shots, int trajectories,
     common::Rng &rng, int threads = 0);
-
-/**
- * True when the HAMMER_SMOKE environment variable is set to a
- * non-empty, non-"0" value.  The bench mains use this to shrink
- * their shot/qubit budgets to seconds-scale so CI can execute every
- * bench (the `bench_smoke` ctest label) without paying full figure
- * runtime.
- */
-bool smokeMode();
-
-/** @return @p shots, capped to a tiny budget in smoke mode. */
-int smokeShots(int shots);
-
-/**
- * @return @p sizes, truncated in smoke mode to at most @p keep
- * entries that do not exceed @p max_size.
- */
-std::vector<int> smokeSizes(std::vector<int> sizes, int keep = 2,
-                            int max_size = 8);
-
-/** @return @p count, capped to @p cap in smoke mode. */
-int smokeCount(int count, int cap = 1);
-
-/**
- * @return @p shapes, truncated in smoke mode to at most @p keep
- * entries whose qubit count (rows*cols) does not exceed
- * @p max_qubits.
- */
-std::vector<std::pair<int, int>> smokeShapes(
-    std::vector<std::pair<int, int>> shapes, int keep = 2,
-    int max_qubits = 8);
 
 } // namespace hammer::bench
 

@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "support/report.hpp"
 #include "support/workloads.hpp"
 
 int
@@ -39,6 +40,7 @@ main()
 
     std::puts("\n== Generated-workload routing statistics "
               "(our substrate) ==");
+    bench::BenchReport report("table12_inventory");
     common::Rng rng(0x7AB1);
 
     Table stats({"family", "count", "mean_depth", "mean_2q",

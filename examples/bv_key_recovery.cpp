@@ -3,22 +3,17 @@
  * Domain example 1: recovering a Bernstein-Vazirani secret key from
  * a deeply noisy execution.
  *
- * Shows the full production pipeline: build the oracle circuit,
- * route it onto a line-connectivity device (SWAPs inserted
- * automatically), run it on a simulated machine with both stochastic
- * and correlated-burst noise, then use HAMMER to pull the key back
- * out of a histogram where it is nearly buried.
+ * Shows the full production pipeline as one api::ExperimentSpec: the
+ * workload registry builds and routes the oracle circuit onto a
+ * line-connectivity device (SWAPs inserted automatically), the
+ * backend spec dials in an unhealthy machine with both stochastic
+ * and correlated-burst noise, and the mitigation chain uses HAMMER
+ * to pull the key back out of a histogram where it is nearly buried.
  */
 
 #include <cstdio>
 
-#include "circuits/bv.hpp"
-#include "circuits/coupling.hpp"
-#include "circuits/transpiler.hpp"
-#include "core/ehd.hpp"
-#include "core/hammer.hpp"
-#include "metrics/metrics.hpp"
-#include "noise/channel_sampler.hpp"
+#include "api/api.hpp"
 
 int
 main()
@@ -26,47 +21,47 @@ main()
     using namespace hammer;
 
     const int n = 12;
-    const common::Bits secret = 0b101101110011;
-
-    // Build and route: the device only talks to nearest neighbours,
-    // so the router inserts SWAP chains (this is what makes deep BV
-    // circuits fragile on hardware).
-    const auto circuit = circuits::bernsteinVazirani(n, secret);
-    const auto device = circuits::CouplingMap::line(n + 1);
-    const auto routed = circuits::transpile(circuit, device);
-    std::printf("BV-%d routed: depth %d, %d two-qubit gates "
-                "(%d SWAPs inserted)\n",
-                n, routed.circuit.depth(),
-                routed.circuit.gateCounts().twoQubit,
-                routed.addedSwaps);
+    const char *secret = "101101110011";
 
     // A fairly unhealthy machine: elevated stochastic rates plus a
     // correlated double-flip burst on two adjacent bits.
     noise::ChannelParams channel;
     channel.burstPattern = 0b000000011000;
     channel.burstProbability = 0.08;
-    noise::ChannelSampler machine(
-        noise::machinePreset("machineB").scaled(1.5), channel);
 
-    common::Rng rng(7);
-    const auto noisy = machine.sample(routed, n, 16384, rng);
-    const auto fixed = core::reconstruct(noisy);
+    api::ExperimentSpec spec;
+    spec.workload = std::string("bv:12:") + secret;
+    spec.backend = "channel";
+    spec.backendSpec.model = noise::machinePreset("machineB").scaled(1.5);
+    spec.backendSpec.channelParams = channel;
+    spec.backendSpec.shots = api::smokeShots(16384);
+    spec.backendSpec.seed = 7;
+    spec.mitigation = "hammer";
 
-    std::printf("\nsecret key       : %s\n",
-                common::toBitstring(secret, n).c_str());
+    const api::Result result = api::Pipeline().run(spec);
+
+    // The registry routed the circuit for us; the device only talks
+    // to nearest neighbours, so the router inserted SWAP chains
+    // (this is what makes deep BV circuits fragile on hardware).
+    const auto &routed = result.workload->routed;
+    std::printf("BV-%d routed: depth %d, %d two-qubit gates "
+                "(%d SWAPs inserted)\n",
+                n, routed.circuit.depth(),
+                routed.circuit.gateCounts().twoQubit,
+                routed.addedSwaps);
+
+    std::printf("\nsecret key       : %s\n", secret);
     std::printf("baseline         : PST %.4f, IST %.3f, EHD %.3f\n",
-                metrics::pst(noisy, {secret}),
-                metrics::ist(noisy, {secret}),
-                core::expectedHammingDistance(noisy, {secret}));
+                result.pstRaw, result.istRaw, result.ehdRaw);
     std::printf("after HAMMER     : PST %.4f, IST %.3f, EHD %.3f\n",
-                metrics::pst(fixed, {secret}),
-                metrics::ist(fixed, {secret}),
-                core::expectedHammingDistance(fixed, {secret}));
+                result.pstMitigated, result.istMitigated,
+                result.ehdMitigated);
 
-    const auto top = fixed.topOutcome();
+    const auto top = result.mitigated.topOutcome();
     std::printf("\ninferred key     : %s (P = %.3f) -> %s\n",
                 common::toBitstring(top.outcome, n).c_str(),
                 top.probability,
-                top.outcome == secret ? "CORRECT" : "incorrect");
+                result.workload->isCorrect(top.outcome)
+                    ? "CORRECT" : "incorrect");
     return 0;
 }

@@ -4,22 +4,23 @@
  * device's error structure — the Section 3 / Section 7 methodology
  * as a library workflow.
  *
- * Runs mirror benchmarks of increasing depth, measures entanglement
- * entropy, fidelity, EHD and the Hamming spectrum, and prints the
- * correlations — the diagnostics a practitioner would use to decide
- * whether HAMMER will help on their hardware.
+ * Runs mirror benchmarks of increasing depth through api::Pipeline
+ * (workload registry spec "mirror:<n>:<depth>", trajectory backend),
+ * measures entanglement entropy, fidelity, EHD and the Hamming
+ * spectrum, and prints the correlations — the diagnostics a
+ * practitioner would use to decide whether HAMMER will help on their
+ * hardware.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
-#include "circuits/mirror.hpp"
-#include "circuits/transpiler.hpp"
+#include "api/api.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/ehd.hpp"
 #include "core/spectrum.hpp"
-#include "noise/trajectory_sampler.hpp"
 #include "sim/entropy.hpp"
 #include "sim/simulator.hpp"
 
@@ -29,36 +30,48 @@ main()
     using namespace hammer;
     const int n = 8;
 
-    common::Rng rng(23);
-    noise::TrajectorySampler machine(
-        noise::machinePreset("machineB"), 60);
+    const api::Pipeline pipeline;
+    common::Rng seed_rng(23);
+
+    // One pipeline run per depth: the registry draws the random
+    // mirror circuit, the trajectory backend executes it, and the
+    // scoring stage computes EHD against the known all-zero answer.
+    auto run_depth = [&](int depth) {
+        api::ExperimentSpec spec;
+        spec.workload = "mirror:" + std::to_string(n) + ":" +
+                        std::to_string(depth);
+        spec.backend = "trajectory";
+        spec.backendSpec.machine = "machineB";
+        spec.backendSpec.trajectories = api::smokeCount(60, 12);
+        spec.backendSpec.shots = api::smokeShots(3000);
+        spec.backendSpec.seed = seed_rng();
+        spec.mitigation = "none";
+        return pipeline.run(spec);
+    };
 
     std::puts("mirror-benchmark device characterisation (n = 8)");
     common::Table table({"depth", "entropy", "fidelity", "EHD",
                          "EHD/uniform"});
     std::vector<double> depths, ehds, fidelities;
+    std::optional<api::Result> deepest;
     for (int depth : {2, 4, 8, 12, 16, 20, 24}) {
-        const auto mirror = circuits::randomMirrorCircuit(
-            n, depth, 0.5, rng);
+        auto result = run_depth(depth);
         const double entropy = sim::entanglementEntropy(
-            sim::runCircuit(mirror.firstHalf));
-
-        auto shot_rng = rng.split();
-        const auto dist = machine.sample(
-            circuits::trivialRouting(mirror.full), n, 3000, shot_rng);
-        const double fidelity = dist.probability(0);
-        const double ehd = core::expectedHammingDistance(dist, {0});
+            sim::runCircuit(*result.workload->entanglingHalf));
+        const double fidelity = result.raw.probability(0);
 
         depths.push_back(depth);
-        ehds.push_back(ehd);
+        ehds.push_back(result.ehdRaw);
         fidelities.push_back(fidelity);
         table.addRow({common::Table::fmt(
                           static_cast<long long>(depth)),
                       common::Table::fmt(entropy, 3),
                       common::Table::fmt(fidelity, 3),
-                      common::Table::fmt(ehd, 3),
+                      common::Table::fmt(result.ehdRaw, 3),
                       common::Table::fmt(
-                          ehd / core::uniformModelEhd(n), 3)});
+                          result.ehdRaw / core::uniformModelEhd(n),
+                          3)});
+        deepest = std::move(result);
     }
     table.print(std::cout);
 
@@ -70,12 +83,8 @@ main()
                 common::spearman(fidelities, ehds));
 
     // Spectrum of the deepest circuit: where does the error mass sit?
-    const auto mirror = circuits::randomMirrorCircuit(n, 24, 0.5, rng);
-    auto shot_rng = rng.split();
-    const auto dist = machine.sample(
-        circuits::trivialRouting(mirror.full), n, 3000, shot_rng);
-    const auto spectrum = core::hammingSpectrum(dist, {0});
-    std::puts("\nHamming spectrum at depth 24:");
+    const auto spectrum = core::hammingSpectrum(deepest->raw, {0});
+    std::puts("\nHamming spectrum at the deepest depth:");
     for (std::size_t d = 0; d < spectrum.binTotal.size(); ++d) {
         if (spectrum.binCount[d] == 0)
             continue;

@@ -7,17 +7,17 @@
  * measured distribution.  Noise flattens that objective; HAMMER
  * sharpens it (paper Figs. 1c / 10b), so the optimiser converges to
  * better angles and the final sampled cut is closer to optimal.
+ *
+ * Every objective evaluation is one api::Pipeline run over a
+ * prebuilt workload (api::makeQaoaWorkload with explicit angles) —
+ * the entry point for circuits the string registry cannot describe.
  */
 
 #include <cstdio>
 
-#include "circuits/coupling.hpp"
-#include "circuits/qaoa_circuit.hpp"
-#include "circuits/transpiler.hpp"
-#include "core/hammer.hpp"
+#include "api/api.hpp"
 #include "graph/generators.hpp"
 #include "graph/maxcut.hpp"
-#include "noise/channel_sampler.hpp"
 #include "qaoa/cost.hpp"
 #include "qaoa/optimizer.hpp"
 
@@ -28,15 +28,23 @@ using namespace hammer;
 /** One noisy objective evaluation at (beta, gamma). */
 core::Distribution
 execute(const graph::Graph &g, double beta, double gamma,
-        noise::ChannelSampler &machine, common::Rng &rng)
+        bool use_hammer, common::Rng &rng)
 {
     circuits::QaoaParams params;
     params.betas = {beta};
     params.gammas = {gamma};
-    const auto routed = circuits::transpile(
-        circuits::qaoaCircuit(g, params),
-        circuits::CouplingMap::line(g.numVertices()));
-    return machine.sample(routed, g.numVertices(), 4096, rng);
+
+    api::ExperimentSpec spec;
+    // Skip the brute-force optimum scan: the loop only needs the
+    // measured distribution, not per-run scoring.
+    spec.workloadInstance = api::makeQaoaWorkload(
+        g, params, false, 0, 0, "3reg", /*compute_optimum=*/false);
+    spec.backend = "channel";
+    spec.backendSpec.model = noise::machinePreset("sycamore").scaled(2.0);
+    spec.backendSpec.shots = api::smokeShots(4096);
+    spec.backendSpec.seed = rng();
+    spec.mitigation = use_hammer ? "hammer" : "none";
+    return api::Pipeline().run(spec).mitigated;
 }
 
 } // namespace
@@ -53,9 +61,6 @@ main()
                 "C_min = %.1f\n",
                 g.numEdges(), opt.minCost);
 
-    noise::ChannelSampler machine(
-        noise::machinePreset("sycamore").scaled(2.0));
-
     // Variational loop: coarse grid seed, then Nelder-Mead, twice —
     // once on the raw noisy objective, once with HAMMER applied
     // before the cost is evaluated.
@@ -64,25 +69,23 @@ main()
         const qaoa::Objective objective =
             [&](const std::vector<double> &x) {
                 ++evaluations;
-                auto dist = execute(g, x[0], x[1], machine, rng);
-                if (use_hammer)
-                    dist = core::reconstruct(dist);
+                const auto dist =
+                    execute(g, x[0], x[1], use_hammer, rng);
                 return qaoa::costExpectation(dist, g);
             };
         const auto seed = qaoa::gridSearch(
             objective, {-0.8, -1.6}, {0.8, 0.0}, 5);
         qaoa::NelderMeadOptions options;
-        options.maxEvaluations = 60;
+        options.maxEvaluations = api::smokeCount(60, 10);
         const auto result = qaoa::nelderMead(objective, seed.best,
                                              options);
 
         // Judge the final angles by the *raw* machine output (what a
         // user would actually sample), post-processed with HAMMER
         // when enabled.
-        auto final_dist = execute(g, result.best[0], result.best[1],
-                                  machine, rng);
-        if (use_hammer)
-            final_dist = core::reconstruct(final_dist);
+        const auto final_dist = execute(g, result.best[0],
+                                        result.best[1], use_hammer,
+                                        rng);
         std::printf("  %-12s beta %+6.3f gamma %+6.3f  "
                     "(%3d evals)  CR %.3f\n",
                     use_hammer ? "with HAMMER:" : "baseline:",

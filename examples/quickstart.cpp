@@ -1,52 +1,51 @@
 /**
  * @file
- * Quickstart: the five-line HAMMER workflow.
+ * Quickstart: the experiment pipeline in one spec.
  *
- * 1. Build a circuit.            (hammer::circuits)
- * 2. Execute it on a noisy NISQ  (hammer::noise — here a simulated
- *    machine).                    IBM-like backend)
- * 3. Post-process the histogram  (hammer::core::reconstruct)
- * 4. Compare fidelity metrics.   (hammer::metrics)
+ * 1. Name a workload.    ("ghz:10"   — api::WorkloadRegistry)
+ * 2. Name a backend.     ("channel"  — api::BackendRegistry)
+ * 3. Name mitigation.    ("hammer"   — api::MitigationChain)
+ * 4. Run.                (api::Pipeline — route, execute, mitigate,
+ *                         score, all timed)
  */
 
 #include <cstdio>
 
-#include "circuits/ghz.hpp"
-#include "circuits/transpiler.hpp"
-#include "core/hammer.hpp"
+#include "api/api.hpp"
 #include "metrics/metrics.hpp"
-#include "noise/channel_sampler.hpp"
 
 int
 main()
 {
     using namespace hammer;
 
-    // A 10-qubit GHZ state: ideally half |0...0>, half |1...1>.
-    const int n = 10;
-    const auto routed = circuits::trivialRouting(circuits::ghz(n));
-    const std::vector<common::Bits> correct{
-        0, (common::Bits{1} << n) - 1};
+    // A 10-qubit GHZ state: ideally half |0...0>, half |1...1>,
+    // executed on a simulated IBM-like machine.
+    api::ExperimentSpec spec;
+    spec.workload = "ghz:10";
+    spec.backend = "channel";
+    spec.backendSpec.machine = "machineB";
+    spec.backendSpec.shots = api::smokeShots(8192);
+    spec.backendSpec.seed = 42;
+    spec.mitigation = "hammer";
 
-    // Execute 8192 shots on a simulated IBM-like machine.
-    common::Rng rng(42);
-    noise::ChannelSampler machine(noise::machinePreset("machineB"));
-    const core::Distribution noisy =
-        machine.sample(routed, n, 8192, rng);
+    const api::Result result = api::Pipeline().run(spec);
 
-    // One call: Hamming Reconstruction.
-    const core::Distribution reconstructed = core::reconstruct(noisy);
-
-    std::printf("GHZ-%d on a noisy machine (8192 shots)\n", n);
+    std::printf("GHZ-10 on a noisy machine (%d shots)\n",
+                result.shots);
     std::printf("  correct-outcome probability: %.3f -> %.3f\n",
-                metrics::pst(noisy, correct),
-                metrics::pst(reconstructed, correct));
+                result.pstRaw, result.pstMitigated);
+    const auto &correct = result.workload->correctOutcomes;
     std::printf("  top outcome is correct:      %s -> %s\n",
-                metrics::inferredCorrectly(noisy, correct) ? "yes"
-                                                           : "no",
-                metrics::inferredCorrectly(reconstructed, correct)
+                metrics::inferredCorrectly(result.raw, correct)
+                    ? "yes" : "no",
+                metrics::inferredCorrectly(result.mitigated, correct)
                     ? "yes" : "no");
     std::printf("\nmost probable outcomes after HAMMER:\n%s",
-                reconstructed.toString(5).c_str());
+                result.mitigated.toString(5).c_str());
+    std::printf("\npipeline wall-clock: %.3f s (sampling %.3f s, "
+                "mitigation %.3f s)\n",
+                result.totalSeconds(), result.stageSeconds("sample"),
+                result.stageSeconds("mitigate"));
     return 0;
 }

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Umbrella header for the experiment-pipeline API.
+ *
+ * The one include entry points need:
+ *
+ * @code
+ *   hammer::api::ExperimentSpec spec;
+ *   spec.workload = "bv:10";
+ *   spec.backend = "channel";
+ *   spec.mitigation = "hammer";
+ *   const auto result = hammer::api::Pipeline().run(spec);
+ * @endcode
+ */
+
+#ifndef HAMMER_API_API_HPP
+#define HAMMER_API_API_HPP
+
+#include "api/backend.hpp"
+#include "api/json.hpp"
+#include "api/mitigation.hpp"
+#include "api/pipeline.hpp"
+#include "api/smoke.hpp"
+#include "api/workload.hpp"
+
+#endif // HAMMER_API_API_HPP

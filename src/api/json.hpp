@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal JSON emission.
+ *
+ * Just enough of a writer for the machine-readable result and bench
+ * telemetry outputs (api::Result::writeJson, bench BENCH_<fig>.json):
+ * objects, arrays, strings with escaping, and IEEE doubles rendered
+ * round-trip-exactly (non-finite values become null, which JSON
+ * requires).  Not a parser; nothing here reads JSON back.
+ */
+
+#ifndef HAMMER_API_JSON_HPP
+#define HAMMER_API_JSON_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hammer::api {
+
+/** Escape and quote @p text as a JSON string literal. */
+std::string jsonQuote(const std::string &text);
+
+/** Render a double (17 significant digits; non-finite -> null). */
+std::string jsonNumber(double value);
+
+/**
+ * Incremental writer producing compact JSON.
+ *
+ * Usage:
+ * @code
+ *   JsonWriter json;
+ *   json.beginObject();
+ *   json.key("shots").value(8192);
+ *   json.key("histogram").beginArray();
+ *   json.value("0101");
+ *   json.endArray();
+ *   json.endObject();
+ *   out << json.str();
+ * @endcode
+ *
+ * The writer tracks whether a separator comma is needed; begin/end
+ * calls must balance (checked with assertions via common::panic-free
+ * best effort: unbalanced output is simply malformed).
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by exactly one value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(int number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(bool flag);
+    JsonWriter &null();
+
+    /** The document so far. */
+    const std::string &str() const { return out_; }
+
+  private:
+    void separate();
+
+    std::string out_;
+    std::vector<bool> hasItems_; // per open scope
+    bool pendingKey_ = false;
+};
+
+} // namespace hammer::api
+
+#endif // HAMMER_API_JSON_HPP

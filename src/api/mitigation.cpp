@@ -1,0 +1,205 @@
+#include "api/mitigation.hpp"
+
+#include "common/logging.hpp"
+
+namespace hammer::api {
+
+using common::fatal;
+using common::require;
+using core::Distribution;
+
+// ---------------------------------------------------------------------------
+// HammerMitigator
+// ---------------------------------------------------------------------------
+
+HammerMitigator::HammerMitigator(core::HammerConfig config,
+                                 int iterations, bool fast)
+    : config_(config), iterations_(iterations), fast_(fast)
+{
+    require(iterations >= 1,
+            "HammerMitigator: iterations must be >= 1");
+}
+
+std::string
+HammerMitigator::name() const
+{
+    std::string n = fast_ ? "hammer-fast" : "hammer";
+    if (iterations_ > 1) {
+        n += ':';
+        n += std::to_string(iterations_);
+    }
+    return n;
+}
+
+Distribution
+HammerMitigator::apply(const Distribution &measured,
+                       MitigationContext &ctx) const
+{
+    Distribution dist = measured;
+    for (int pass = 0; pass < iterations_; ++pass) {
+        dist = fast_ ? core::reconstructFast(dist, config_, ctx.stats)
+                     : core::reconstruct(dist, config_, ctx.stats);
+    }
+    return dist;
+}
+
+// ---------------------------------------------------------------------------
+// ReadoutMitigator
+// ---------------------------------------------------------------------------
+
+ReadoutMitigator::ReadoutMitigator(
+    mitigation::ReadoutMitigationOptions options)
+    : options_(options)
+{
+}
+
+std::string
+ReadoutMitigator::name() const
+{
+    return "readout";
+}
+
+Distribution
+ReadoutMitigator::apply(const Distribution &measured,
+                        MitigationContext &ctx) const
+{
+    return mitigation::mitigateReadout(measured, ctx.model, options_);
+}
+
+// ---------------------------------------------------------------------------
+// EnsembleMitigator
+// ---------------------------------------------------------------------------
+
+EnsembleMitigator::EnsembleMitigator(mitigation::EnsembleOptions options)
+    : options_(options)
+{
+}
+
+std::string
+EnsembleMitigator::name() const
+{
+    return "ensemble";
+}
+
+Distribution
+EnsembleMitigator::apply(const Distribution &measured,
+                         MitigationContext &ctx) const
+{
+    require(ctx.workload != nullptr && ctx.sampler != nullptr &&
+                ctx.rng != nullptr,
+            "ensemble mitigation re-executes the workload and needs "
+            "a full pipeline context (workload + backend + rng); it "
+            "is not available on externally measured histograms");
+    require(ctx.shots > 0,
+            "ensemble mitigation: shot budget must be > 0");
+    return mitigation::ensembleSample(
+        ctx.workload->logical, ctx.workload->coupling,
+        measured.numBits(), *ctx.sampler, ctx.shots, *ctx.rng,
+        options_);
+}
+
+// ---------------------------------------------------------------------------
+// MitigationChain
+// ---------------------------------------------------------------------------
+
+MitigationChain::MitigationChain(
+    std::vector<std::shared_ptr<const Mitigator>> stages)
+    : stages_(std::move(stages))
+{
+    for (const auto &stage : stages_)
+        require(stage != nullptr, "MitigationChain: null stage");
+}
+
+void
+MitigationChain::append(std::shared_ptr<const Mitigator> stage)
+{
+    require(stage != nullptr, "MitigationChain: null stage");
+    stages_.push_back(std::move(stage));
+}
+
+std::string
+MitigationChain::name() const
+{
+    if (stages_.empty())
+        return "none";
+    std::string joined;
+    for (const auto &stage : stages_) {
+        if (!joined.empty())
+            joined += '+';
+        joined += stage->name();
+    }
+    return joined;
+}
+
+Distribution
+MitigationChain::apply(const Distribution &measured,
+                       MitigationContext &ctx) const
+{
+    Distribution dist = measured;
+    for (const auto &stage : stages_)
+        dist = stage->apply(dist, ctx);
+    return dist;
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const Mitigator>
+makeMitigator(const std::string &spec)
+{
+    const auto parts = splitSpec(spec);
+    const std::string &kind = parts[0];
+    const auto arg = [&](int def) {
+        if (parts.size() == 1)
+            return def;
+        if (parts.size() > 2)
+            fatal("mitigation stage '" + spec +
+                  "': too many arguments");
+        return parsePositiveInt(parts[1],
+                                "mitigation stage '" + kind + "'");
+    };
+
+    if (kind == "hammer")
+        return std::make_shared<HammerMitigator>(core::HammerConfig{},
+                                                 arg(1), false);
+    if (kind == "hammer-fast")
+        return std::make_shared<HammerMitigator>(core::HammerConfig{},
+                                                 arg(1), true);
+    if (kind == "readout") {
+        mitigation::ReadoutMitigationOptions options;
+        options.iterations = arg(options.iterations);
+        return std::make_shared<ReadoutMitigator>(options);
+    }
+    if (kind == "ensemble") {
+        mitigation::EnsembleOptions options;
+        options.mappings = arg(options.mappings);
+        return std::make_shared<EnsembleMitigator>(options);
+    }
+    fatal("unknown mitigation stage '" + kind +
+          "' (known: hammer, hammer-fast, readout, ensemble)");
+}
+
+MitigationChain
+mitigationChainFromSpec(const std::string &spec)
+{
+    MitigationChain chain;
+    if (spec.empty() || spec == "none")
+        return chain;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t comma = spec.find(',', start);
+        const std::string token =
+            spec.substr(start, comma - start);
+        if (token.empty())
+            fatal("mitigation chain spec '" + spec +
+                  "': empty stage");
+        chain.append(makeMitigator(token));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return chain;
+}
+
+} // namespace hammer::api

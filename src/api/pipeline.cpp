@@ -1,0 +1,286 @@
+#include "api/pipeline.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "api/json.hpp"
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "core/ehd.hpp"
+#include "core/io.hpp"
+#include "metrics/metrics.hpp"
+
+namespace hammer::api {
+
+using common::require;
+using core::Distribution;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+void
+writeHistogramJson(JsonWriter &json, const Distribution &dist,
+                   int max_outcomes)
+{
+    json.beginArray();
+    int emitted = 0;
+    for (const auto &entry : dist.sortedByProbability()) {
+        if (max_outcomes >= 0 && emitted++ >= max_outcomes)
+            break;
+        json.beginObject();
+        json.key("outcome").value(
+            common::toBitstring(entry.outcome, dist.numBits()));
+        json.key("probability").value(entry.probability);
+        json.endObject();
+    }
+    json.endArray();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Result
+// ---------------------------------------------------------------------------
+
+double
+Result::totalSeconds() const
+{
+    double total = 0.0;
+    for (const auto &timing : timings)
+        total += timing.seconds;
+    return total;
+}
+
+double
+Result::stageSeconds(const std::string &stage) const
+{
+    for (const auto &timing : timings)
+        if (timing.stage == stage)
+            return timing.seconds;
+    return 0.0;
+}
+
+void
+Result::writeCsv(std::ostream &out, int precision) const
+{
+    core::writeDistributionCsv(out, mitigated, precision);
+}
+
+void
+Result::writeJson(std::ostream &out, int max_outcomes) const
+{
+    JsonWriter json;
+    json.beginObject();
+
+    json.key("label").value(label);
+    json.key("workload").value(workloadSpec);
+    json.key("family").value(family);
+    json.key("backend").value(backendName);
+    json.key("machine").value(machine);
+    json.key("mitigation").value(mitigationName);
+    json.key("measured_qubits").value(measuredQubits);
+    json.key("shots").value(shots);
+    json.key("seed").value(seed);
+
+    if (workload && !workload->correctOutcomes.empty()) {
+        json.key("correct_outcomes").beginArray();
+        for (const auto outcome : workload->correctOutcomes)
+            json.value(common::toBitstring(outcome, measuredQubits));
+        json.endArray();
+    }
+
+    json.key("timings").beginObject();
+    for (const auto &timing : timings)
+        json.key(timing.stage).value(timing.seconds);
+    json.key("total").value(totalSeconds());
+    json.endObject();
+
+    json.key("hammer_stats").beginObject();
+    json.key("unique_outcomes")
+        .value(static_cast<std::uint64_t>(hammerStats.uniqueOutcomes));
+    json.key("max_distance").value(hammerStats.maxDistance);
+    json.key("pair_operations")
+        .value(static_cast<std::uint64_t>(hammerStats.pairOperations));
+    json.endObject();
+
+    json.key("metrics").beginObject();
+    json.key("pst_raw").value(pstRaw);
+    json.key("pst_mitigated").value(pstMitigated);
+    json.key("ist_raw").value(istRaw);
+    json.key("ist_mitigated").value(istMitigated);
+    json.key("ehd_raw").value(ehdRaw);
+    json.key("ehd_mitigated").value(ehdMitigated);
+    json.endObject();
+
+    json.key("histogram").beginObject();
+    json.key("raw");
+    writeHistogramJson(json, raw, max_outcomes);
+    json.key("mitigated");
+    writeHistogramJson(json, mitigated, max_outcomes);
+    json.endObject();
+
+    json.endObject();
+    out << json.str() << '\n';
+}
+
+std::string
+Result::json(int max_outcomes) const
+{
+    std::ostringstream out;
+    writeJson(out, max_outcomes);
+    return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------------
+
+Pipeline::Pipeline()
+    : Pipeline(WorkloadRegistry::global(), BackendRegistry::global())
+{
+}
+
+Pipeline::Pipeline(const WorkloadRegistry &workloads,
+                   const BackendRegistry &backends)
+    : workloads_(&workloads), backends_(&backends)
+{
+}
+
+Result
+Pipeline::run(const ExperimentSpec &spec) const
+{
+    // Validate every budget at the boundary so bad values fail with
+    // a named field instead of flowing into the samplers.
+    validateBackendSpec(spec.backendSpec);
+    require(spec.workloadInstance.has_value() || !spec.workload.empty(),
+            "Pipeline: spec needs a workload (registry spec or "
+            "prebuilt instance)");
+
+    Result result;
+    result.backendName = spec.backend;
+    result.mitigationName = "none";
+    result.shots = spec.backendSpec.shots;
+    result.seed = spec.backendSpec.seed;
+    result.machine =
+        spec.backendSpec.model ? "custom" : spec.backendSpec.machine;
+
+    common::Rng rng(spec.backendSpec.seed);
+
+    // Stage 1: build + route the workload.
+    auto start = std::chrono::steady_clock::now();
+    Workload workload = spec.workloadInstance
+        ? *spec.workloadInstance
+        : workloads_->make(spec.workload, rng);
+    require(workload.measuredQubits >= 1,
+            "Pipeline: workload measures no qubits");
+    result.timings.push_back({"workload", secondsSince(start)});
+    result.workloadSpec =
+        workload.spec.empty() ? spec.workload : workload.spec;
+    result.family = workload.family;
+    result.measuredQubits = workload.measuredQubits;
+    result.label =
+        spec.label.empty() ? result.workloadSpec : spec.label;
+
+    // Stage 2: stand up the backend.
+    start = std::chrono::steady_clock::now();
+    const noise::NoiseModel model =
+        resolveNoiseModel(spec.backendSpec);
+    const std::unique_ptr<noise::NoisySampler> sampler =
+        backends_->make(spec.backend, spec.backendSpec);
+    result.timings.push_back({"backend", secondsSince(start)});
+
+    // Stage 3: noisy execution through the parallel batched engine.
+    start = std::chrono::steady_clock::now();
+    result.raw = sampler->sampleBatch(
+        workload.routed, workload.measuredQubits,
+        spec.backendSpec.shots, rng, spec.backendSpec.threads);
+    result.timings.push_back({"sample", secondsSince(start)});
+
+    // Stage 4: mitigation chain.
+    start = std::chrono::steady_clock::now();
+    MitigationContext ctx;
+    ctx.workload = &workload;
+    ctx.model = model;
+    ctx.sampler = sampler.get();
+    ctx.shots = spec.backendSpec.shots;
+    ctx.threads = spec.backendSpec.threads;
+    ctx.rng = &rng;
+    ctx.stats = &result.hammerStats;
+    if (spec.mitigator) {
+        result.mitigated = spec.mitigator->apply(result.raw, ctx);
+        result.mitigationName = spec.mitigator->name();
+    } else {
+        const MitigationChain chain =
+            mitigationChainFromSpec(spec.mitigation);
+        result.mitigated =
+            chain.empty() ? result.raw : chain.apply(result.raw, ctx);
+        result.mitigationName = chain.name();
+    }
+    result.timings.push_back({"mitigate", secondsSince(start)});
+
+    // Stage 5: scoring (when the correct answer is known).
+    start = std::chrono::steady_clock::now();
+    if (!workload.correctOutcomes.empty()) {
+        const auto &correct = workload.correctOutcomes;
+        result.pstRaw = metrics::pst(result.raw, correct);
+        result.pstMitigated = metrics::pst(result.mitigated, correct);
+        result.istRaw = metrics::ist(result.raw, correct);
+        result.istMitigated = metrics::ist(result.mitigated, correct);
+        result.ehdRaw =
+            core::expectedHammingDistance(result.raw, correct);
+        result.ehdMitigated =
+            core::expectedHammingDistance(result.mitigated, correct);
+    } else {
+        const double nan = std::numeric_limits<double>::quiet_NaN();
+        result.pstRaw = result.pstMitigated = nan;
+        result.istRaw = result.istMitigated = nan;
+        result.ehdRaw = result.ehdMitigated = nan;
+    }
+    result.timings.push_back({"score", secondsSince(start)});
+
+    result.workload = std::move(workload);
+    return result;
+}
+
+std::vector<Result>
+Pipeline::runMany(const std::vector<ExperimentSpec> &specs,
+                  int threads) const
+{
+    std::vector<std::optional<Result>> slots(specs.size());
+    const int workers =
+        common::ThreadPool::resolveThreadCount(threads, specs.size());
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            slots[i] = run(specs[i]);
+    } else {
+        // The outer fan-out owns the cores: force per-spec inner
+        // sampling to a single thread (bit-identical by the
+        // sampleBatch determinism guarantee) so nested rounds never
+        // contend for — or re-enter — the shared pool.
+        std::vector<ExperimentSpec> serial = specs;
+        for (auto &spec : serial)
+            spec.backendSpec.threads = 1;
+        common::ThreadPool::run(
+            workers, serial.size(),
+            [&](std::size_t item, int) { slots[item] = run(serial[item]); });
+    }
+
+    std::vector<Result> results;
+    results.reserve(slots.size());
+    for (auto &slot : slots)
+        results.push_back(std::move(*slot));
+    return results;
+}
+
+} // namespace hammer::api

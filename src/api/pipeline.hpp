@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The experiment pipeline: the paper's fixed methodology — build
+ * circuit -> route -> execute noisily -> post-process -> score — as
+ * one composable API.
+ *
+ * An ExperimentSpec names a workload (registry spec or prebuilt
+ * instance), a backend (registry name + BackendSpec) and a mitigation
+ * chain; Pipeline::run executes the sequence and returns a Result
+ * with the raw and mitigated histograms, per-stage wall-clock,
+ * HAMMER observability counters and fidelity metrics.  runMany fans
+ * a batch of specs across common::ThreadPool, preserving the
+ * engine's bit-identical-for-any-thread-count guarantee.
+ */
+
+#ifndef HAMMER_API_PIPELINE_HPP
+#define HAMMER_API_PIPELINE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/backend.hpp"
+#include "api/mitigation.hpp"
+#include "api/workload.hpp"
+#include "core/distribution.hpp"
+#include "core/hammer.hpp"
+
+namespace hammer::api {
+
+/**
+ * One experiment: workload x backend x mitigation.
+ */
+struct ExperimentSpec
+{
+    /** Free-form label echoed into the Result ("" = workload spec). */
+    std::string label;
+
+    /** Workload registry spec, e.g. "bv:8" (see WorkloadRegistry). */
+    std::string workload;
+
+    /**
+     * Prebuilt workload; wins over the registry spec.  The entry
+     * point for circuits the registry cannot describe (explicit QAOA
+     * angles, custom graphs, hand-built circuits).
+     */
+    std::optional<Workload> workloadInstance;
+
+    /** Backend registry name: "trajectory" | "channel" | "exact". */
+    std::string backend = "channel";
+
+    /** Backend configuration (machine, shots, threads, seed, ...). */
+    BackendSpec backendSpec;
+
+    /**
+     * Mitigation chain spec, e.g. "hammer" or "readout,hammer"
+     * ("" / "none" = raw output only).
+     */
+    std::string mitigation = "hammer";
+
+    /** Prebuilt mitigator; wins over the chain spec. */
+    std::shared_ptr<const Mitigator> mitigator;
+};
+
+/** Wall-clock of one pipeline stage. */
+struct StageTiming
+{
+    std::string stage;   ///< "workload" | "backend" | "sample" | ...
+    double seconds = 0.0;
+};
+
+/**
+ * Everything one pipeline run produced.
+ *
+ * Metric fields are NaN when the workload has no known correct
+ * outcomes (use std::isnan, or read the JSON where they are null).
+ */
+struct Result
+{
+    std::string label;          ///< Echo of the spec label.
+    std::string workloadSpec;   ///< Registry spec ("" = prebuilt).
+    std::string family;         ///< Workload family tag.
+    std::string backendName;    ///< Backend registry name.
+    std::string machine;        ///< Noise preset used.
+    std::string mitigationName; ///< Chain name ("none" = identity).
+    int measuredQubits = 0;
+    int shots = 0;
+    std::uint64_t seed = 0;
+
+    /** The workload that ran (absent for histogram-only flows). */
+    std::optional<Workload> workload;
+
+    core::Distribution raw{1};       ///< Measured histogram.
+    core::Distribution mitigated{1}; ///< After the mitigation chain.
+
+    /** HAMMER counters (zero when no hammer stage ran). */
+    core::HammerStats hammerStats;
+
+    /** Per-stage wall-clock, in pipeline order. */
+    std::vector<StageTiming> timings;
+
+    double pstRaw = 0.0;       ///< PST of raw (NaN if unscored).
+    double pstMitigated = 0.0;
+    double istRaw = 0.0;
+    double istMitigated = 0.0;
+    double ehdRaw = 0.0;
+    double ehdMitigated = 0.0;
+
+    /** Sum of all stage timings. */
+    double totalSeconds() const;
+
+    /** Seconds spent in stage @p stage (0 when absent). */
+    double stageSeconds(const std::string &stage) const;
+
+    /**
+     * Write the mitigated histogram in the interchange CSV format
+     * (core::writeDistributionCsv), most probable outcome first.
+     */
+    void writeCsv(std::ostream &out, int precision = 8) const;
+
+    /**
+     * Write the full result as one JSON object: experiment identity,
+     * per-stage timings, HAMMER stats, metrics (null when unscored)
+     * and both histograms.
+     *
+     * @param max_outcomes Per-histogram entry cap, most probable
+     *        first (-1 = all).
+     */
+    void writeJson(std::ostream &out, int max_outcomes = -1) const;
+
+    /** writeJson into a string. */
+    std::string json(int max_outcomes = -1) const;
+};
+
+/**
+ * The experiment pipeline over a pair of registries.
+ *
+ * Stateless apart from the registry references: run() is const and
+ * thread-safe, and every run is deterministic in the spec alone
+ * (the RNG is seeded from BackendSpec::seed), which is what makes
+ * runMany trivially order- and thread-count-independent.
+ */
+class Pipeline
+{
+  public:
+    /** Pipeline over the global registries. */
+    Pipeline();
+
+    /** Pipeline over explicit registries (tests, custom stacks). */
+    Pipeline(const WorkloadRegistry &workloads,
+             const BackendRegistry &backends);
+
+    /**
+     * Run one experiment end to end.
+     *
+     * Stages (each timed): workload build/route, backend
+     * construction, noisy sampling (NoisySampler::sampleBatch with
+     * the spec's thread count), mitigation chain, scoring.
+     *
+     * @throws std::invalid_argument for unknown registry keys or
+     *         invalid budgets (shots/trajectories <= 0, ...); the
+     *         message names the offending field or key.
+     */
+    Result run(const ExperimentSpec &spec) const;
+
+    /**
+     * Run a batch of experiments, fanning the specs across a thread
+     * pool.
+     *
+     * Each spec is an independent work item whose result depends
+     * only on the spec itself, so the returned vector is
+     * bit-identical for every @p threads value (including 1).  When
+     * more than one worker runs, per-spec inner sampling threads are
+     * forced to 1 — the outer fan-out owns the cores — which does
+     * not change any histogram (sampleBatch's own guarantee).
+     *
+     * @param threads Worker threads; 0 selects the default
+     *        (HAMMER_THREADS, else all hardware threads), capped at
+     *        the batch size.
+     */
+    std::vector<Result> runMany(const std::vector<ExperimentSpec> &specs,
+                                int threads = 0) const;
+
+  private:
+    const WorkloadRegistry *workloads_;
+    const BackendRegistry *backends_;
+};
+
+} // namespace hammer::api
+
+#endif // HAMMER_API_PIPELINE_HPP

@@ -1,0 +1,65 @@
+#include "api/smoke.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace hammer::api {
+
+bool
+smokeMode()
+{
+    const char *env = std::getenv("HAMMER_SMOKE");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+int
+smokeShots(int shots)
+{
+    return smokeMode() ? std::min(shots, 256) : shots;
+}
+
+std::vector<int>
+smokeSizes(std::vector<int> sizes, int keep, int max_size)
+{
+    if (!smokeMode())
+        return sizes;
+    std::vector<int> kept;
+    for (int n : sizes) {
+        if (n <= max_size)
+            kept.push_back(n);
+        if (static_cast<int>(kept.size()) >= keep)
+            break;
+    }
+    // A workload must never shrink to nothing: fall back to the
+    // smallest requested size.
+    if (kept.empty() && !sizes.empty())
+        kept.push_back(*std::min_element(sizes.begin(), sizes.end()));
+    return kept;
+}
+
+int
+smokeCount(int count, int cap)
+{
+    return smokeMode() ? std::min(count, cap) : count;
+}
+
+std::vector<std::pair<int, int>>
+smokeShapes(std::vector<std::pair<int, int>> shapes, int keep,
+            int max_qubits)
+{
+    if (!smokeMode())
+        return shapes;
+    std::vector<std::pair<int, int>> kept;
+    for (const auto &shape : shapes) {
+        if (shape.first * shape.second <= max_qubits)
+            kept.push_back(shape);
+        if (static_cast<int>(kept.size()) >= keep)
+            break;
+    }
+    if (kept.empty() && !shapes.empty())
+        kept.push_back(shapes.front());
+    return kept;
+}
+
+} // namespace hammer::api

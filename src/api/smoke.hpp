@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Smoke-mode budget helpers (promoted from bench/support so the
+ * examples and CLI can share them).
+ *
+ * When the HAMMER_SMOKE environment variable is set, entry points
+ * shrink their shot/qubit budgets to seconds-scale so CI can execute
+ * every bench and example (the `bench_smoke` and `examples` ctest
+ * labels) without paying full figure runtime.
+ */
+
+#ifndef HAMMER_API_SMOKE_HPP
+#define HAMMER_API_SMOKE_HPP
+
+#include <utility>
+#include <vector>
+
+namespace hammer::api {
+
+/**
+ * True when the HAMMER_SMOKE environment variable is set to a
+ * non-empty, non-"0" value.
+ */
+bool smokeMode();
+
+/** @return @p shots, capped to a tiny budget in smoke mode. */
+int smokeShots(int shots);
+
+/**
+ * @return @p sizes, truncated in smoke mode to at most @p keep
+ * entries that do not exceed @p max_size.
+ */
+std::vector<int> smokeSizes(std::vector<int> sizes, int keep = 2,
+                            int max_size = 8);
+
+/** @return @p count, capped to @p cap in smoke mode. */
+int smokeCount(int count, int cap = 1);
+
+/**
+ * @return @p shapes, truncated in smoke mode to at most @p keep
+ * entries whose qubit count (rows*cols) does not exceed
+ * @p max_qubits.
+ */
+std::vector<std::pair<int, int>> smokeShapes(
+    std::vector<std::pair<int, int>> shapes, int keep = 2,
+    int max_qubits = 8);
+
+} // namespace hammer::api
+
+#endif // HAMMER_API_SMOKE_HPP

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * BackendRegistry: factory lookup, spec validation at the API
+ * boundary, and noise-model resolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "api/backend.hpp"
+#include "api/workload.hpp"
+
+namespace {
+
+using hammer::api::BackendRegistry;
+using hammer::api::BackendSpec;
+using hammer::api::resolveNoiseModel;
+using hammer::api::validateBackendSpec;
+using hammer::common::Rng;
+
+TEST(BackendRegistry, GlobalKnowsTheBuiltinBackends)
+{
+    const auto &registry = BackendRegistry::global();
+    EXPECT_TRUE(registry.contains("trajectory"));
+    EXPECT_TRUE(registry.contains("channel"));
+    EXPECT_TRUE(registry.contains("exact"));
+    EXPECT_FALSE(registry.contains("remote"));
+    EXPECT_EQ(registry.names().size(), 3u);
+}
+
+TEST(BackendRegistry, BuiltBackendsSample)
+{
+    Rng rng(1);
+    const auto workload = hammer::api::makeGhzWorkload(3);
+    for (const auto &name : BackendRegistry::global().names()) {
+        BackendSpec spec;
+        spec.trajectories = 5;
+        auto sampler = BackendRegistry::global().make(name, spec);
+        ASSERT_NE(sampler, nullptr) << name;
+        const auto dist = sampler->sample(workload.routed, 3, 200,
+                                          rng);
+        EXPECT_TRUE(dist.normalized()) << name;
+        EXPECT_EQ(dist.numBits(), 3) << name;
+    }
+}
+
+TEST(BackendRegistry, UnknownBackendThrowsWithTheKnownList)
+{
+    try {
+        BackendRegistry::global().make("warpdrive", {});
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("warpdrive"), std::string::npos);
+        EXPECT_NE(message.find("channel"), std::string::npos);
+    }
+}
+
+TEST(BackendRegistry, SpecValidationRejectsBadBudgets)
+{
+    BackendSpec spec;
+    spec.shots = 0;
+    EXPECT_THROW(validateBackendSpec(spec), std::invalid_argument);
+    spec.shots = -8;
+    EXPECT_THROW(validateBackendSpec(spec), std::invalid_argument);
+    spec = {};
+    spec.trajectories = 0;
+    EXPECT_THROW(validateBackendSpec(spec), std::invalid_argument);
+    spec = {};
+    spec.threads = -1;
+    EXPECT_THROW(validateBackendSpec(spec), std::invalid_argument);
+    spec = {};
+    spec.noiseScale = -0.5;
+    EXPECT_THROW(validateBackendSpec(spec), std::invalid_argument);
+    spec = {};
+    EXPECT_NO_THROW(validateBackendSpec(spec));
+
+    // make() validates before instantiating.
+    spec.shots = 0;
+    EXPECT_THROW(BackendRegistry::global().make("channel", spec),
+                 std::invalid_argument);
+}
+
+TEST(BackendRegistry, NoiseModelResolution)
+{
+    BackendSpec spec;
+    spec.machine = "machineA";
+    spec.noiseScale = 2.0;
+    const auto scaled = resolveNoiseModel(spec);
+    const auto preset = hammer::noise::machinePreset("machineA");
+    EXPECT_DOUBLE_EQ(scaled.p2q, preset.p2q * 2.0);
+
+    // An explicit model wins over preset + scale.
+    hammer::noise::NoiseModel custom;
+    custom.p2q = 0.123;
+    spec.model = custom;
+    EXPECT_DOUBLE_EQ(resolveNoiseModel(spec).p2q, 0.123);
+
+    // Unknown presets fail at the boundary.
+    BackendSpec unknown;
+    unknown.machine = "machineZ";
+    EXPECT_THROW(resolveNoiseModel(unknown), std::invalid_argument);
+}
+
+} // namespace

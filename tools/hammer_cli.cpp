@@ -7,13 +7,18 @@
  *   hammer_cli --sample <spec> [options] > output.csv
  *
  * Input/output format: CSV lines `bitstring,count-or-probability`
- * (the format core/io.hpp reads and writes).  This is the adoption
- * path for users whose measurement data comes from real hardware or
- * another stack: no linking against the library required.
+ * (the format core/io.hpp reads and writes), or one JSON object with
+ * histograms, per-stage timings and reconstruction statistics
+ * (--format json).  The CSV path is the adoption route for users
+ * whose measurement data comes from real hardware or another stack:
+ * no linking against the library required.
  *
  * With --sample the histogram is produced by the built-in noisy
- * simulator instead of stdin — the self-contained demo path, and the
- * driver for the parallel execution engine (--threads).
+ * simulator instead of stdin.  Every --sample run goes through
+ * api::Pipeline: the workload comes from api::WorkloadRegistry, the
+ * backend from api::BackendRegistry, and the post-processing from an
+ * api::MitigationChain — the same composable path the benches,
+ * examples and tests use.
  *
  * Reconstruction options:
  *   --radius <d>       neighbourhood bound (default: floor((n-1)/2))
@@ -23,13 +28,20 @@
  *                      multiplicative)
  *   --iterations <k>   apply the reconstruction k times (default 1)
  *   --fast             use the popcount-pruned implementation
+ *   --mitigation <c>   replace the HAMMER stage with an arbitrary
+ *                      chain, e.g. "readout,hammer" or "none"
+ *                      (overrides the reconstruction options above)
  *   --top <k>          print only the k most probable outcomes
  *   --stats            print reconstruction statistics to stderr
+ *   --format <f>       csv (default) | json
  *
  * Sampling options:
- *   --sample <spec>    bv:<n> | ghz:<n> | qaoa:<n>:<p>
+ *   --sample <spec>    workload registry spec: bv:<n>[:<key>] |
+ *                      ghz:<n> | qaoa:[<family>:]<n>:<p> |
+ *                      mirror:<n>[:<depth>]
  *   --machine <name>   noise preset (default machineA)
- *   --backend <b>      trajectory | channel (default trajectory)
+ *   --backend <b>      trajectory | channel | exact
+ *                      (default trajectory)
  *   --shots <k>        shot budget (default 8192)
  *   --trajectories <t> noise trajectories (default 250)
  *   --threads <N>      worker threads; results are bit-identical for
@@ -43,22 +55,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
-#include <vector>
 
-#include "circuits/bv.hpp"
-#include "circuits/ghz.hpp"
-#include "circuits/qaoa_circuit.hpp"
-#include "circuits/transpiler.hpp"
+#include "api/api.hpp"
 #include "common/thread_pool.hpp"
-#include "core/hammer.hpp"
 #include "core/io.hpp"
-#include "graph/generators.hpp"
-#include "noise/channel_sampler.hpp"
-#include "noise/trajectory_sampler.hpp"
 
 namespace {
 
@@ -78,12 +82,16 @@ usage(int exit_code)
         "  --additive        additive score combination\n"
         "  --iterations <k>  apply reconstruction k times\n"
         "  --fast            popcount-pruned implementation\n"
+        "  --mitigation <c>  explicit chain, e.g. readout,hammer "
+        "(overrides the options above; 'none' disables)\n"
         "  --top <k>         emit only the k most probable outcomes\n"
         "  --stats           reconstruction statistics on stderr\n"
+        "  --format <f>      csv (default) | json\n"
         "sampling (instead of reading stdin):\n"
-        "  --sample <spec>   bv:<n> | ghz:<n> | qaoa:<n>:<p>\n"
+        "  --sample <spec>   bv:<n>[:<key>] | ghz:<n> | "
+        "qaoa:[<family>:]<n>:<p> | mirror:<n>[:<depth>]\n"
         "  --machine <name>  noise preset (default machineA)\n"
-        "  --backend <b>     trajectory | channel "
+        "  --backend <b>     trajectory | channel | exact "
         "(default trajectory)\n"
         "  --shots <k>       shot budget (default 8192)\n"
         "  --trajectories <t> noise trajectories (default 250)\n"
@@ -97,86 +105,41 @@ usage(int exit_code)
 int
 parsePositiveInt(const char *text, const char *flag)
 {
-    char *end = nullptr;
-    const long value = std::strtol(text, &end, 10);
-    if (end == text || *end != '\0' || value <= 0) {
+    try {
+        return hammer::api::parsePositiveInt(text, flag);
+    } catch (const std::invalid_argument &) {
         std::fprintf(stderr, "hammer_cli: bad value for %s: '%s'\n",
                      flag, text);
         std::exit(2);
     }
-    return static_cast<int>(value);
 }
 
-/** Circuit described by a --sample spec, routed onto a line device. */
-struct SampleSpec
+/** Keep only the @p top most probable outcomes (top <= 0 = all). */
+hammer::core::Distribution
+truncated(const hammer::core::Distribution &dist, int top)
 {
-    hammer::circuits::RoutedCircuit routed;
-    int measuredQubits;
-};
-
-SampleSpec
-parseSampleSpec(const std::string &spec, hammer::common::Rng &rng)
-{
-    using namespace hammer;
-    // Dense state-vector scale: beyond ~24 qubits a single
-    // trajectory no longer fits in memory (and Bits{1} << n would
-    // overflow long before 64).
-    constexpr int kMaxQubits = 24;
-    const auto parse_int = [](const std::string &text) {
-        return parsePositiveInt(text.c_str(), "--sample");
-    };
-    const auto check_width = [&spec](int n, int max_width) {
-        if (n > max_width) {
-            std::fprintf(stderr,
-                         "hammer_cli: --sample spec '%s' exceeds the "
-                         "%d-qubit simulator limit\n",
-                         spec.c_str(), max_width);
-            std::exit(2);
-        }
-    };
-
-    std::vector<std::string> parts;
-    std::size_t start = 0;
-    for (;;) {
-        const std::size_t colon = spec.find(':', start);
-        parts.push_back(spec.substr(start, colon - start));
-        if (colon == std::string::npos)
+    if (top <= 0)
+        return dist;
+    hammer::core::Distribution kept(dist.numBits());
+    int emitted = 0;
+    for (const auto &e : dist.sortedByProbability()) {
+        if (emitted++ >= top)
             break;
-        start = colon + 1;
+        kept.set(e.outcome, e.probability);
     }
+    return kept;
+}
 
-    if (parts[0] == "bv" && parts.size() == 2) {
-        const int n = parse_int(parts[1]);
-        check_width(n, kMaxQubits - 1); // + 1 ancilla qubit
-        common::Bits key = 0;
-        while (key == 0)
-            key = rng.uniformInt(common::Bits{1} << n);
-        const auto circuit = circuits::bernsteinVazirani(n, key);
-        const auto coupling = circuits::CouplingMap::line(n + 1);
-        std::fprintf(stderr, "hammer_cli: BV-%d key %s\n", n,
-                     common::toBitstring(key, n).c_str());
-        return {circuits::transpile(circuit, coupling), n};
+void
+emit(const hammer::api::Result &result, const std::string &format,
+     int top)
+{
+    if (format == "json") {
+        result.writeJson(std::cout, top > 0 ? top : -1);
+    } else {
+        hammer::core::writeDistributionCsv(
+            std::cout, truncated(result.mitigated, top));
     }
-    if (parts[0] == "ghz" && parts.size() == 2) {
-        const int n = parse_int(parts[1]);
-        check_width(n, kMaxQubits);
-        const auto circuit = circuits::ghz(n);
-        const auto coupling = circuits::CouplingMap::line(n);
-        return {circuits::transpile(circuit, coupling), n};
-    }
-    if (parts[0] == "qaoa" && parts.size() == 3) {
-        const int n = parse_int(parts[1]);
-        check_width(n, kMaxQubits);
-        const int layers = parse_int(parts[2]);
-        const auto g = graph::kRegular(n, 3, rng);
-        const auto params = circuits::linearRampParams(layers);
-        const auto circuit = circuits::qaoaCircuit(g, params);
-        const auto coupling = circuits::CouplingMap::line(n);
-        return {circuits::transpile(circuit, coupling), n};
-    }
-    std::fprintf(stderr, "hammer_cli: bad --sample spec '%s'\n",
-                 spec.c_str());
-    std::exit(2);
 }
 
 } // namespace
@@ -191,14 +154,13 @@ main(int argc, char **argv)
     bool print_stats = false;
     int iterations = 1;
     int top = -1;
+    std::string format = "csv";
+    std::string mitigation_spec;
 
     std::string sample_spec;
-    std::string machine = "machineA";
     std::string backend = "trajectory";
-    int shots = 8192;
-    int trajectories = 250;
-    int threads = 0;
-    std::uint64_t seed = 1;
+    api::BackendSpec backend_spec;
+    backend_spec.machine = "machineA";
     bool print_time = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -240,33 +202,39 @@ main(int argc, char **argv)
                 next_value("--iterations"), "--iterations");
         } else if (arg == "--fast") {
             fast = true;
+        } else if (arg == "--mitigation") {
+            mitigation_spec = next_value("--mitigation");
         } else if (arg == "--top") {
             top = parsePositiveInt(next_value("--top"), "--top");
         } else if (arg == "--stats") {
             print_stats = true;
+        } else if (arg == "--format") {
+            format = next_value("--format");
+            if (format != "csv" && format != "json") {
+                std::fprintf(stderr,
+                             "hammer_cli: unknown format '%s' "
+                             "(csv | json)\n", format.c_str());
+                return 2;
+            }
         } else if (arg == "--sample") {
             sample_spec = next_value("--sample");
         } else if (arg == "--machine") {
-            machine = next_value("--machine");
+            backend_spec.machine = next_value("--machine");
         } else if (arg == "--backend") {
             backend = next_value("--backend");
-            if (backend != "trajectory" && backend != "channel") {
-                std::fprintf(stderr,
-                             "hammer_cli: unknown backend '%s'\n",
-                             backend.c_str());
-                return 2;
-            }
         } else if (arg == "--shots") {
-            shots = parsePositiveInt(next_value("--shots"), "--shots");
+            backend_spec.shots =
+                parsePositiveInt(next_value("--shots"), "--shots");
         } else if (arg == "--trajectories") {
-            trajectories = parsePositiveInt(
+            backend_spec.trajectories = parsePositiveInt(
                 next_value("--trajectories"), "--trajectories");
         } else if (arg == "--threads") {
-            threads = parsePositiveInt(next_value("--threads"),
-                                       "--threads");
+            backend_spec.threads = parsePositiveInt(
+                next_value("--threads"), "--threads");
         } else if (arg == "--seed") {
-            seed = static_cast<std::uint64_t>(parsePositiveInt(
-                next_value("--seed"), "--seed"));
+            backend_spec.seed =
+                static_cast<std::uint64_t>(parsePositiveInt(
+                    next_value("--seed"), "--seed"));
         } else if (arg == "--time") {
             print_time = true;
         } else {
@@ -277,46 +245,77 @@ main(int argc, char **argv)
     }
 
     try {
-        core::Distribution dist = [&]() -> core::Distribution {
-            if (sample_spec.empty())
-                return core::readDistributionCsv(std::cin);
+        // The post-processing chain: an explicit --mitigation spec
+        // wins; otherwise one HAMMER stage with the reconstruction
+        // flags above.
+        std::shared_ptr<const api::Mitigator> chain;
+        if (!mitigation_spec.empty()) {
+            chain = std::make_shared<api::MitigationChain>(
+                api::mitigationChainFromSpec(mitigation_spec));
+        } else {
+            chain = std::make_shared<api::HammerMitigator>(
+                config, iterations, fast);
+        }
 
-            common::Rng rng(seed);
-            const SampleSpec spec = parseSampleSpec(sample_spec, rng);
-            const auto model = noise::machinePreset(machine);
+        api::Result result;
+        if (!sample_spec.empty()) {
+            // Self-contained demo path: one pipeline run.
+            api::ExperimentSpec spec;
+            spec.workload = sample_spec;
+            spec.backend = backend;
+            spec.backendSpec = backend_spec;
+            spec.mitigator = chain;
+            result = api::Pipeline().run(spec);
 
-            std::unique_ptr<noise::NoisySampler> sampler;
-            if (backend == "channel") {
-                sampler =
-                    std::make_unique<noise::ChannelSampler>(model);
-            } else {
-                sampler = std::make_unique<noise::TrajectorySampler>(
-                    model, trajectories);
+            if (result.workload && result.family == "bv") {
+                std::fprintf(
+                    stderr, "hammer_cli: BV-%d key %s\n",
+                    result.measuredQubits,
+                    common::toBitstring(result.workload->key,
+                                        result.measuredQubits)
+                        .c_str());
             }
-
-            const auto start = std::chrono::steady_clock::now();
-            core::Distribution sampled = sampler->sampleBatch(
-                spec.routed, spec.measuredQubits, shots, rng, threads);
             if (print_time) {
-                const std::chrono::duration<double> elapsed =
-                    std::chrono::steady_clock::now() - start;
                 // "up to": the engine caps workers at its work-item
                 // count, which can be below the request.
-                const int requested = threads > 0
-                    ? threads
+                const int requested = backend_spec.threads > 0
+                    ? backend_spec.threads
                     : common::ThreadPool::defaultThreadCount();
                 std::fprintf(stderr,
                              "hammer_cli: sampled %d shots on up to "
                              "%d thread(s) in %.3f s\n",
-                             shots, requested, elapsed.count());
+                             result.shots, requested,
+                             result.stageSeconds("sample"));
             }
-            return sampled;
-        }();
+        } else {
+            // Adoption path: post-process an external histogram.
+            const core::Distribution measured =
+                core::readDistributionCsv(std::cin);
+            result.label = "stdin";
+            result.workloadSpec = "-";
+            result.family = "external";
+            result.backendName = "external";
+            result.machine = backend_spec.machine;
+            result.mitigationName = chain->name();
+            result.measuredQubits = measured.numBits();
+            result.raw = measured;
+            // External histograms carry no success predicate: keep
+            // the metric fields NaN (null in JSON) rather than a
+            // misleading 0.
+            const double nan =
+                std::numeric_limits<double>::quiet_NaN();
+            result.pstRaw = result.pstMitigated = nan;
+            result.istRaw = result.istMitigated = nan;
+            result.ehdRaw = result.ehdMitigated = nan;
 
-        core::HammerStats stats;
-        for (int pass = 0; pass < iterations; ++pass) {
-            dist = fast ? core::reconstructFast(dist, config, &stats)
-                        : core::reconstruct(dist, config, &stats);
+            api::MitigationContext ctx;
+            ctx.model = noise::machinePreset(backend_spec.machine);
+            ctx.stats = &result.hammerStats;
+            const auto start = std::chrono::steady_clock::now();
+            result.mitigated = chain->apply(measured, ctx);
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            result.timings.push_back({"mitigate", elapsed.count()});
         }
 
         if (print_stats) {
@@ -324,23 +323,16 @@ main(int argc, char **argv)
                          "unique outcomes : %zu\n"
                          "max distance    : %d\n"
                          "pair operations : %llu (per pass)\n",
-                         stats.uniqueOutcomes, stats.maxDistance,
+                         result.hammerStats.uniqueOutcomes,
+                         result.hammerStats.maxDistance,
                          static_cast<unsigned long long>(
-                             stats.pairOperations));
+                             result.hammerStats.pairOperations));
         }
 
-        if (top > 0) {
-            core::Distribution truncated(dist.numBits());
-            int emitted = 0;
-            for (const auto &e : dist.sortedByProbability()) {
-                if (emitted++ >= top)
-                    break;
-                truncated.set(e.outcome, e.probability);
-            }
-            core::writeDistributionCsv(std::cout, truncated);
-        } else {
-            core::writeDistributionCsv(std::cout, dist);
-        }
+        emit(result, format, top);
+    } catch (const std::invalid_argument &error) {
+        std::fprintf(stderr, "hammer_cli: %s\n", error.what());
+        return 2;
     } catch (const std::exception &error) {
         std::fprintf(stderr, "hammer_cli: %s\n", error.what());
         return 1;
