@@ -107,6 +107,10 @@ defaultBackendRegistry()
         return std::make_unique<noise::ExactSampler>(
             resolveNoiseModel(spec));
     });
+    registry.add("exact-cached", [](const BackendSpec &spec) {
+        return std::make_unique<noise::CachedExactSampler>(
+            resolveNoiseModel(spec));
+    });
     return registry;
 }
 

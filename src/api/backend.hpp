@@ -69,9 +69,11 @@ void validateBackendSpec(const BackendSpec &spec);
  * String-keyed backend factories over noise::NoisySampler.
  *
  * Built-ins (see defaultBackendRegistry()):
- *   trajectory   Monte-Carlo Pauli trajectories (reference physics)
- *   channel      analytic end-of-circuit channel (fast sweeps)
- *   exact        density-matrix ground truth (<= ~10 qubits)
+ *   trajectory    Monte-Carlo Pauli trajectories (reference physics)
+ *   channel       analytic end-of-circuit channel (fast sweeps)
+ *   exact         density-matrix ground truth (<= ~10 qubits)
+ *   exact-cached  ground truth memoised per (circuit, model) and
+ *                 resampled across shot budgets
  */
 class BackendRegistry
 {

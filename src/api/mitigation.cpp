@@ -1,5 +1,7 @@
 #include "api/mitigation.hpp"
 
+#include <chrono>
+
 #include "common/logging.hpp"
 
 namespace hammer::api {
@@ -35,10 +37,13 @@ Distribution
 HammerMitigator::apply(const Distribution &measured,
                        MitigationContext &ctx) const
 {
+    core::HammerConfig config = config_;
+    if (ctx.threads > 0)
+        config.threads = ctx.threads;
     Distribution dist = measured;
     for (int pass = 0; pass < iterations_; ++pass) {
-        dist = fast_ ? core::reconstructFast(dist, config_, ctx.stats)
-                     : core::reconstruct(dist, config_, ctx.stats);
+        dist = fast_ ? core::reconstructFast(dist, config, ctx.stats)
+                     : core::reconstruct(dist, config, ctx.stats);
     }
     return dist;
 }
@@ -63,7 +68,10 @@ Distribution
 ReadoutMitigator::apply(const Distribution &measured,
                         MitigationContext &ctx) const
 {
-    return mitigation::mitigateReadout(measured, ctx.model, options_);
+    mitigation::ReadoutMitigationOptions options = options_;
+    if (ctx.threads > 0)
+        options.threads = ctx.threads;
+    return mitigation::mitigateReadout(measured, ctx.model, options);
 }
 
 // ---------------------------------------------------------------------------
@@ -136,8 +144,13 @@ MitigationChain::apply(const Distribution &measured,
                        MitigationContext &ctx) const
 {
     Distribution dist = measured;
-    for (const auto &stage : stages_)
+    for (const auto &stage : stages_) {
+        const auto start = std::chrono::steady_clock::now();
         dist = stage->apply(dist, ctx);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        ctx.stageSeconds.emplace_back(stage->name(), elapsed.count());
+    }
     return dist;
 }
 

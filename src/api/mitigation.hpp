@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/workload.hpp"
@@ -47,14 +48,31 @@ struct MitigationContext
     /** Execution backend (ensemble resampling; may be null). */
     noise::NoisySampler *sampler = nullptr;
 
-    int shots = 0;   ///< Shot budget of the experiment.
-    int threads = 0; ///< Worker threads for stages that re-execute.
+    int shots = 0; ///< Shot budget of the experiment.
+
+    /**
+     * Worker threads for stages that re-execute or run parallel
+     * scans (HAMMER's pair loops, readout unfolding).  > 0 overrides
+     * each stage's own default; every stage stays bit-identical for
+     * any thread count.
+     */
+    int threads = 0;
 
     /** Random source for stages that re-execute (may be null). */
     common::Rng *rng = nullptr;
 
     /** Out-param: HAMMER observability counters (may be null). */
     core::HammerStats *stats = nullptr;
+
+    /**
+     * Out-param appended to by MitigationChain::apply: per-stage
+     * wall-clock, one (stage name, seconds) pair per stage in chain
+     * order.  Append-only so nested chains compose; callers reusing
+     * one context across apply() calls should clear it in between.
+     * The pipeline surfaces these as "mitigate:<name>" entries in
+     * Result::timings.
+     */
+    std::vector<std::pair<std::string, double>> stageSeconds;
 };
 
 /**

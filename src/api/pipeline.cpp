@@ -56,8 +56,13 @@ double
 Result::totalSeconds() const
 {
     double total = 0.0;
-    for (const auto &timing : timings)
-        total += timing.seconds;
+    for (const auto &timing : timings) {
+        // Sub-stage rows ("mitigate:hammer") detail time already
+        // counted by their parent stage; skip them to keep the total
+        // a genuine end-to-end wall-clock.
+        if (timing.stage.find(':') == std::string::npos)
+            total += timing.seconds;
+    }
     return total;
 }
 
@@ -227,6 +232,10 @@ Pipeline::run(const ExperimentSpec &spec) const
         result.mitigationName = chain.name();
     }
     result.timings.push_back({"mitigate", secondsSince(start)});
+    // Chain-internal per-stage wall-clock: "mitigate:<stage>" rows so
+    // multi-stage specs ("readout,hammer") expose where the time went.
+    for (const auto &[stage, seconds] : ctx.stageSeconds)
+        result.timings.push_back({"mitigate:" + stage, seconds});
 
     // Stage 5: scoring (when the correct answer is known).
     start = std::chrono::steady_clock::now();

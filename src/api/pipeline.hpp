@@ -68,7 +68,12 @@ struct ExperimentSpec
 /** Wall-clock of one pipeline stage. */
 struct StageTiming
 {
-    std::string stage;   ///< "workload" | "backend" | "sample" | ...
+    /**
+     * "workload" | "backend" | "sample" | "mitigate" | "score",
+     * plus one "mitigate:<stage>" detail row per mitigation-chain
+     * stage (sub-rows are excluded from totalSeconds()).
+     */
+    std::string stage;
     double seconds = 0.0;
 };
 

@@ -1,22 +1,8 @@
 #include "common/bitops.hpp"
 
-#include <bit>
-
 #include "common/logging.hpp"
 
 namespace hammer::common {
-
-int
-popcount(Bits x)
-{
-    return std::popcount(x);
-}
-
-int
-hammingDistance(Bits a, Bits b)
-{
-    return std::popcount(a ^ b);
-}
 
 int
 minHammingDistance(Bits x, const std::vector<Bits> &targets)

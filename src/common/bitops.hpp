@@ -10,6 +10,7 @@
 #ifndef HAMMER_COMMON_BITOPS_HPP
 #define HAMMER_COMMON_BITOPS_HPP
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,11 +20,24 @@ namespace hammer::common {
 /** Measurement outcome: qubit i occupies bit i. */
 using Bits = std::uint64_t;
 
+// popcount and hammingDistance are the innermost operations of every
+// O(N^2) Hamming-space loop (HAMMER's pair scans, EHD scoring), so
+// they are defined inline: a call through the library boundary would
+// cost more than the single POPCNT instruction they compile to.
+
 /** Number of set bits in @p x. */
-int popcount(Bits x);
+inline int
+popcount(Bits x)
+{
+    return std::popcount(x);
+}
 
 /** Hamming distance between two outcomes. */
-int hammingDistance(Bits a, Bits b);
+inline int
+hammingDistance(Bits a, Bits b)
+{
+    return std::popcount(a ^ b);
+}
 
 /**
  * Smallest Hamming distance from @p x to any outcome in @p targets.

@@ -1,5 +1,6 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/logging.hpp"
@@ -121,6 +122,30 @@ ThreadPool::run(int workers, std::size_t count,
     }
     ThreadPool pool(workers);
     pool.parallelFor(count, task);
+}
+
+void
+ThreadPool::runChunked(
+    int threads, std::size_t items, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t, int)>
+        &task)
+{
+    require(chunk >= 1, "ThreadPool::runChunked: chunk must be >= 1");
+    const std::size_t chunks = chunkCount(items, chunk);
+    if (chunks == 0)
+        return;
+    const auto runOne = [&](std::size_t c, int slot) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(items, begin + chunk);
+        task(c, begin, end, slot);
+    };
+    const int workers = resolveThreadCount(threads, chunks);
+    if (workers <= 1) {
+        for (std::size_t c = 0; c < chunks; ++c)
+            runOne(c, 0);
+        return;
+    }
+    run(workers, chunks, runOne);
 }
 
 void

@@ -102,6 +102,29 @@ class ThreadPool
     static void run(int workers, std::size_t count,
                     const std::function<void(std::size_t, int)> &task);
 
+    /** Number of fixed-size chunks covering @p items. */
+    static std::size_t chunkCount(std::size_t items, std::size_t chunk)
+    {
+        return items == 0 ? 0 : (items - 1) / chunk + 1;
+    }
+
+    /**
+     * Run task(chunk_index, begin, end, slot) for every fixed-size
+     * chunk [begin, end) of [0, items), where end - begin <= chunk.
+     *
+     * The chunk schedule depends only on (items, chunk) — never on
+     * the thread count — so callers that keep chunk-indexed partial
+     * results and reduce them in a fixed order get bit-identical
+     * output for every @p threads value, including 1.  With one
+     * resolved worker the chunks run inline on the caller (no pool
+     * round at all), which also makes the single-thread path safe to
+     * use from inside another pool task.
+     */
+    static void runChunked(
+        int threads, std::size_t items, std::size_t chunk,
+        const std::function<void(std::size_t, std::size_t, std::size_t,
+                                 int)> &task);
+
   private:
     void workerLoop(int slot);
     void runRound(int slot);

@@ -10,6 +10,85 @@ namespace hammer::core {
 using common::Bits;
 using common::require;
 
+namespace {
+
+// Pending appends are collapsed once the buffer reaches this size, so
+// the working set stays cache-resident even for multi-million-shot
+// streams while add() remains a plain vector push.
+constexpr std::size_t kCollapseThreshold = 1u << 15;
+
+/** Sort by outcome (stable not required: counts are commutative). */
+void
+sortByOutcome(std::vector<CountEntry> &entries)
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const CountEntry &a, const CountEntry &b) {
+                  return a.outcome < b.outcome;
+              });
+}
+
+/** Run-length collapse a sorted run in place. */
+void
+collapseSortedRun(std::vector<CountEntry> &entries)
+{
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (out > 0 && entries[out - 1].outcome == entries[i].outcome) {
+            entries[out - 1].count += entries[i].count;
+        } else {
+            entries[out++] = entries[i];
+        }
+    }
+    entries.resize(out);
+}
+
+/** Merge-join two sorted runs (duplicate outcomes summed). */
+std::vector<CountEntry>
+mergeSortedRuns(const std::vector<CountEntry> &a,
+                const std::vector<CountEntry> &b)
+{
+    std::vector<CountEntry> merged;
+    merged.reserve(a.size() + b.size());
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i].outcome < b[j].outcome) {
+            merged.push_back(a[i++]);
+        } else if (b[j].outcome < a[i].outcome) {
+            merged.push_back(b[j++]);
+        } else {
+            merged.push_back({a[i].outcome, a[i].count + b[j].count});
+            ++i;
+            ++j;
+        }
+    }
+    merged.insert(merged.end(), a.begin() + static_cast<std::ptrdiff_t>(i),
+                  a.end());
+    merged.insert(merged.end(), b.begin() + static_cast<std::ptrdiff_t>(j),
+                  b.end());
+    return merged;
+}
+
+} // namespace
+
+std::vector<Entry>
+collapseEntries(std::vector<Entry> entries)
+{
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry &a, const Entry &b) {
+                         return a.outcome < b.outcome;
+                     });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (out > 0 && entries[out - 1].outcome == entries[i].outcome) {
+            entries[out - 1].probability += entries[i].probability;
+        } else {
+            entries[out++] = entries[i];
+        }
+    }
+    entries.resize(out);
+    return entries;
+}
+
 Distribution::Distribution(int num_bits)
     : numBits_(num_bits)
 {
@@ -18,32 +97,27 @@ Distribution::Distribution(int num_bits)
 }
 
 Distribution
-Distribution::fromCounts(int num_bits,
-                         const std::map<Bits, std::uint64_t> &counts)
+Distribution::fromCounts(
+    int num_bits,
+    const std::vector<std::pair<Bits, std::uint64_t>> &counts)
 {
-    Distribution dist(num_bits);
-    std::uint64_t total = 0;
+    CountAccumulator acc;
+    acc.reserve(counts.size());
     for (const auto &[outcome, count] : counts)
-        total += count;
-    require(total > 0, "Distribution::fromCounts: no shots");
-    dist.entries_.reserve(counts.size());
-    for (const auto &[outcome, count] : counts) {
-        if (count > 0) {
-            dist.entries_.push_back(
-                {outcome, static_cast<double>(count) /
-                          static_cast<double>(total)});
-        }
-    }
-    return dist;
+        acc.add(outcome, count);
+    require(acc.totalShots() > 0, "Distribution::fromCounts: no shots");
+    return acc.toDistribution(num_bits);
 }
 
 Distribution
 Distribution::fromShots(int num_bits, const std::vector<Bits> &shots)
 {
-    std::map<Bits, std::uint64_t> counts;
+    require(!shots.empty(), "Distribution::fromShots: no shots");
+    CountAccumulator acc;
+    acc.reserve(shots.size());
     for (Bits shot : shots)
-        ++counts[shot];
-    return fromCounts(num_bits, counts);
+        acc.add(shot);
+    return acc.toDistribution(num_bits);
 }
 
 Distribution
@@ -60,6 +134,21 @@ Distribution::fromDense(int num_bits, const std::vector<double> &probs,
         if (probs[i] > threshold)
             dist.entries_.push_back({i, probs[i]});
     }
+    return dist;
+}
+
+Distribution
+Distribution::fromSorted(int num_bits, std::vector<Entry> entries)
+{
+    Distribution dist(num_bits);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        require(entries[i].probability >= 0.0,
+                "Distribution::fromSorted: negative probability");
+        require(i == 0 || entries[i - 1].outcome < entries[i].outcome,
+                "Distribution::fromSorted: entries must be sorted "
+                "strictly ascending by outcome");
+    }
+    dist.entries_ = std::move(entries);
     return dist;
 }
 
@@ -178,22 +267,78 @@ CountAccumulator::add(Bits outcome, std::uint64_t count)
 {
     if (count == 0)
         return;
-    counts_[outcome] += count;
+    pending_.push_back({outcome, count});
     totalShots_ += count;
+    if (pending_.size() >= kCollapseThreshold)
+        collapse();
+}
+
+void
+CountAccumulator::reserve(std::size_t shots)
+{
+    pending_.reserve(std::min(shots, kCollapseThreshold));
+}
+
+void
+CountAccumulator::collapse() const
+{
+    if (pending_.empty())
+        return;
+    sortByOutcome(pending_);
+    collapseSortedRun(pending_);
+    if (sorted_.empty()) {
+        sorted_ = std::move(pending_);
+    } else {
+        sorted_ = mergeSortedRuns(sorted_, pending_);
+    }
+    pending_.clear();
 }
 
 void
 CountAccumulator::merge(const CountAccumulator &other)
 {
-    for (const auto &[outcome, count] : other.counts_)
-        counts_[outcome] += count;
+    collapse();
+    other.collapse();
+    if (other.sorted_.empty()) {
+        // nothing to fold in
+    } else if (sorted_.empty()) {
+        sorted_ = other.sorted_;
+    } else {
+        sorted_ = mergeSortedRuns(sorted_, other.sorted_);
+    }
     totalShots_ += other.totalShots_;
+}
+
+const std::vector<CountEntry> &
+CountAccumulator::counts() const
+{
+    collapse();
+    return sorted_;
+}
+
+std::uint64_t
+CountAccumulator::count(Bits outcome) const
+{
+    collapse();
+    const auto it = std::lower_bound(
+        sorted_.begin(), sorted_.end(), outcome,
+        [](const CountEntry &e, Bits o) { return e.outcome < o; });
+    if (it != sorted_.end() && it->outcome == outcome)
+        return it->count;
+    return 0;
 }
 
 Distribution
 CountAccumulator::toDistribution(int num_bits) const
 {
-    return Distribution::fromCounts(num_bits, counts_);
+    require(totalShots_ > 0, "CountAccumulator::toDistribution: no shots");
+    collapse();
+    const double total = static_cast<double>(totalShots_);
+    std::vector<Entry> entries;
+    entries.reserve(sorted_.size());
+    for (const CountEntry &e : sorted_)
+        entries.push_back({e.outcome, static_cast<double>(e.count) / total});
+    return Distribution::fromSorted(num_bits, std::move(entries));
 }
 
 CountAccumulator

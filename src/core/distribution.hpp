@@ -6,14 +6,21 @@
  * samplers produce one, HAMMER consumes and produces one, and the
  * metrics read them.  Outcomes are stored sorted by bit pattern so
  * iteration order (and therefore every experiment) is deterministic.
+ *
+ * Both Distribution and CountAccumulator are backed by flat sorted
+ * vectors rather than node-based maps: the hot paths (per-shot
+ * histogramming, HAMMER's O(N^2) pair loops, tree reductions) walk
+ * the support linearly, so contiguous storage turns every traversal
+ * into a streaming scan with no pointer chasing or per-node
+ * allocation.
  */
 
 #ifndef HAMMER_CORE_DISTRIBUTION_HPP
 #define HAMMER_CORE_DISTRIBUTION_HPP
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bitops.hpp"
@@ -26,6 +33,24 @@ struct Entry
     common::Bits outcome;
     double probability;
 };
+
+/** One (outcome, shot count) entry of a CountAccumulator. */
+struct CountEntry
+{
+    common::Bits outcome;
+    std::uint64_t count;
+};
+
+/**
+ * Stable-sort @p entries by outcome and sum duplicates, returning a
+ * strictly-ascending run ready for Distribution::fromSorted.
+ *
+ * The stable sort keeps each outcome's contributions in their
+ * original append order, so the folded sums are bit-identical to a
+ * sequential accumulation — the primitive behind every flat
+ * "gather then collapse" path (channel folding, ensemble merging).
+ */
+std::vector<Entry> collapseEntries(std::vector<Entry> entries);
 
 /**
  * Sparse probability distribution over n-bit outcomes.
@@ -45,13 +70,17 @@ class Distribution
      * Build from integer shot counts (normalises by total shots).
      *
      * @param num_bits Output width.
-     * @param counts Outcome -> shot count.
+     * @param counts (outcome, shot count) pairs in any order;
+     *        duplicate outcomes are summed.
      */
     static Distribution fromCounts(
-        int num_bits, const std::map<common::Bits, std::uint64_t> &counts);
+        int num_bits,
+        const std::vector<std::pair<common::Bits, std::uint64_t>>
+            &counts);
 
     /**
-     * Build from a list of sampled shots.
+     * Build from a list of sampled shots (sort + run-length collapse;
+     * no intermediate map).
      */
     static Distribution fromShots(int num_bits,
                                   const std::vector<common::Bits> &shots);
@@ -63,6 +92,17 @@ class Distribution
     static Distribution fromDense(int num_bits,
                                   const std::vector<double> &probs,
                                   double threshold = 1e-12);
+
+    /**
+     * Adopt an already-sorted entry vector without per-entry
+     * insertion — the zero-copy exit of the flat pipelines (HAMMER's
+     * rescoring loop, accumulator normalisation, channel folding).
+     *
+     * @pre entries sorted strictly ascending by outcome, all
+     *      probabilities >= 0.
+     */
+    static Distribution fromSorted(int num_bits,
+                                   std::vector<Entry> entries);
 
     int numBits() const { return numBits_; }
 
@@ -117,12 +157,30 @@ class Distribution
  * so the merged result is bit-identical no matter how the shots were
  * partitioned across workers — the property the sampleBatch()
  * determinism tests assert.
+ *
+ * Storage is flat: add() is an O(1) append into a pending buffer, and
+ * the buffer is collapsed (sort + run-length sum) into a sorted
+ * vector lazily — when it grows past a threshold, when two
+ * accumulators merge (a linear merge-join), or when the counts are
+ * read.  A worker recording S shots therefore costs O(S + U log U)
+ * for U unique outcomes, with no per-shot tree rebalancing or node
+ * allocation.
+ *
+ * Because of the lazy collapse, even the const accessors (counts(),
+ * count(), toDistribution()) may reorganise the internal buffers:
+ * concurrent access to one instance is not safe, const or not.  The
+ * engine's usage pattern — each worker fills a private accumulator,
+ * reads happen only after the reduction — never shares an instance
+ * between threads.
  */
 class CountAccumulator
 {
   public:
     /** Record @p count observations of @p outcome. */
     void add(common::Bits outcome, std::uint64_t count = 1);
+
+    /** Pre-size the pending buffer for @p shots add() calls. */
+    void reserve(std::size_t shots);
 
     /** Fold @p other's counts into this accumulator. */
     void merge(const CountAccumulator &other);
@@ -131,13 +189,13 @@ class CountAccumulator
     std::uint64_t totalShots() const { return totalShots_; }
 
     /** True when no shots have been recorded. */
-    bool empty() const { return counts_.empty(); }
+    bool empty() const { return totalShots_ == 0; }
 
-    /** Outcome -> count, ordered by outcome bit pattern. */
-    const std::map<common::Bits, std::uint64_t> &counts() const
-    {
-        return counts_;
-    }
+    /** (outcome, count) entries, sorted ascending by outcome. */
+    const std::vector<CountEntry> &counts() const;
+
+    /** Count recorded for @p outcome (0 when absent). */
+    std::uint64_t count(common::Bits outcome) const;
 
     /** Normalise into a Distribution. @pre totalShots() > 0. */
     Distribution toDistribution(int num_bits) const;
@@ -146,7 +204,8 @@ class CountAccumulator
      * Combine per-worker partials with a pairwise reduction tree
      * (round k merges partials 2^k apart), leaving the result in
      * parts[0].  Atomic-free: each merge touches two accumulators no
-     * other merge of the same round touches.
+     * other merge of the same round touches, and each merge is one
+     * linear merge-join of two sorted runs.
      *
      * @pre parts is non-empty.
      */
@@ -154,7 +213,13 @@ class CountAccumulator
         std::vector<CountAccumulator> &parts);
 
   private:
-    std::map<common::Bits, std::uint64_t> counts_;
+    /** Sort + run-length collapse pending_ into sorted_. */
+    void collapse() const;
+
+    // Lazily collapsed: counts() is logically const, so the buffers
+    // are mutable and collapse() keeps the pair consistent.
+    mutable std::vector<CountEntry> sorted_;  // sorted by outcome
+    mutable std::vector<CountEntry> pending_; // unsorted appends
     std::uint64_t totalShots_ = 0;
 };
 

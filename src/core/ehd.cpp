@@ -12,6 +12,16 @@ expectedHammingDistance(const Distribution &dist,
                         const std::vector<Bits> &correct)
 {
     require(!correct.empty(), "expectedHammingDistance: no references");
+    // Single-reference circuits (BV, most of the sweeps) dominate the
+    // scoring traffic; skipping the min-loop keeps the scan at one
+    // XOR+POPCNT per entry.
+    if (correct.size() == 1) {
+        const Bits key = correct.front();
+        double ehd = 0.0;
+        for (const Entry &e : dist.entries())
+            ehd += e.probability * common::hammingDistance(e.outcome, key);
+        return ehd;
+    }
     double ehd = 0.0;
     for (const Entry &e : dist.entries()) {
         ehd += e.probability *

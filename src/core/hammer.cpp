@@ -4,14 +4,23 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "core/hamming_index.hpp"
 #include "core/spectrum.hpp"
 
 namespace hammer::core {
 
 using common::Bits;
 using common::require;
+using common::ThreadPool;
 
 namespace {
+
+// Fixed work-item size for the parallel pair scans.  The chunk
+// schedule depends only on the support size — never the thread count
+// — which is what makes the chunk-indexed partials (and so the whole
+// reconstruction) bit-identical for any number of workers.
+constexpr std::size_t kScanChunk = 64;
 
 /** Resolve config.maxDistance to the effective bound. */
 int
@@ -46,6 +55,138 @@ weightsFromChs(const std::vector<double> &chs, int num_bits,
         }
     }
     return weights;
+}
+
+/** Per-chunk partial of the Step-1 CHS aggregation. */
+struct ChsPartial
+{
+    std::vector<double> chs;
+    std::uint64_t pairOps = 0;
+};
+
+/**
+ * Combine chunk partials with a pairwise reduction tree (round k
+ * merges partials 2^k apart).  The merge order is a pure function of
+ * the chunk count, so the summed CHS is independent of which worker
+ * produced which partial.
+ */
+ChsPartial
+treeReduceChs(std::vector<ChsPartial> &parts)
+{
+    require(!parts.empty(), "treeReduceChs: no parts");
+    for (std::size_t stride = 1; stride < parts.size(); stride *= 2) {
+        for (std::size_t i = 0; i + stride < parts.size();
+             i += 2 * stride) {
+            ChsPartial &into = parts[i];
+            const ChsPartial &from = parts[i + stride];
+            for (std::size_t d = 0; d < into.chs.size(); ++d)
+                into.chs[d] += from.chs[d];
+            into.pairOps += from.pairOps;
+        }
+    }
+    return std::move(parts[0]);
+}
+
+/**
+ * Struct-of-arrays copy of a distribution's support: the pair scans
+ * stream outcomes_ (one cache line holds eight) and touch probs_
+ * only on distance hits, halving the hot loops' cache traffic
+ * relative to walking the 16-byte Entry structs.
+ */
+struct FlatSupport
+{
+    explicit FlatSupport(const Distribution &input)
+    {
+        const auto &entries = input.entries();
+        outcomes.reserve(entries.size());
+        probs.reserve(entries.size());
+        for (const Entry &e : entries) {
+            outcomes.push_back(e.outcome);
+            probs.push_back(e.probability);
+        }
+    }
+
+    std::vector<Bits> outcomes;
+    std::vector<double> probs;
+};
+
+/**
+ * The shared Step-1 + Step-3 skeleton of both reconstruction
+ * variants.  @p chsRow accumulates entry i's Step-1 contribution
+ * into a partial (whose chs vector has n + 1 bins, so row kernels
+ * can bin unconditionally and let out-of-radius distances land in
+ * discarded bins); @p scoreRow returns entry i's Step-3
+ * neighbourhood score given radius-extended weights (zero beyond
+ * dmax).  Both are invoked with a fixed iteration order per i, and
+ * partials are chunk-indexed, so the result is bit-identical for
+ * any thread count.
+ */
+template <typename ChsRow, typename ScoreRow>
+Distribution
+reconstructSkeleton(const Distribution &input, const HammerConfig &config,
+                    HammerStats *stats, int dmax, const ChsRow &chsRow,
+                    const ScoreRow &scoreRow)
+{
+    const int n = input.numBits();
+    const auto &entries = input.entries();
+    const std::size_t count = entries.size();
+    const std::size_t chunks = ThreadPool::chunkCount(count, kScanChunk);
+
+    // Step 1: aggregate Cumulative Hamming Strength, one fixed-size
+    // chunk of rows per work item.
+    std::vector<ChsPartial> partials(chunks);
+    ThreadPool::runChunked(
+        config.threads, count, kScanChunk,
+        [&](std::size_t c, std::size_t begin, std::size_t end, int) {
+            ChsPartial &partial = partials[c];
+            partial.chs.assign(static_cast<std::size_t>(n) + 1, 0.0);
+            for (std::size_t i = begin; i < end; ++i)
+                chsRow(i, partial);
+        });
+    ChsPartial reduced = treeReduceChs(partials);
+    std::vector<double> chs = std::move(reduced.chs);
+    chs.resize(static_cast<std::size_t>(dmax) + 1); // drop spill bins
+    std::uint64_t pair_ops = reduced.pairOps;
+
+    // Step 2: per-distance weights, extended with zeros beyond dmax
+    // so the rescoring kernels need no distance branch.
+    const std::vector<double> weights =
+        weightsFromChs(chs, n, config.weightScheme);
+    std::vector<double> weights_ext = weights;
+    weights_ext.resize(static_cast<std::size_t>(n) + 1, 0.0);
+
+    // Step 3: rescore every outcome.  Each score is a pure function
+    // of (i, input, weights), written to its own slot.
+    std::vector<Entry> rescored(count);
+    std::vector<std::uint64_t> scoreOps(chunks, 0);
+    ThreadPool::runChunked(
+        config.threads, count, kScanChunk,
+        [&](std::size_t c, std::size_t begin, std::size_t end, int) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const double score =
+                    scoreRow(i, weights_ext, scoreOps[c]);
+                const double px = entries[i].probability;
+                rescored[i] = {entries[i].outcome,
+                               config.scoreCombine ==
+                                       ScoreCombine::Multiplicative
+                                   ? score * px
+                                   : score};
+            }
+        });
+    for (const std::uint64_t ops : scoreOps)
+        pair_ops += ops;
+
+    Distribution output = Distribution::fromSorted(n, std::move(rescored));
+    output.normalize();
+
+    if (stats) {
+        stats->uniqueOutcomes = count;
+        stats->maxDistance = dmax;
+        stats->aggregateChs = std::move(chs);
+        stats->weights = weights;
+        stats->pairOperations = pair_ops;
+    }
+    return output;
 }
 
 } // namespace
@@ -88,60 +229,59 @@ reconstruct(const Distribution &input, const HammerConfig &config,
     require(input.normalized(1e-6),
             "reconstruct: input distribution must be normalised");
 
-    const int n = input.numBits();
     const int dmax = effectiveMaxDistance(input, config);
-    const auto &entries = input.entries();
-    const std::size_t count = entries.size();
+    const FlatSupport support(input);
+    const std::size_t count = support.outcomes.size();
 
-    std::uint64_t pair_ops = 0;
-
-    // Step 1: aggregate Cumulative Hamming Strength over all pairs.
-    const std::vector<double> chs = aggregateChs(input, dmax);
-    pair_ops += static_cast<std::uint64_t>(count) * count;
-
-    // Step 2: per-distance weights.
-    const std::vector<double> weights =
-        weightsFromChs(chs, n, config.weightScheme);
-
-    // Step 3: rescore every outcome.
-    Distribution output(n);
-    for (std::size_t i = 0; i < count; ++i) {
-        const Bits x = entries[i].outcome;
-        const double px = entries[i].probability;
-        double score = px;
-        for (std::size_t j = 0; j < count; ++j) {
-            if (j == i)
-                continue;
-            ++pair_ops;
-            const int d = common::hammingDistance(x, entries[j].outcome);
-            if (d > dmax)
-                continue;
-            // Filter pi: credit flows only from strictly less probable
-            // neighbours, so rich-but-unlikely strings cannot borrow
-            // strength from dominant ones.
-            if (config.filterLowerProbability &&
-                !(px > entries[j].probability)) {
-                continue;
+    // Exhaustive O(N^2) scans (the reference implementation whose
+    // operation count Table 3 quotes); reconstructFast() is the
+    // popcount-pruned variant.  The inner loops are branch-light:
+    // the j ranges skip the diagonal structurally, and distances
+    // beyond dmax bin into the skeleton's discarded spill bins.
+    const auto chsRow = [&](std::size_t i, ChsPartial &partial) {
+        const Bits x = support.outcomes[i];
+        partial.chs[0] += support.probs[i];
+        const auto scanHalf = [&](std::size_t from, std::size_t to) {
+            for (std::size_t j = from; j < to; ++j) {
+                const int d = common::hammingDistance(
+                    x, support.outcomes[j]);
+                partial.chs[static_cast<std::size_t>(d)] +=
+                    support.probs[j];
             }
-            score += weights[static_cast<std::size_t>(d)] *
-                     entries[j].probability;
-        }
+        };
+        scanHalf(0, i);
+        scanHalf(i + 1, count);
+        partial.pairOps += count - 1;
+    };
 
-        const double updated = config.scoreCombine ==
-            ScoreCombine::Multiplicative ? score * px : score;
-        output.set(x, updated);
-    }
+    const auto scoreRow = [&](std::size_t i,
+                              const std::vector<double> &weights_ext,
+                              std::uint64_t &ops) {
+        const Bits x = support.outcomes[i];
+        const double px = support.probs[i];
+        const bool filter = config.filterLowerProbability;
+        double score = px;
+        const auto scanHalf = [&](std::size_t from, std::size_t to) {
+            for (std::size_t j = from; j < to; ++j) {
+                const int d = common::hammingDistance(
+                    x, support.outcomes[j]);
+                const double pj = support.probs[j];
+                // Filter pi: credit flows only from strictly less
+                // probable neighbours, so rich-but-unlikely strings
+                // cannot borrow strength from dominant ones.
+                if (filter && !(px > pj))
+                    continue;
+                score += weights_ext[static_cast<std::size_t>(d)] * pj;
+            }
+        };
+        scanHalf(0, i);
+        scanHalf(i + 1, count);
+        ops += count - 1;
+        return score;
+    };
 
-    output.normalize();
-
-    if (stats) {
-        stats->uniqueOutcomes = count;
-        stats->maxDistance = dmax;
-        stats->aggregateChs = chs;
-        stats->weights = weights;
-        stats->pairOperations = pair_ops;
-    }
-    return output;
+    return reconstructSkeleton(input, config, stats, dmax, chsRow,
+                               scoreRow);
 }
 
 Distribution
@@ -164,89 +304,60 @@ reconstructFast(const Distribution &input, const HammerConfig &config,
     require(input.normalized(1e-6),
             "reconstructFast: input distribution must be normalised");
 
-    const int n = input.numBits();
     const int dmax = effectiveMaxDistance(input, config);
-    const auto &entries = input.entries();
-    const std::size_t count = entries.size();
+    const FlatSupport support(input);
 
-    // Bucket entry indices by popcount: H(x, y) >= |pc(x) - pc(y)|,
-    // so only buckets within dmax can contribute.
-    std::vector<std::vector<std::size_t>> buckets(
-        static_cast<std::size_t>(n) + 1);
-    for (std::size_t i = 0; i < count; ++i) {
-        buckets[static_cast<std::size_t>(
-            common::popcount(entries[i].outcome))].push_back(i);
-    }
+    // H(x, y) >= |pc(x) - pc(y)|: only the weight bands within dmax
+    // of pc(x) can hold neighbours of x.
+    const HammingIndex index(input);
 
-    std::uint64_t pair_ops = 0;
+    // Step 1 visits each unordered pair once (H is symmetric, so the
+    // pair contributes P(i) + P(j) to its bin).  The d <= dmax test
+    // stays: a pair's contribution must not land in a spill bin with
+    // only half its mass accounted when the mirrored pair is pruned.
+    const auto chsRow = [&](std::size_t i, ChsPartial &partial) {
+        const Bits x = support.outcomes[i];
+        const double px = support.probs[i];
+        partial.chs[0] += px;
+        std::uint64_t ops = 0;
+        index.forEachCandidate(i, dmax, [&](std::size_t j) {
+            if (j <= i)
+                return; // unordered pairs once
+            ++ops;
+            const int d = common::hammingDistance(
+                x, support.outcomes[j]);
+            if (d <= dmax)
+                partial.chs[static_cast<std::size_t>(d)] +=
+                    px + support.probs[j];
+        });
+        partial.pairOps += ops;
+    };
 
-    // Step 1: aggregate CHS with bucket pruning.
-    std::vector<double> chs(static_cast<std::size_t>(dmax) + 1, 0.0);
-    for (std::size_t i = 0; i < count; ++i) {
-        const int pc = common::popcount(entries[i].outcome);
-        chs[0] += entries[i].probability;
-        const int lo = std::max(0, pc - dmax);
-        const int hi = std::min(n, pc + dmax);
-        for (int b = lo; b <= hi; ++b) {
-            for (std::size_t j : buckets[static_cast<std::size_t>(b)]) {
-                if (j <= i)
-                    continue; // unordered pairs once
-                ++pair_ops;
-                const int d = common::hammingDistance(
-                    entries[i].outcome, entries[j].outcome);
-                if (d <= dmax) {
-                    chs[static_cast<std::size_t>(d)] +=
-                        entries[i].probability + entries[j].probability;
-                }
-            }
-        }
-    }
-
-    // Step 2: weights.
-    const std::vector<double> weights =
-        weightsFromChs(chs, n, config.weightScheme);
-
-    // Step 3: rescoring with the same pruning.
-    Distribution output(n);
-    for (std::size_t i = 0; i < count; ++i) {
-        const Bits x = entries[i].outcome;
-        const double px = entries[i].probability;
-        const int pc = common::popcount(x);
+    const auto scoreRow = [&](std::size_t i,
+                              const std::vector<double> &weights_ext,
+                              std::uint64_t &pair_ops) {
+        const Bits x = support.outcomes[i];
+        const double px = support.probs[i];
+        const bool filter = config.filterLowerProbability;
         double score = px;
-        const int lo = std::max(0, pc - dmax);
-        const int hi = std::min(n, pc + dmax);
-        for (int b = lo; b <= hi; ++b) {
-            for (std::size_t j : buckets[static_cast<std::size_t>(b)]) {
-                if (j == i)
-                    continue;
-                ++pair_ops;
-                const int d = common::hammingDistance(
-                    x, entries[j].outcome);
-                if (d > dmax)
-                    continue;
-                if (config.filterLowerProbability &&
-                    !(px > entries[j].probability)) {
-                    continue;
-                }
-                score += weights[static_cast<std::size_t>(d)] *
-                         entries[j].probability;
-            }
-        }
-        const double updated = config.scoreCombine ==
-            ScoreCombine::Multiplicative ? score * px : score;
-        output.set(x, updated);
-    }
+        std::uint64_t ops = 0;
+        index.forEachCandidate(i, dmax, [&](std::size_t j) {
+            if (j == i)
+                return;
+            ++ops;
+            const int d = common::hammingDistance(
+                x, support.outcomes[j]);
+            const double pj = support.probs[j];
+            if (filter && !(px > pj))
+                return;
+            score += weights_ext[static_cast<std::size_t>(d)] * pj;
+        });
+        pair_ops += ops;
+        return score;
+    };
 
-    output.normalize();
-
-    if (stats) {
-        stats->uniqueOutcomes = count;
-        stats->maxDistance = dmax;
-        stats->aggregateChs = chs;
-        stats->weights = weights;
-        stats->pairOperations = pair_ops;
-    }
-    return output;
+    return reconstructSkeleton(input, config, stats, dmax, chsRow,
+                               scoreRow);
 }
 
 } // namespace hammer::core

@@ -58,6 +58,15 @@ struct HammerConfig
 
     /** Score combination rule. */
     ScoreCombine scoreCombine = ScoreCombine::Multiplicative;
+
+    /**
+     * Worker threads for the pair scans; 0 selects
+     * common::ThreadPool::defaultThreadCount().  The support is
+     * partitioned into fixed-size chunks whose partial CHS vectors
+     * are combined with a deterministic reduction tree, so the
+     * output is bit-identical for every thread count, including 1.
+     */
+    int threads = 0;
 };
 
 /** Observability data captured during a reconstruction. */

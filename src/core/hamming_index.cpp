@@ -1,0 +1,55 @@
+#include "core/hamming_index.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace hammer::core {
+
+using common::require;
+
+HammingIndex::HammingIndex(const Distribution &dist)
+    : numBits_(dist.numBits())
+{
+    const auto &entries = dist.entries();
+    require(entries.size() <=
+                std::numeric_limits<std::uint32_t>::max(),
+            "HammingIndex: support too large for 32-bit indices");
+
+    weights_.resize(entries.size());
+    offsets_.assign(static_cast<std::size_t>(numBits_) + 2, 0);
+
+    // Pass 1: per-entry weights + band histogram.
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const int pc = common::popcount(entries[i].outcome);
+        weights_[i] = static_cast<std::uint8_t>(pc);
+        ++offsets_[static_cast<std::size_t>(pc) + 1];
+        if (maxWeight_ < 0 || pc < minWeight_)
+            minWeight_ = pc;
+        if (pc > maxWeight_)
+            maxWeight_ = pc;
+    }
+
+    // Prefix-sum into CSR offsets.
+    for (std::size_t w = 1; w < offsets_.size(); ++w)
+        offsets_[w] += offsets_[w - 1];
+
+    // Pass 2: scatter entry indices band-major.  Entries are scanned
+    // in ascending order, so each band's indices come out ascending.
+    indices_.resize(entries.size());
+    std::vector<std::uint32_t> cursor(offsets_.begin(),
+                                      offsets_.end() - 1);
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        indices_[cursor[weights_[i]]++] = static_cast<std::uint32_t>(i);
+}
+
+std::span<const std::uint32_t>
+HammingIndex::band(int weight) const
+{
+    if (weight < 0 || weight > numBits_)
+        return {};
+    const auto w = static_cast<std::size_t>(weight);
+    return {indices_.data() + offsets_[w], offsets_[w + 1] - offsets_[w]};
+}
+
+} // namespace hammer::core

@@ -1,6 +1,7 @@
 #include "mitigation/ensemble.hpp"
 
-#include <numeric>
+#include <algorithm>
+#include <utility>
 
 #include "circuits/transpiler.hpp"
 #include "common/logging.hpp"
@@ -47,7 +48,12 @@ ensembleSample(const sim::Circuit &circuit,
     const auto layouts =
         diverseLayouts(circuit.numQubits(), options.mappings);
 
-    Distribution combined(measured_qubits);
+    // Flat merge: gather every mapping's weighted entries, then one
+    // stable sort + run-length sum instead of per-entry binary-search
+    // insertion into the combined histogram.  The stable sort keeps
+    // each outcome's contributions in mapping order, so the folded
+    // sums match a sequential accumulation bit for bit.
+    std::vector<core::Entry> weighted;
     int assigned = 0;
     for (int m = 0; m < options.mappings; ++m) {
         const int quota =
@@ -61,8 +67,10 @@ ensembleSample(const sim::Circuit &circuit,
         const double weight = static_cast<double>(quota) /
                               static_cast<double>(shots);
         for (const core::Entry &e : dist.entries())
-            combined.add(e.outcome, weight * e.probability);
+            weighted.push_back({e.outcome, weight * e.probability});
     }
+    Distribution combined = Distribution::fromSorted(
+        measured_qubits, core::collapseEntries(std::move(weighted)));
     combined.normalize();
     return combined;
 }

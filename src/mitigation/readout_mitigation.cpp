@@ -4,15 +4,27 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "noise/readout.hpp"
 
 namespace hammer::mitigation {
 
 using common::Bits;
 using common::require;
+using common::ThreadPool;
 using core::Distribution;
 using core::Entry;
 using noise::NoiseModel;
+
+namespace {
+
+// Row-chunk size for the parallel response-matrix build and Bayesian
+// updates.  Fixed (thread-count independent) so every output element
+// is computed whole, in the same inner-loop order, by exactly one
+// worker — the unfolding is bit-identical for any thread count.
+constexpr std::size_t kRowChunk = 16;
+
+} // namespace
 
 double
 confusionProbability(Bits truth, Bits observed, int num_bits,
@@ -49,16 +61,23 @@ mitigateReadout(const Distribution &measured, const NoiseModel &model,
     const auto &entries = measured.entries();
     const std::size_t count = entries.size();
 
-    // Response matrix restricted to the observed support:
-    // response[y][x] = P(observe y | truth x).
-    std::vector<std::vector<double>> response(
-        count, std::vector<double>(count, 0.0));
-    for (std::size_t y = 0; y < count; ++y) {
-        for (std::size_t x = 0; x < count; ++x) {
-            response[y][x] = confusionProbability(
-                entries[x].outcome, entries[y].outcome, n, model);
-        }
-    }
+    // Response matrix restricted to the observed support, one flat
+    // row-major block: response[y * count + x] = P(observe y | truth
+    // x).  Building it is O(N^2) pow() calls — the dominant cost —
+    // so rows are fanned across the pool.
+    std::vector<double> response(count * count);
+    ThreadPool::runChunked(
+        options.threads, count, kRowChunk,
+        [&](std::size_t, std::size_t begin, std::size_t end, int) {
+            for (std::size_t y = begin; y < end; ++y) {
+                double *row = response.data() + y * count;
+                for (std::size_t x = 0; x < count; ++x) {
+                    row[x] = confusionProbability(
+                        entries[x].outcome, entries[y].outcome, n,
+                        model);
+                }
+            }
+        });
 
     // Iterative Bayesian Unfolding, seeded with the measured
     // distribution itself.
@@ -67,32 +86,43 @@ mitigateReadout(const Distribution &measured, const NoiseModel &model,
         truth[x] = entries[x].probability;
 
     std::vector<double> folded(count);
+    std::vector<double> next(count);
     for (int iter = 0; iter < options.iterations; ++iter) {
-        for (std::size_t y = 0; y < count; ++y) {
-            double acc = 0.0;
-            for (std::size_t x = 0; x < count; ++x)
-                acc += response[y][x] * truth[x];
-            folded[y] = acc;
-        }
-        std::vector<double> next(count, 0.0);
-        for (std::size_t x = 0; x < count; ++x) {
-            double acc = 0.0;
-            for (std::size_t y = 0; y < count; ++y) {
-                if (folded[y] > 0.0) {
-                    acc += response[y][x] * entries[y].probability /
-                           folded[y];
+        ThreadPool::runChunked(
+            options.threads, count, kRowChunk,
+            [&](std::size_t, std::size_t begin, std::size_t end, int) {
+                for (std::size_t y = begin; y < end; ++y) {
+                    const double *row = response.data() + y * count;
+                    double acc = 0.0;
+                    for (std::size_t x = 0; x < count; ++x)
+                        acc += row[x] * truth[x];
+                    folded[y] = acc;
                 }
-            }
-            next[x] = truth[x] * acc;
-        }
-        truth = std::move(next);
+            });
+        ThreadPool::runChunked(
+            options.threads, count, kRowChunk,
+            [&](std::size_t, std::size_t begin, std::size_t end, int) {
+                for (std::size_t x = begin; x < end; ++x) {
+                    double acc = 0.0;
+                    for (std::size_t y = 0; y < count; ++y) {
+                        if (folded[y] > 0.0) {
+                            acc += response[y * count + x] *
+                                   entries[y].probability / folded[y];
+                        }
+                    }
+                    next[x] = truth[x] * acc;
+                }
+            });
+        std::swap(truth, next);
     }
 
-    Distribution out(n);
+    std::vector<Entry> unfolded;
+    unfolded.reserve(count);
     for (std::size_t x = 0; x < count; ++x) {
         if (truth[x] > 0.0)
-            out.set(entries[x].outcome, truth[x]);
+            unfolded.push_back({entries[x].outcome, truth[x]});
     }
+    Distribution out = Distribution::fromSorted(n, std::move(unfolded));
     out.normalize();
     return out;
 }

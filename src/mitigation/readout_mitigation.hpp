@@ -25,6 +25,15 @@ namespace hammer::mitigation {
 struct ReadoutMitigationOptions
 {
     int iterations = 16;      ///< Bayesian update count.
+
+    /**
+     * Worker threads for the response-matrix build and the Bayesian
+     * updates; 0 selects ThreadPool::defaultThreadCount().  Rows are
+     * partitioned in fixed-size chunks and every output element is
+     * computed whole by one worker, so the unfolding is bit-identical
+     * for any thread count.
+     */
+    int threads = 0;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
@@ -278,13 +279,14 @@ ChannelSampler::sample(const circuits::RoutedCircuit &routed,
     // Sample all ideal shots in one pass (amortised CDF).
     const std::vector<Bits> ideal = state.sampleShots(rng, shots);
 
-    std::map<Bits, std::uint64_t> counts;
+    core::CountAccumulator counts;
+    counts.reserve(ideal.size());
     for (Bits physical : ideal) {
         const Bits logical = routed.toLogical(physical);
-        ++counts[applyShotNoise(plan, params_, model_, logical,
-                                measured_qubits, rng)];
+        counts.add(applyShotNoise(plan, params_, model_, logical,
+                                  measured_qubits, rng));
     }
-    return Distribution::fromCounts(measured_qubits, counts);
+    return counts.toDistribution(measured_qubits);
 }
 
 Distribution

@@ -1,6 +1,5 @@
 #include "noise/trajectory_sampler.hpp"
 
-#include <map>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -73,7 +72,8 @@ TrajectorySampler::sample(const circuits::RoutedCircuit &routed,
         ? ~Bits{0}
         : (Bits{1} << measured_qubits) - 1;
 
-    std::map<Bits, std::uint64_t> counts;
+    core::CountAccumulator counts;
+    counts.reserve(static_cast<std::size_t>(shots));
     int assigned = 0;
     for (int t = 0; t < trajectories_; ++t) {
         // Spread the budget evenly; earlier trajectories absorb the
@@ -88,10 +88,10 @@ TrajectorySampler::sample(const circuits::RoutedCircuit &routed,
         for (Bits physical : state.sampleShots(rng, quota)) {
             physical = applyReadoutError(physical, n, model_, rng);
             const Bits logical = routed.toLogical(physical);
-            ++counts[logical & mask];
+            counts.add(logical & mask);
         }
     }
-    return Distribution::fromCounts(measured_qubits, counts);
+    return counts.toDistribution(measured_qubits);
 }
 
 Distribution

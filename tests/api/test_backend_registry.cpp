@@ -10,6 +10,7 @@
 
 #include "api/backend.hpp"
 #include "api/workload.hpp"
+#include "noise/exact_sampler.hpp"
 
 namespace {
 
@@ -25,8 +26,9 @@ TEST(BackendRegistry, GlobalKnowsTheBuiltinBackends)
     EXPECT_TRUE(registry.contains("trajectory"));
     EXPECT_TRUE(registry.contains("channel"));
     EXPECT_TRUE(registry.contains("exact"));
+    EXPECT_TRUE(registry.contains("exact-cached"));
     EXPECT_FALSE(registry.contains("remote"));
-    EXPECT_EQ(registry.names().size(), 3u);
+    EXPECT_EQ(registry.names().size(), 4u);
 }
 
 TEST(BackendRegistry, BuiltBackendsSample)
@@ -42,6 +44,77 @@ TEST(BackendRegistry, BuiltBackendsSample)
                                           rng);
         EXPECT_TRUE(dist.normalized()) << name;
         EXPECT_EQ(dist.numBits(), 3) << name;
+    }
+}
+
+TEST(BackendRegistry, CachedExactMatchesExactBitForBit)
+{
+    // The cached backend must be a pure memoisation: same RNG state,
+    // same histogram as the exact backend, for every shot budget.
+    hammer::noise::CachedExactSampler::clearCache();
+    const auto workload = hammer::api::makeGhzWorkload(4);
+    BackendSpec spec;
+    for (int shots : {64, 256}) {
+        Rng exact_rng(7), cached_rng(7);
+        const auto exact =
+            BackendRegistry::global().make("exact", spec);
+        const auto cached =
+            BackendRegistry::global().make("exact-cached", spec);
+        const auto a =
+            exact->sample(workload.routed, 4, shots, exact_rng);
+        const auto b =
+            cached->sample(workload.routed, 4, shots, cached_rng);
+        ASSERT_EQ(a.support(), b.support()) << shots << " shots";
+        for (const auto &e : a.entries())
+            EXPECT_DOUBLE_EQ(e.probability, b.probability(e.outcome))
+                << shots << " shots";
+    }
+}
+
+TEST(BackendRegistry, CachedExactReusesTheDensityMatrixEvolution)
+{
+    using hammer::noise::CachedExactSampler;
+    CachedExactSampler::clearCache();
+    const auto workload = hammer::api::makeGhzWorkload(4);
+    BackendSpec spec;
+    Rng rng(11);
+    const auto sampler =
+        BackendRegistry::global().make("exact-cached", spec);
+
+    sampler->sample(workload.routed, 4, 100, rng);
+    EXPECT_EQ(CachedExactSampler::cacheSize(), 1u);
+    EXPECT_EQ(CachedExactSampler::cacheHits(), 0u);
+
+    // Further budgets resample the cached distribution.
+    sampler->sample(workload.routed, 4, 500, rng);
+    sampler->sampleBatch(workload.routed, 4, 2000, rng, 2);
+    EXPECT_EQ(CachedExactSampler::cacheSize(), 1u);
+    EXPECT_EQ(CachedExactSampler::cacheHits(), 2u);
+
+    // A different measured width is a different key.
+    sampler->sample(workload.routed, 3, 100, rng);
+    EXPECT_EQ(CachedExactSampler::cacheSize(), 2u);
+}
+
+TEST(BackendRegistry, CachedExactSampleBatchDeterministicAcrossThreads)
+{
+    hammer::noise::CachedExactSampler::clearCache();
+    const auto workload = hammer::api::makeGhzWorkload(4);
+    BackendSpec spec;
+    const auto sampler =
+        BackendRegistry::global().make("exact-cached", spec);
+
+    std::vector<hammer::core::Distribution> results;
+    for (int threads : {1, 2, 4}) {
+        Rng rng(23);
+        results.push_back(sampler->sampleBatch(workload.routed, 4,
+                                               5000, rng, threads));
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        ASSERT_EQ(results[0].support(), results[i].support());
+        for (const auto &e : results[0].entries())
+            EXPECT_DOUBLE_EQ(e.probability,
+                             results[i].probability(e.outcome));
     }
 }
 

@@ -69,11 +69,15 @@ TEST(Pipeline, RunProducesAScoredResult)
         << "HAMMER should improve PST on this workload";
     EXPECT_GT(result.hammerStats.uniqueOutcomes, 0u);
 
-    // Every stage is timed.
+    // Every stage is timed, plus one "mitigate:<stage>" detail row
+    // per mitigation-chain stage.
     for (const char *stage :
          {"workload", "backend", "sample", "mitigate", "score"})
         EXPECT_GE(result.stageSeconds(stage), 0.0) << stage;
-    EXPECT_EQ(result.timings.size(), 5u);
+    EXPECT_EQ(result.timings.size(), 6u);
+    EXPECT_EQ(result.timings[4].stage, "mitigate:hammer");
+    EXPECT_LE(result.stageSeconds("mitigate:hammer"),
+              result.stageSeconds("mitigate"));
     EXPECT_GT(result.totalSeconds(), 0.0);
 }
 

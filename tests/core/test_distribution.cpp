@@ -1,15 +1,22 @@
 /**
  * @file
- * Unit tests for the sparse Distribution container.
+ * Unit tests for the sparse Distribution container and the flat
+ * CountAccumulator, including the property test pinning the flat
+ * storage to a reference std::map histogram on random shot streams.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+
+#include "common/rng.hpp"
 #include "core/distribution.hpp"
 
 namespace {
 
 using hammer::common::Bits;
+using hammer::core::CountAccumulator;
 using hammer::core::Distribution;
 using hammer::core::Entry;
 
@@ -165,9 +172,41 @@ TEST(Distribution, RejectsBadWidth)
     EXPECT_THROW(Distribution(65), std::invalid_argument);
 }
 
+TEST(Distribution, FromSortedAdoptsEntries)
+{
+    const Distribution d = Distribution::fromSorted(
+        3, {{0b001, 0.25}, {0b100, 0.75}});
+    EXPECT_EQ(d.support(), 2u);
+    EXPECT_DOUBLE_EQ(d.probability(0b001), 0.25);
+    EXPECT_DOUBLE_EQ(d.probability(0b100), 0.75);
+}
+
+TEST(Distribution, FromSortedRejectsUnsortedOrNegative)
+{
+    EXPECT_THROW(
+        Distribution::fromSorted(3, {{0b100, 0.5}, {0b001, 0.5}}),
+        std::invalid_argument);
+    EXPECT_THROW(
+        Distribution::fromSorted(3, {{0b001, 0.5}, {0b001, 0.5}}),
+        std::invalid_argument);
+    EXPECT_THROW(Distribution::fromSorted(3, {{0b001, -0.5}}),
+                 std::invalid_argument);
+}
+
+TEST(Distribution, CollapseEntriesSumsDuplicatesInAppendOrder)
+{
+    const auto collapsed = hammer::core::collapseEntries(
+        {{0b10, 0.1}, {0b01, 0.2}, {0b10, 0.3}, {0b01, 0.4}});
+    ASSERT_EQ(collapsed.size(), 2u);
+    EXPECT_EQ(collapsed[0].outcome, Bits{0b01});
+    EXPECT_DOUBLE_EQ(collapsed[0].probability, 0.2 + 0.4);
+    EXPECT_EQ(collapsed[1].outcome, Bits{0b10});
+    EXPECT_DOUBLE_EQ(collapsed[1].probability, 0.1 + 0.3);
+}
+
 TEST(CountAccumulator, AccumulatesAndNormalises)
 {
-    hammer::core::CountAccumulator acc;
+    CountAccumulator acc;
     EXPECT_TRUE(acc.empty());
     acc.add(0b01);
     acc.add(0b01, 2);
@@ -183,33 +222,95 @@ TEST(CountAccumulator, AccumulatesAndNormalises)
 
 TEST(CountAccumulator, MergeSumsOverlappingOutcomes)
 {
-    hammer::core::CountAccumulator a, b;
+    CountAccumulator a, b;
     a.add(0b00, 4);
     a.add(0b01, 1);
     b.add(0b01, 3);
     b.add(0b11, 2);
     a.merge(b);
     EXPECT_EQ(a.totalShots(), 10u);
-    EXPECT_EQ(a.counts().at(0b00), 4u);
-    EXPECT_EQ(a.counts().at(0b01), 4u);
-    EXPECT_EQ(a.counts().at(0b11), 2u);
+    EXPECT_EQ(a.count(0b00), 4u);
+    EXPECT_EQ(a.count(0b01), 4u);
+    EXPECT_EQ(a.count(0b11), 2u);
+    EXPECT_EQ(a.count(0b10), 0u);
+}
+
+TEST(CountAccumulator, CountsAreSortedByOutcome)
+{
+    CountAccumulator acc;
+    acc.add(0b11, 1);
+    acc.add(0b00, 2);
+    acc.add(0b10, 3);
+    acc.add(0b00, 4);
+    const auto &counts = acc.counts();
+    ASSERT_EQ(counts.size(), 3u);
+    for (std::size_t i = 1; i < counts.size(); ++i)
+        EXPECT_LT(counts[i - 1].outcome, counts[i].outcome);
+    EXPECT_EQ(counts[0].count, 6u);
+}
+
+TEST(CountAccumulator, FlatStorageMatchesMapReferenceOnRandomStreams)
+{
+    // Property test pinning the flat sorted-vector accumulator to
+    // the node-based reference it replaced: for arbitrary shot
+    // streams (heavy duplication, interleaved merges, lazy-collapse
+    // boundaries) the histogram must be identical entry for entry.
+    hammer::common::Rng rng(0xACC);
+    for (int round = 0; round < 8; ++round) {
+        const int width = 4 + 2 * round;
+        const std::uint64_t universe = Bits{1} << width;
+        const std::size_t shots = 50000;
+
+        std::map<Bits, std::uint64_t> reference;
+        CountAccumulator flat;
+        for (std::size_t s = 0; s < shots; ++s) {
+            // Skewed stream: half the mass in a narrow cluster.
+            const Bits outcome = rng.bernoulli(0.5)
+                ? rng.uniformInt(universe)
+                : rng.uniformInt(std::min<std::uint64_t>(universe, 16));
+            ++reference[outcome];
+            flat.add(outcome);
+        }
+
+        EXPECT_EQ(flat.totalShots(), shots);
+        const auto &counts = flat.counts();
+        ASSERT_EQ(counts.size(), reference.size()) << "round " << round;
+        std::size_t i = 0;
+        for (const auto &[outcome, count] : reference) {
+            EXPECT_EQ(counts[i].outcome, outcome) << "round " << round;
+            EXPECT_EQ(counts[i].count, count) << "round " << round;
+            ++i;
+        }
+
+        // And the normalised view agrees with the map-built one.
+        std::vector<std::pair<Bits, std::uint64_t>> pairs(
+            reference.begin(), reference.end());
+        const Distribution from_map =
+            Distribution::fromCounts(width, pairs);
+        const Distribution from_flat = flat.toDistribution(width);
+        ASSERT_EQ(from_map.support(), from_flat.support());
+        for (const auto &e : from_map.entries())
+            EXPECT_DOUBLE_EQ(e.probability,
+                             from_flat.probability(e.outcome));
+    }
 }
 
 TEST(CountAccumulator, TreeReduceMatchesLinearMergeForAnyPartition)
 {
     // The property the parallel engine relies on: however shots are
-    // partitioned across workers, the reduced histogram is
-    // identical.
-    for (std::size_t parts : {1u, 2u, 3u, 5u, 8u, 13u}) {
-        std::vector<hammer::core::CountAccumulator> partials(parts);
+    // partitioned across workers — including non-power-of-two worker
+    // counts, where the reduction tree is ragged — the reduced
+    // histogram is identical.
+    for (std::size_t parts : {1u, 2u, 3u, 5u, 6u, 7u, 8u, 11u, 13u}) {
+        std::vector<CountAccumulator> partials(parts);
         for (std::uint64_t shot = 0; shot < 1000; ++shot)
             partials[shot % parts].add(shot % 7);
 
-        hammer::core::CountAccumulator reduced =
-            hammer::core::CountAccumulator::treeReduce(partials);
+        CountAccumulator reduced =
+            CountAccumulator::treeReduce(partials);
         EXPECT_EQ(reduced.totalShots(), 1000u) << parts << " parts";
         for (std::uint64_t outcome = 0; outcome < 7; ++outcome) {
-            EXPECT_EQ(reduced.counts().at(outcome),
+            EXPECT_EQ(reduced.count(outcome),
                       outcome < 6 ? 143u : 142u)
                 << parts << " parts, outcome " << outcome;
         }
@@ -218,8 +319,8 @@ TEST(CountAccumulator, TreeReduceMatchesLinearMergeForAnyPartition)
 
 TEST(CountAccumulator, TreeReduceRejectsEmptyInput)
 {
-    std::vector<hammer::core::CountAccumulator> none;
-    EXPECT_THROW(hammer::core::CountAccumulator::treeReduce(none),
+    std::vector<CountAccumulator> none;
+    EXPECT_THROW(CountAccumulator::treeReduce(none),
                  std::invalid_argument);
 }
 

@@ -375,6 +375,67 @@ TEST(HammerFast, RejectsBadInput)
     EXPECT_THROW(reconstructFast(d), std::invalid_argument);
 }
 
+TEST(Hammer, ParallelReconstructBitIdenticalAcrossThreadCounts)
+{
+    // The data-layer contract: the support is partitioned in
+    // fixed-size chunks whose CHS partials reduce in a fixed tree
+    // order, so any worker count — including non-power-of-two —
+    // produces byte-identical output.
+    const Bits key = (Bits{1} << 12) - 1;
+    const Distribution d = bvLikeDistribution(12, key, 0.05, 0.08);
+    ASSERT_GT(d.support(), 256u) << "need several scan chunks";
+
+    HammerConfig serial;
+    serial.threads = 1;
+    HammerStats serial_stats;
+    const Distribution reference = reconstruct(d, serial, &serial_stats);
+
+    for (int threads : {2, 3, 4}) {
+        HammerConfig config;
+        config.threads = threads;
+        HammerStats stats;
+        const Distribution out = reconstruct(d, config, &stats);
+        ASSERT_EQ(out.support(), reference.support())
+            << threads << " threads";
+        for (std::size_t i = 0; i < out.support(); ++i) {
+            EXPECT_EQ(out.entries()[i].outcome,
+                      reference.entries()[i].outcome);
+            EXPECT_DOUBLE_EQ(out.entries()[i].probability,
+                             reference.entries()[i].probability)
+                << threads << " threads, entry " << i;
+        }
+        EXPECT_EQ(stats.pairOperations, serial_stats.pairOperations);
+        for (std::size_t bin = 0; bin < stats.aggregateChs.size();
+             ++bin) {
+            EXPECT_DOUBLE_EQ(stats.aggregateChs[bin],
+                             serial_stats.aggregateChs[bin])
+                << threads << " threads, bin " << bin;
+        }
+    }
+}
+
+TEST(HammerFast, ParallelReconstructFastBitIdenticalAcrossThreadCounts)
+{
+    const Bits key = (Bits{1} << 12) - 1;
+    const Distribution d = bvLikeDistribution(12, key, 0.05, 0.08);
+
+    HammerConfig serial;
+    serial.threads = 1;
+    const Distribution reference = reconstructFast(d, serial);
+
+    for (int threads : {2, 4}) {
+        HammerConfig config;
+        config.threads = threads;
+        const Distribution out = reconstructFast(d, config);
+        ASSERT_EQ(out.support(), reference.support());
+        for (std::size_t i = 0; i < out.support(); ++i) {
+            EXPECT_DOUBLE_EQ(out.entries()[i].probability,
+                             reference.entries()[i].probability)
+                << threads << " threads, entry " << i;
+        }
+    }
+}
+
 TEST(Hammer, BitPermutationEquivariance)
 {
     // Relabelling qubits commutes with reconstruction: HAMMER only

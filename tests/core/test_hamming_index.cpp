@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the Hamming-weight index backing HAMMER's pruned
+ * neighbour search.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/hamming_index.hpp"
+
+namespace {
+
+using hammer::common::Bits;
+using hammer::core::Distribution;
+using hammer::core::HammingIndex;
+
+Distribution
+exampleDistribution()
+{
+    Distribution d(4);
+    d.set(0b0000, 0.1);
+    d.set(0b0001, 0.2);
+    d.set(0b0110, 0.3);
+    d.set(0b1011, 0.15);
+    d.set(0b1111, 0.25);
+    return d;
+}
+
+TEST(HammingIndex, BandsPartitionTheSupportByPopcount)
+{
+    const Distribution d = exampleDistribution();
+    const HammingIndex index(d);
+
+    EXPECT_EQ(index.size(), d.support());
+    EXPECT_EQ(index.numBits(), 4);
+    EXPECT_EQ(index.minWeight(), 0);
+    EXPECT_EQ(index.maxWeight(), 4);
+
+    std::size_t total = 0;
+    for (int w = 0; w <= index.numBits(); ++w) {
+        for (const auto j : index.band(w)) {
+            EXPECT_EQ(hammer::common::popcount(
+                          d.entries()[j].outcome),
+                      w);
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, d.support());
+
+    ASSERT_EQ(index.band(1).size(), 1u);
+    EXPECT_EQ(d.entries()[index.band(1)[0]].outcome, Bits{0b0001});
+    EXPECT_TRUE(index.band(-1).empty());
+    EXPECT_TRUE(index.band(5).empty());
+}
+
+TEST(HammingIndex, WeightOfMatchesPopcount)
+{
+    const Distribution d = exampleDistribution();
+    const HammingIndex index(d);
+    for (std::size_t i = 0; i < d.support(); ++i)
+        EXPECT_EQ(index.weightOf(i),
+                  hammer::common::popcount(d.entries()[i].outcome));
+}
+
+TEST(HammingIndex, CandidatesCoverEveryOutcomeWithinTheRadius)
+{
+    // The popcount bound is the pruning's correctness condition:
+    // every entry within Hamming distance d of i must appear among
+    // forEachCandidate(i, d), and candidates must arrive in
+    // band-major ascending order (the determinism contract).
+    hammer::common::Rng rng(0x1D);
+    Distribution d(10);
+    for (int k = 0; k < 200; ++k)
+        d.set(rng.uniformInt(Bits{1} << 10), 1.0);
+    d.normalize();
+    const HammingIndex index(d);
+
+    for (const std::size_t i : {std::size_t{0}, d.support() / 2,
+                                d.support() - 1}) {
+        for (const int radius : {0, 2, 4}) {
+            std::vector<std::size_t> visited;
+            index.forEachCandidate(i, radius, [&](std::size_t j) {
+                visited.push_back(j);
+            });
+
+            // Band-major visit order: weight ascending, index
+            // ascending within a band.
+            for (std::size_t v = 1; v < visited.size(); ++v) {
+                const int wa = index.weightOf(visited[v - 1]);
+                const int wb = index.weightOf(visited[v]);
+                EXPECT_TRUE(wa < wb ||
+                            (wa == wb &&
+                             visited[v - 1] < visited[v]));
+            }
+
+            const std::set<std::size_t> candidates(visited.begin(),
+                                                   visited.end());
+            for (std::size_t j = 0; j < d.support(); ++j) {
+                const int dist = hammer::common::hammingDistance(
+                    d.entries()[i].outcome, d.entries()[j].outcome);
+                if (dist <= radius) {
+                    EXPECT_TRUE(candidates.count(j))
+                        << "entry " << j << " at distance " << dist
+                        << " missed for radius " << radius;
+                }
+            }
+        }
+    }
+}
+
+TEST(HammingIndex, EmptyDistributionIndexes)
+{
+    const Distribution d(4);
+    const HammingIndex index(d);
+    EXPECT_EQ(index.size(), 0u);
+    EXPECT_EQ(index.minWeight(), 0);
+    EXPECT_EQ(index.maxWeight(), -1);
+    for (int w = 0; w <= 4; ++w)
+        EXPECT_TRUE(index.band(w).empty());
+}
+
+} // namespace

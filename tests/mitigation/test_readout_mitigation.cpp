@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "metrics/metrics.hpp"
 #include "mitigation/readout_mitigation.hpp"
 #include "noise/readout.hpp"
@@ -117,6 +118,34 @@ TEST(ReadoutMitigation, MoreIterationsConvergeFurther)
     const double p_many =
         mitigateReadout(measured, m, many).probability(0b111);
     EXPECT_GE(p_many, p_few - 1e-9);
+}
+
+TEST(ReadoutMitigation, UnfoldingBitIdenticalAcrossThreadCounts)
+{
+    // Row-chunked response build + Bayesian updates: every output
+    // element is computed whole by one worker in a fixed inner-loop
+    // order, so the unfolding never depends on the thread count.
+    const NoiseModel m{0.0, 0.0, 0.04, 0.06};
+    hammer::common::Rng rng(0x0B5);
+    Distribution measured(8);
+    for (int k = 0; k < 120; ++k)
+        measured.add(rng.uniformInt(Bits{1} << 8), 1.0);
+    measured.normalize();
+
+    ReadoutMitigationOptions serial;
+    serial.threads = 1;
+    const Distribution reference = mitigateReadout(measured, m, serial);
+
+    for (int threads : {2, 3, 4}) {
+        ReadoutMitigationOptions options;
+        options.threads = threads;
+        const Distribution out = mitigateReadout(measured, m, options);
+        ASSERT_EQ(out.support(), reference.support())
+            << threads << " threads";
+        for (const auto &e : reference.entries())
+            EXPECT_DOUBLE_EQ(e.probability, out.probability(e.outcome))
+                << threads << " threads";
+    }
 }
 
 TEST(ReadoutMitigation, RejectsBadArguments)
