@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Serving-layer throughput bench: the asynchronous batching
+ * ExecutionService against the synchronous Pipeline loop it
+ * replaced.
+ *
+ * Three phases over one multi-spec BV/GHZ/QAOA sweep:
+ *
+ *   serial    Pipeline::run spec by spec (the pre-service baseline)
+ *   batched   ExecutionService::runMany across the default workers
+ *   repeat    the same sweep submitted again — served from the
+ *             bounded LRU, plus a duplicated sweep proving request
+ *             coalescing executes each distinct spec once
+ *
+ * Emits BENCH_service.json (jobs/sec, batched-vs-serial speedup,
+ * cache hit rate, dedup ratio) in smoke mode so CI tracks the
+ * serving trajectory push over push.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "support/report.hpp"
+
+namespace {
+
+using namespace hammer;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+/** The multi-spec sweep every phase runs. */
+std::vector<api::ExperimentSpec>
+makeSweep()
+{
+    const std::vector<int> sizes =
+        api::smokeSizes({6, 8, 10, 12}, /*keep=*/2, /*max_size=*/7);
+    const int seeds = api::smokeCount(4, 2);
+    const int shots = api::smokeShots(4096);
+
+    std::vector<api::ExperimentSpec> specs;
+    for (const int size : sizes) {
+        for (int seed = 1; seed <= seeds; ++seed) {
+            api::ExperimentSpec bv;
+            bv.workload = "bv:" + std::to_string(size);
+            bv.backend = "channel";
+            bv.backendSpec.shots = shots;
+            bv.backendSpec.seed = static_cast<std::uint64_t>(seed);
+            bv.mitigation = "hammer";
+            specs.push_back(bv);
+
+            api::ExperimentSpec ghz;
+            ghz.workload = "ghz:" + std::to_string(size);
+            ghz.backend = "channel";
+            ghz.backendSpec.shots = shots;
+            ghz.backendSpec.seed = static_cast<std::uint64_t>(seed);
+            ghz.mitigation = "readout,hammer";
+            specs.push_back(ghz);
+        }
+    }
+    return specs;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hammer;
+
+    bench::BenchReport report("service");
+    const std::vector<api::ExperimentSpec> sweep = makeSweep();
+    std::printf("== Serving-layer throughput (%zu specs) ==\n",
+                sweep.size());
+
+    // Phase 1: the synchronous baseline.
+    const api::Pipeline pipeline;
+    auto start = std::chrono::steady_clock::now();
+    for (const auto &spec : sweep)
+        pipeline.run(spec);
+    const double serial_seconds = secondsSince(start);
+
+    // Phase 2: the batched front door (fresh service, cold caches).
+    api::ExecutionService batched;
+    start = std::chrono::steady_clock::now();
+    batched.runMany(sweep);
+    const double batched_seconds = secondsSince(start);
+    const double speedup = serial_seconds / batched_seconds;
+    const double jobs_per_second =
+        static_cast<double>(sweep.size()) / batched_seconds;
+    std::printf("serial %.3f s, batched %.3f s on %d worker(s) -> "
+                "%.2fx, %.1f jobs/s\n",
+                serial_seconds, batched_seconds, batched.workers(),
+                speedup, jobs_per_second);
+
+    // Phase 3a: identical traffic again — the LRU serves all of it.
+    const auto before_repeat = batched.stats();
+    start = std::chrono::steady_clock::now();
+    batched.runMany(sweep);
+    const double repeat_seconds = secondsSince(start);
+    const auto repeat_stats = batched.stats();
+    const double repeat_hit_rate =
+        static_cast<double>(repeat_stats.resultCache.hits -
+                            before_repeat.resultCache.hits) /
+        static_cast<double>(sweep.size());
+    std::printf("repeat sweep %.3f s, result-cache hit rate %.2f\n",
+                repeat_seconds, repeat_hit_rate);
+
+    // Phase 3b: a doubled sweep on a fresh service — coalescing must
+    // execute each distinct spec exactly once.
+    std::vector<api::ExperimentSpec> doubled = sweep;
+    doubled.insert(doubled.end(), sweep.begin(), sweep.end());
+    api::ExecutionService dedup;
+    dedup.runMany(doubled);
+    const auto dedup_stats = dedup.stats();
+    const double dedup_ratio =
+        1.0 - static_cast<double>(dedup_stats.executeRuns) /
+                  static_cast<double>(dedup_stats.submitted);
+    std::printf("doubled sweep: %llu submitted, %llu executed -> "
+                "dedup ratio %.2f\n",
+                static_cast<unsigned long long>(
+                    dedup_stats.submitted),
+                static_cast<unsigned long long>(
+                    dedup_stats.executeRuns),
+                dedup_ratio);
+
+    report.metric("specs", static_cast<double>(sweep.size()));
+    report.metric("serial_seconds", serial_seconds);
+    report.metric("batched_seconds", batched_seconds);
+    report.metric("batched_vs_serial_speedup", speedup);
+    report.metric("jobs_per_second", jobs_per_second);
+    report.metric("repeat_seconds", repeat_seconds);
+    report.metric("cache_hit_rate", repeat_hit_rate);
+    report.metric("dedup_ratio", dedup_ratio);
+    report.note("workers", std::to_string(batched.workers()));
+    return 0;
+}

@@ -20,6 +20,7 @@
 #include "api/json.hpp"
 #include "api/mitigation.hpp"
 #include "api/pipeline.hpp"
+#include "api/service.hpp"
 #include "api/smoke.hpp"
 #include "api/workload.hpp"
 

@@ -1,5 +1,6 @@
 #include "api/backend.hpp"
 
+#include "api/service.hpp"
 #include "common/logging.hpp"
 #include "noise/exact_sampler.hpp"
 #include "noise/trajectory_sampler.hpp"
@@ -110,6 +111,9 @@ defaultBackendRegistry()
     registry.add("exact-cached", [](const BackendSpec &spec) {
         return std::make_unique<noise::CachedExactSampler>(
             resolveNoiseModel(spec));
+    });
+    registry.add("service", [](const BackendSpec &spec) {
+        return std::make_unique<ServiceSampler>(spec);
     });
     return registry;
 }

@@ -47,6 +47,12 @@ struct BackendSpec
 
     /** Channel-backend tuning (bursts, coherent errors, ...). */
     std::optional<noise::ChannelParams> channelParams;
+
+    /**
+     * `service` backend only: the backend that actually executes
+     * behind the queue (any registered name except "service").
+     */
+    std::string serviceBackend = "channel";
 };
 
 /**
@@ -74,6 +80,9 @@ void validateBackendSpec(const BackendSpec &spec);
  *   exact         density-matrix ground truth (<= ~10 qubits)
  *   exact-cached  ground truth memoised per (circuit, model) and
  *                 resampled across shot budgets
+ *   service       queued front door: batched execution routed
+ *                 through ExecutionService::shared()'s job queue,
+ *                 delegating to BackendSpec::serviceBackend
  */
 class BackendRegistry
 {

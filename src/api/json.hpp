@@ -1,19 +1,23 @@
 /**
  * @file
- * Minimal JSON emission.
+ * Minimal JSON emission and parsing.
  *
  * Just enough of a writer for the machine-readable result and bench
  * telemetry outputs (api::Result::writeJson, bench BENCH_<fig>.json):
  * objects, arrays, strings with escaping, and IEEE doubles rendered
  * round-trip-exactly (non-finite values become null, which JSON
- * requires).  Not a parser; nothing here reads JSON back.
+ * requires).  The matching parser (parseJson) reads those documents
+ * back — it is what hammer_cli --serve uses to accept JSON spec lines
+ * and what the round-trip tests verify the writer against.
  */
 
 #ifndef HAMMER_API_JSON_HPP
 #define HAMMER_API_JSON_HPP
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace hammer::api {
@@ -72,6 +76,67 @@ class JsonWriter
     std::vector<bool> hasItems_; // per open scope
     bool pendingKey_ = false;
 };
+
+/**
+ * One parsed JSON value (recursive; objects keep insertion order).
+ *
+ * The accessors throw std::invalid_argument on a kind mismatch with a
+ * message naming the expected kind, so spec-parsing call sites get
+ * field-level errors for free.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default; // null
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array elements. @throws std::invalid_argument if not an array. */
+    const std::vector<JsonValue> &items() const;
+
+    /** Object members in document order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+
+    /** First member named @p key, or nullptr (object only). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Like find(), but throws when the key is absent. */
+    const JsonValue &at(const std::string &key) const;
+
+  private:
+    friend JsonValue parseJson(const std::string &text);
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse one complete JSON document.
+ *
+ * Strict: trailing non-whitespace, unterminated strings, bad escapes
+ * and malformed numbers all throw std::invalid_argument with the
+ * offending byte offset.  \uXXXX escapes decode to UTF-8 (surrogate
+ * pairs included).
+ */
+JsonValue parseJson(const std::string &text);
 
 } // namespace hammer::api
 

@@ -155,42 +155,142 @@ MitigationChain::apply(const Distribution &measured,
 }
 
 // ---------------------------------------------------------------------------
+// MitigatorRegistry
+// ---------------------------------------------------------------------------
+
+void
+MitigatorRegistry::add(const std::string &name,
+                       const std::string &usage, Factory factory)
+{
+    require(!name.empty(), "MitigatorRegistry: empty stage name");
+    require(name.find(':') == std::string::npos &&
+                name.find(',') == std::string::npos,
+            "MitigatorRegistry: stage name '" + name +
+                "' must not contain ':' or ','");
+    require(factory != nullptr,
+            "MitigatorRegistry: null factory for stage '" + name +
+                "'");
+    require(factories_.find(name) == factories_.end(),
+            "MitigatorRegistry: stage '" + name +
+                "' is already registered");
+    factories_.emplace(name, Entry{usage, std::move(factory)});
+}
+
+bool
+MitigatorRegistry::contains(const std::string &name) const
+{
+    return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string>
+MitigatorRegistry::names() const
+{
+    std::vector<std::string> result;
+    result.reserve(factories_.size());
+    for (const auto &[name, entry] : factories_)
+        result.push_back(name);
+    return result;
+}
+
+std::string
+MitigatorRegistry::usage() const
+{
+    std::string joined;
+    for (const auto &[name, entry] : factories_) {
+        if (!joined.empty())
+            joined += '\n';
+        joined += entry.usage;
+    }
+    return joined;
+}
+
+std::shared_ptr<const Mitigator>
+MitigatorRegistry::make(const std::string &spec) const
+{
+    auto parts = splitSpec(spec);
+    const std::string kind = parts[0];
+    const auto it = factories_.find(kind);
+    if (it == factories_.end()) {
+        std::string known;
+        for (const auto &name : names()) {
+            if (!known.empty())
+                known += ", ";
+            known += name;
+        }
+        fatal("unknown mitigation stage '" + kind +
+              "' (known: " + known + ")");
+    }
+    parts.erase(parts.begin());
+    return it->second.factory(parts);
+}
+
+MitigatorRegistry &
+MitigatorRegistry::global()
+{
+    static MitigatorRegistry registry = defaultMitigatorRegistry();
+    return registry;
+}
+
+namespace {
+
+/** Shared argument shape of every built-in stage: one optional int. */
+int
+singleIntArg(const std::vector<std::string> &args,
+             const std::string &name, int def)
+{
+    if (args.empty())
+        return def;
+    if (args.size() > 1)
+        fatal("mitigation stage '" + name + "': too many arguments");
+    return parsePositiveInt(args[0],
+                            "mitigation stage '" + name + "'");
+}
+
+} // namespace
+
+MitigatorRegistry
+defaultMitigatorRegistry()
+{
+    MitigatorRegistry registry;
+    registry.add("hammer", "hammer[:<iterations>]",
+                 [](const std::vector<std::string> &args) {
+                     return std::make_shared<HammerMitigator>(
+                         core::HammerConfig{},
+                         singleIntArg(args, "hammer", 1), false);
+                 });
+    registry.add("hammer-fast", "hammer-fast[:<iterations>]",
+                 [](const std::vector<std::string> &args) {
+                     return std::make_shared<HammerMitigator>(
+                         core::HammerConfig{},
+                         singleIntArg(args, "hammer-fast", 1), true);
+                 });
+    registry.add("readout", "readout[:<iterations>]",
+                 [](const std::vector<std::string> &args) {
+                     mitigation::ReadoutMitigationOptions options;
+                     options.iterations = singleIntArg(
+                         args, "readout", options.iterations);
+                     return std::make_shared<ReadoutMitigator>(
+                         options);
+                 });
+    registry.add("ensemble", "ensemble[:<mappings>]",
+                 [](const std::vector<std::string> &args) {
+                     mitigation::EnsembleOptions options;
+                     options.mappings = singleIntArg(
+                         args, "ensemble", options.mappings);
+                     return std::make_shared<EnsembleMitigator>(
+                         options);
+                 });
+    return registry;
+}
+
+// ---------------------------------------------------------------------------
 // Spec parsing
 // ---------------------------------------------------------------------------
 
 std::shared_ptr<const Mitigator>
 makeMitigator(const std::string &spec)
 {
-    const auto parts = splitSpec(spec);
-    const std::string &kind = parts[0];
-    const auto arg = [&](int def) {
-        if (parts.size() == 1)
-            return def;
-        if (parts.size() > 2)
-            fatal("mitigation stage '" + spec +
-                  "': too many arguments");
-        return parsePositiveInt(parts[1],
-                                "mitigation stage '" + kind + "'");
-    };
-
-    if (kind == "hammer")
-        return std::make_shared<HammerMitigator>(core::HammerConfig{},
-                                                 arg(1), false);
-    if (kind == "hammer-fast")
-        return std::make_shared<HammerMitigator>(core::HammerConfig{},
-                                                 arg(1), true);
-    if (kind == "readout") {
-        mitigation::ReadoutMitigationOptions options;
-        options.iterations = arg(options.iterations);
-        return std::make_shared<ReadoutMitigator>(options);
-    }
-    if (kind == "ensemble") {
-        mitigation::EnsembleOptions options;
-        options.mappings = arg(options.mappings);
-        return std::make_shared<EnsembleMitigator>(options);
-    }
-    fatal("unknown mitigation stage '" + kind +
-          "' (known: hammer, hammer-fast, readout, ensemble)");
+    return MitigatorRegistry::global().make(spec);
 }
 
 MitigationChain

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "api/json.hpp"
+#include "api/service.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "core/ehd.hpp"
@@ -164,6 +165,18 @@ Pipeline::Pipeline(const WorkloadRegistry &workloads,
 Result
 Pipeline::run(const ExperimentSpec &spec) const
 {
+    RunState state;
+    Result result = buildWorkload(spec, state);
+    execute(spec, state, result);
+    mitigate(spec, state, result);
+    score(state, result);
+    return result;
+}
+
+Result
+Pipeline::buildWorkload(const ExperimentSpec &spec,
+                        RunState &state) const
+{
     // Validate every budget at the boundary so bad values fail with
     // a named field instead of flowing into the samplers.
     validateBackendSpec(spec.backendSpec);
@@ -179,13 +192,12 @@ Pipeline::run(const ExperimentSpec &spec) const
     result.machine =
         spec.backendSpec.model ? "custom" : spec.backendSpec.machine;
 
-    common::Rng rng(spec.backendSpec.seed);
+    state.rng = common::Rng(spec.backendSpec.seed);
 
-    // Stage 1: build + route the workload.
-    auto start = std::chrono::steady_clock::now();
+    const auto start = std::chrono::steady_clock::now();
     Workload workload = spec.workloadInstance
         ? *spec.workloadInstance
-        : workloads_->make(spec.workload, rng);
+        : workloads_->make(spec.workload, state.rng);
     require(workload.measuredQubits >= 1,
             "Pipeline: workload measures no qubits");
     result.timings.push_back({"workload", secondsSince(start)});
@@ -196,30 +208,46 @@ Pipeline::run(const ExperimentSpec &spec) const
     result.label =
         spec.label.empty() ? result.workloadSpec : spec.label;
 
-    // Stage 2: stand up the backend.
-    start = std::chrono::steady_clock::now();
-    const noise::NoiseModel model =
-        resolveNoiseModel(spec.backendSpec);
-    const std::unique_ptr<noise::NoisySampler> sampler =
-        backends_->make(spec.backend, spec.backendSpec);
+    state.workload = std::move(workload);
+    return result;
+}
+
+void
+Pipeline::standUpBackend(const ExperimentSpec &spec, RunState &state,
+                         Result &result) const
+{
+    const auto start = std::chrono::steady_clock::now();
+    state.model = resolveNoiseModel(spec.backendSpec);
+    state.sampler = backends_->make(spec.backend, spec.backendSpec);
     result.timings.push_back({"backend", secondsSince(start)});
+}
 
-    // Stage 3: noisy execution through the parallel batched engine.
-    start = std::chrono::steady_clock::now();
-    result.raw = sampler->sampleBatch(
-        workload.routed, workload.measuredQubits,
-        spec.backendSpec.shots, rng, spec.backendSpec.threads);
+void
+Pipeline::execute(const ExperimentSpec &spec, RunState &state,
+                  Result &result) const
+{
+    standUpBackend(spec, state, result);
+
+    // Noisy execution through the parallel batched engine.
+    const auto start = std::chrono::steady_clock::now();
+    result.raw = state.sampler->sampleBatch(
+        state.workload->routed, state.workload->measuredQubits,
+        spec.backendSpec.shots, state.rng, spec.backendSpec.threads);
     result.timings.push_back({"sample", secondsSince(start)});
+}
 
-    // Stage 4: mitigation chain.
-    start = std::chrono::steady_clock::now();
+void
+Pipeline::mitigate(const ExperimentSpec &spec, RunState &state,
+                   Result &result) const
+{
+    const auto start = std::chrono::steady_clock::now();
     MitigationContext ctx;
-    ctx.workload = &workload;
-    ctx.model = model;
-    ctx.sampler = sampler.get();
+    ctx.workload = &*state.workload;
+    ctx.model = state.model;
+    ctx.sampler = state.sampler.get();
     ctx.shots = spec.backendSpec.shots;
     ctx.threads = spec.backendSpec.threads;
-    ctx.rng = &rng;
+    ctx.rng = &state.rng;
     ctx.stats = &result.hammerStats;
     if (spec.mitigator) {
         result.mitigated = spec.mitigator->apply(result.raw, ctx);
@@ -236,11 +264,14 @@ Pipeline::run(const ExperimentSpec &spec) const
     // multi-stage specs ("readout,hammer") expose where the time went.
     for (const auto &[stage, seconds] : ctx.stageSeconds)
         result.timings.push_back({"mitigate:" + stage, seconds});
+}
 
-    // Stage 5: scoring (when the correct answer is known).
-    start = std::chrono::steady_clock::now();
-    if (!workload.correctOutcomes.empty()) {
-        const auto &correct = workload.correctOutcomes;
+void
+Pipeline::score(RunState &state, Result &result) const
+{
+    const auto start = std::chrono::steady_clock::now();
+    if (!state.workload->correctOutcomes.empty()) {
+        const auto &correct = state.workload->correctOutcomes;
         result.pstRaw = metrics::pst(result.raw, correct);
         result.pstMitigated = metrics::pst(result.mitigated, correct);
         result.istRaw = metrics::ist(result.raw, correct);
@@ -257,39 +288,24 @@ Pipeline::run(const ExperimentSpec &spec) const
     }
     result.timings.push_back({"score", secondsSince(start)});
 
-    result.workload = std::move(workload);
-    return result;
+    result.workload = std::move(state.workload);
 }
 
 std::vector<Result>
 Pipeline::runMany(const std::vector<ExperimentSpec> &specs,
                   int threads) const
 {
-    std::vector<std::optional<Result>> slots(specs.size());
-    const int workers =
+    // Thin wrapper over the serving layer: one per-call service with
+    // as many workers as the batch supports.  Submitting everything
+    // first and waiting in spec order preserves the historical
+    // contract (order-stable, bit-identical for any thread count)
+    // while duplicate specs inside the batch coalesce onto one
+    // execution.
+    ExecutionServiceOptions options;
+    options.workers =
         common::ThreadPool::resolveThreadCount(threads, specs.size());
-
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < specs.size(); ++i)
-            slots[i] = run(specs[i]);
-    } else {
-        // The outer fan-out owns the cores: force per-spec inner
-        // sampling to a single thread (bit-identical by the
-        // sampleBatch determinism guarantee) so nested rounds never
-        // contend for — or re-enter — the shared pool.
-        std::vector<ExperimentSpec> serial = specs;
-        for (auto &spec : serial)
-            spec.backendSpec.threads = 1;
-        common::ThreadPool::run(
-            workers, serial.size(),
-            [&](std::size_t item, int) { slots[item] = run(serial[item]); });
-    }
-
-    std::vector<Result> results;
-    results.reserve(slots.size());
-    for (auto &slot : slots)
-        results.push_back(std::move(*slot));
-    return results;
+    ExecutionService service(*this, options);
+    return service.runMany(specs);
 }
 
 } // namespace hammer::api

@@ -26,6 +26,7 @@
 #include "api/backend.hpp"
 #include "api/mitigation.hpp"
 #include "api/workload.hpp"
+#include "common/rng.hpp"
 #include "core/distribution.hpp"
 #include "core/hammer.hpp"
 
@@ -141,12 +142,45 @@ struct Result
 };
 
 /**
+ * Deterministic intermediate state the staged pipeline entry points
+ * thread from one stage to the next (the pieces later stages need
+ * that the Result does not carry).
+ *
+ * The RNG is part of this state on purpose: it is seeded from the
+ * spec in buildWorkload and consumed in a fixed order (workload
+ * build, sampling, mitigation), so any two runs of the same spec see
+ * identical draws no matter which execution path — Pipeline::run or
+ * the ExecutionService's cached/coalesced stages — carried the state.
+ */
+struct RunState
+{
+    /** Experiment RNG, seeded from BackendSpec::seed. */
+    common::Rng rng{0};
+
+    /** Built workload (set by buildWorkload). */
+    std::optional<Workload> workload;
+
+    /** Resolved noise model (set by execute). */
+    noise::NoiseModel model;
+
+    /** Constructed backend (set by execute). */
+    std::unique_ptr<noise::NoisySampler> sampler;
+};
+
+/**
  * The experiment pipeline over a pair of registries.
  *
  * Stateless apart from the registry references: run() is const and
  * thread-safe, and every run is deterministic in the spec alone
  * (the RNG is seeded from BackendSpec::seed), which is what makes
  * runMany trivially order- and thread-count-independent.
+ *
+ * run() is a composition of four reusable stages — buildWorkload,
+ * execute, mitigate, score — each of which can also be called
+ * individually with a RunState threaded through.  That staged form
+ * is what ExecutionService builds on: it can replay the execute
+ * stage from a cache (restoring the RNG to the post-sampling state)
+ * and still produce results bit-identical to run().
  */
 class Pipeline
 {
@@ -159,11 +193,8 @@ class Pipeline
              const BackendRegistry &backends);
 
     /**
-     * Run one experiment end to end.
-     *
-     * Stages (each timed): workload build/route, backend
-     * construction, noisy sampling (NoisySampler::sampleBatch with
-     * the spec's thread count), mitigation chain, scoring.
+     * Run one experiment end to end: buildWorkload, execute,
+     * mitigate, score.
      *
      * @throws std::invalid_argument for unknown registry keys or
      *         invalid budgets (shots/trajectories <= 0, ...); the
@@ -172,15 +203,62 @@ class Pipeline
     Result run(const ExperimentSpec &spec) const;
 
     /**
+     * Stage 1: validate the spec, seed the RNG, build + route the
+     * workload ("workload" timing row), and fill the Result's
+     * identity fields.
+     *
+     * @return The partially-filled Result the remaining stages
+     *         complete.
+     */
+    Result buildWorkload(const ExperimentSpec &spec,
+                         RunState &state) const;
+
+    /**
+     * Stages 2+3: stand up the backend ("backend" timing row) and
+     * run the noisy sampling ("sample" row) through
+     * NoisySampler::sampleBatch with the spec's thread count,
+     * filling Result::raw.
+     *
+     * Callers that already hold the raw histogram for this spec
+     * (the service's cache) call standUpBackend instead and inject
+     * the histogram + post-sampling RNG themselves.
+     */
+    void execute(const ExperimentSpec &spec, RunState &state,
+                 Result &result) const;
+
+    /** Stage 2 alone: construct the backend and resolve the model. */
+    void standUpBackend(const ExperimentSpec &spec, RunState &state,
+                        Result &result) const;
+
+    /**
+     * Stage 4: apply the mitigation chain ("mitigate" timing row
+     * plus one "mitigate:<stage>" detail row per chain stage),
+     * filling Result::mitigated, mitigationName and hammerStats.
+     */
+    void mitigate(const ExperimentSpec &spec, RunState &state,
+                  Result &result) const;
+
+    /**
+     * Stage 5: PST/IST/EHD scoring against the workload's correct
+     * outcomes ("score" timing row); metrics are NaN when the
+     * workload has none.  The terminal stage: it moves the workload
+     * out of @p state into the Result.
+     */
+    void score(RunState &state, Result &result) const;
+
+    /**
      * Run a batch of experiments, fanning the specs across a thread
      * pool.
      *
-     * Each spec is an independent work item whose result depends
+     * A thin wrapper over ExecutionService (submit all, wait in
+     * order): each spec is an independent job whose result depends
      * only on the spec itself, so the returned vector is
-     * bit-identical for every @p threads value (including 1).  When
-     * more than one worker runs, per-spec inner sampling threads are
-     * forced to 1 — the outer fan-out owns the cores — which does
-     * not change any histogram (sampleBatch's own guarantee).
+     * bit-identical for every @p threads value (including 1), and
+     * duplicate specs within the batch execute once (request
+     * coalescing).  When more than one worker runs, per-spec inner
+     * sampling threads are forced to 1 — the outer fan-out owns the
+     * cores — which does not change any histogram (sampleBatch's own
+     * guarantee).
      *
      * @param threads Worker threads; 0 selects the default
      *        (HAMMER_THREADS, else all hardware threads), capped at
@@ -188,6 +266,9 @@ class Pipeline
      */
     std::vector<Result> runMany(const std::vector<ExperimentSpec> &specs,
                                 int threads = 0) const;
+
+    const WorkloadRegistry &workloads() const { return *workloads_; }
+    const BackendRegistry &backends() const { return *backends_; }
 
   private:
     const WorkloadRegistry *workloads_;

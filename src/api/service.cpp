@@ -1,0 +1,634 @@
+#include "api/service.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "api/json.hpp"
+#include "common/logging.hpp"
+
+namespace hammer::api {
+
+using common::require;
+
+namespace {
+
+/** Depth of service-job nesting on this thread (0 = not a worker). */
+thread_local int workerDepth = 0;
+
+/** RAII marker for a thread while it executes a service job. */
+struct WorkerScope
+{
+    WorkerScope() { ++workerDepth; }
+    ~WorkerScope() { --workerDepth; }
+};
+
+void
+appendField(std::string &key, const char *name,
+            const std::string &value)
+{
+    key += name;
+    key += '=';
+    key += value;
+    key += '|';
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Canonical keys
+// ---------------------------------------------------------------------------
+
+std::optional<std::string>
+canonicalExecKey(const ExperimentSpec &spec)
+{
+    // A prebuilt instance, explicit model or channel tuning is state
+    // only the object graph holds — no string can canonically name
+    // it, so such specs never coalesce and never hit the caches.
+    if (spec.workloadInstance || spec.backendSpec.model ||
+        spec.backendSpec.channelParams)
+        return std::nullopt;
+
+    std::string key;
+    key.reserve(96);
+    appendField(key, "w", spec.workload);
+    appendField(key, "b", spec.backend);
+    appendField(key, "m", spec.backendSpec.machine);
+    appendField(key, "ns", jsonNumber(spec.backendSpec.noiseScale));
+    appendField(key, "shots",
+                std::to_string(spec.backendSpec.shots));
+    appendField(key, "traj",
+                std::to_string(spec.backendSpec.trajectories));
+    appendField(key, "seed", std::to_string(spec.backendSpec.seed));
+    // The service backend's delegate changes the histogram, so it
+    // must split the key (harmlessly constant for other backends).
+    appendField(key, "sb", spec.backendSpec.serviceBackend);
+    return key;
+}
+
+std::optional<std::string>
+canonicalSpecKey(const ExperimentSpec &spec)
+{
+    // A prebuilt mitigator is an opaque object: two instances with
+    // the same name may carry different configs, so only chain-spec
+    // strings key the result cache.
+    if (spec.mitigator)
+        return std::nullopt;
+    auto key = canonicalExecKey(spec);
+    if (key)
+        appendField(*key, "mit", spec.mitigation);
+    return key;
+}
+
+// ---------------------------------------------------------------------------
+// JobHandle
+// ---------------------------------------------------------------------------
+
+struct ExecutionService::JobHandle::Job
+{
+    std::uint64_t id = 0;
+    std::string label;      ///< Spec label ("" = workload spec).
+    bool fromCache = false; ///< Satisfied from the result LRU.
+    std::shared_future<Result> future;
+};
+
+std::uint64_t
+ExecutionService::JobHandle::id() const
+{
+    require(valid(), "JobHandle: invalid handle");
+    return job_->id;
+}
+
+bool
+ExecutionService::JobHandle::servedFromCache() const
+{
+    require(valid(), "JobHandle: invalid handle");
+    return job_->fromCache;
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionService
+// ---------------------------------------------------------------------------
+
+ExecutionService::ExecutionService(ExecutionServiceOptions options)
+    : ExecutionService(Pipeline(), options)
+{
+}
+
+ExecutionService::ExecutionService(const Pipeline &pipeline,
+                                   ExecutionServiceOptions options)
+    : pipeline_(pipeline), options_(options)
+{
+    if (options_.cacheCapacity > 0) {
+        resultCache_ = std::make_unique<
+            common::LruCache<std::shared_ptr<const Result>>>(
+            options_.cacheCapacity);
+        execCache_ = std::make_unique<
+            common::LruCache<std::shared_ptr<const ExecOutcome>>>(
+            options_.cacheCapacity);
+    }
+    pool_ = std::make_unique<common::ThreadPool>(options_.workers);
+}
+
+ExecutionService::~ExecutionService() = default;
+
+int
+ExecutionService::workers() const
+{
+    return pool_->threadCount();
+}
+
+bool
+ExecutionService::insideWorker()
+{
+    return workerDepth > 0;
+}
+
+ExecutionService &
+ExecutionService::shared()
+{
+    static ExecutionService service;
+    return service;
+}
+
+ExecutionService::JobHandle
+ExecutionService::submit(ExperimentSpec spec, int priority)
+{
+    // Fail fast at the boundary: a malformed budget throws from
+    // submit() itself rather than from a detached worker.
+    validateBackendSpec(spec.backendSpec);
+    require(spec.workloadInstance.has_value() || !spec.workload.empty(),
+            "ExecutionService: spec needs a workload (registry spec "
+            "or prebuilt instance)");
+
+    // The fan-out owns the cores when the pool has real workers;
+    // forcing inner sampling serial does not change any histogram
+    // (sampleBatch's determinism guarantee).
+    if (pool_->threadCount() > 1)
+        spec.backendSpec.threads = 1;
+
+    const auto fullKey = canonicalSpecKey(spec);
+    const auto execKey = canonicalExecKey(spec);
+
+    auto job = std::make_shared<JobHandle::Job>();
+    job->label = spec.label;
+
+    // The job's future comes from an explicit promise (not the
+    // pool's) so the in-flight entry can be registered before the
+    // pool sees the job: on a single-thread pool submit() runs the
+    // job inline, and the epilogue must find its own entry to erase.
+    auto promise = std::make_shared<std::promise<Result>>();
+
+    std::shared_ptr<const Result> cached;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job->id = ++nextJobId_;
+        ++stats_.submitted;
+
+        if (fullKey && resultCache_) {
+            if (auto *hit = resultCache_->get(*fullKey)) {
+                ++stats_.resultCache.hits;
+                ++stats_.completed;
+                job->fromCache = true;
+                cached = *hit;
+            } else {
+                ++stats_.resultCache.misses;
+            }
+        }
+
+        if (!cached && fullKey && options_.coalesce) {
+            const auto it = inflightJobs_.find(*fullKey);
+            if (it != inflightJobs_.end()) {
+                // Identical job already queued or running: attach to
+                // its future; wait() patches the label per handle.
+                ++stats_.coalesced;
+                job->future = it->second;
+                return JobHandle(job);
+            }
+        }
+
+        // This submit owns the execution: register it before any
+        // concurrent identical submit can look the key up.
+        if (!cached) {
+            job->future = promise->get_future().share();
+            if (fullKey && options_.coalesce)
+                inflightJobs_.emplace(*fullKey, job->future);
+        }
+    }
+
+    if (cached) {
+        // The one per-hit Result copy, outside the service mutex.
+        std::promise<Result> ready;
+        ready.set_value(*cached);
+        job->future = ready.get_future().share();
+        return JobHandle(job);
+    }
+
+    pool_->submit(
+        [this, spec = std::move(spec), fullKey, execKey, promise] {
+            WorkerScope scope;
+            try {
+                Result result = runJob(spec, execKey);
+                // The one per-job cache copy, outside the mutex.
+                std::shared_ptr<const Result> copy;
+                if (fullKey && resultCache_)
+                    copy = std::make_shared<const Result>(result);
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (fullKey) {
+                        if (copy)
+                            resultCache_->put(*fullKey,
+                                              std::move(copy));
+                        inflightJobs_.erase(*fullKey);
+                    }
+                    ++stats_.completed;
+                }
+                promise->set_value(std::move(result));
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (fullKey)
+                        inflightJobs_.erase(*fullKey);
+                    ++stats_.completed;
+                }
+                promise->set_exception(std::current_exception());
+            }
+        },
+        priority);
+
+    return JobHandle(job);
+}
+
+Result
+ExecutionService::runJob(const ExperimentSpec &spec,
+                         const std::optional<std::string> &execKey)
+{
+    RunState state;
+    Result result = pipeline_.buildWorkload(spec, state);
+
+    std::shared_ptr<const ExecOutcome> outcome;
+    std::shared_future<std::shared_ptr<const ExecOutcome>> pending;
+    std::shared_ptr<std::promise<std::shared_ptr<const ExecOutcome>>>
+        computing;
+
+    if (execKey && options_.coalesce) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (execCache_) {
+            if (auto *hit = execCache_->get(*execKey))
+                outcome = *hit;
+        }
+        if (!outcome) {
+            const auto it = inflightExec_.find(*execKey);
+            if (it != inflightExec_.end()) {
+                pending = it->second;
+            } else {
+                computing = std::make_shared<std::promise<
+                    std::shared_ptr<const ExecOutcome>>>();
+                inflightExec_.emplace(
+                    *execKey, computing->get_future().share());
+            }
+        }
+    }
+
+    if (pending.valid())
+        outcome = pending.get(); // rethrows the computing peer's error
+
+    if (outcome) {
+        // Replay: the raw histogram was already computed by an
+        // identical job.  Stand the backend up anyway (mitigation
+        // stages like ensemble re-execute through it) and restore
+        // the RNG to the exact post-sampling state so the remaining
+        // stages see draws bit-identical to a full run.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.executeShared;
+        }
+        pipeline_.standUpBackend(spec, state, result);
+        result.raw = outcome->raw;
+        state.rng = outcome->rngAfter;
+        // The sample row reports the cost paid when the histogram
+        // was first computed — by this job's peer, not this job.
+        result.timings.push_back(
+            {"sample", outcome->sampleSeconds});
+    } else {
+        try {
+            pipeline_.execute(spec, state, result);
+        } catch (...) {
+            if (computing) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                inflightExec_.erase(*execKey);
+                computing->set_exception(std::current_exception());
+            }
+            throw;
+        }
+        if (computing) {
+            auto produced = std::make_shared<const ExecOutcome>(
+                ExecOutcome{result.raw, state.rng,
+                            result.stageSeconds("sample")});
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.executeRuns;
+                if (execCache_)
+                    execCache_->put(*execKey, produced);
+                inflightExec_.erase(*execKey);
+            }
+            computing->set_value(std::move(produced));
+        } else {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.executeRuns;
+        }
+    }
+
+    pipeline_.mitigate(spec, state, result);
+    pipeline_.score(state, result);
+    return result;
+}
+
+Result
+ExecutionService::wait(const JobHandle &handle) const
+{
+    require(handle.valid(), "ExecutionService: invalid job handle");
+    // Help drain the queue instead of blocking outright: the pool
+    // keeps threadCount-1 dedicated workers, so the waiting caller
+    // is the remaining one (submit-all-then-wait batches use every
+    // thread, as the pre-service runMany did).
+    while (handle.job_->future.wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready &&
+           pool_->tryRunOneJob()) {
+    }
+    Result result = handle.job_->future.get();
+    // Labels are per-handle: coalesced and cached jobs share a
+    // Result computed under some other handle's label, so re-derive
+    // this handle's (the same rule Pipeline::buildWorkload applies).
+    result.label = handle.job_->label.empty() ? result.workloadSpec
+                                              : handle.job_->label;
+    return result;
+}
+
+bool
+ExecutionService::poll(const JobHandle &handle) const
+{
+    require(handle.valid(), "ExecutionService: invalid job handle");
+    return handle.job_->future.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+}
+
+std::vector<Result>
+ExecutionService::runMany(const std::vector<ExperimentSpec> &specs)
+{
+    std::vector<JobHandle> handles;
+    handles.reserve(specs.size());
+    for (const ExperimentSpec &spec : specs)
+        handles.push_back(submit(spec));
+    std::vector<Result> results;
+    results.reserve(handles.size());
+    for (const JobHandle &handle : handles)
+        results.push_back(wait(handle));
+    return results;
+}
+
+bool
+ExecutionService::helpDrain()
+{
+    return pool_->tryRunOneJob();
+}
+
+std::future<core::Distribution>
+ExecutionService::submitSampling(
+    std::function<core::Distribution()> fn, int priority)
+{
+    require(fn != nullptr, "ExecutionService: null sampling task");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.rawTasks;
+    }
+    if (insideWorker()) {
+        // A job is already executing on this thread: run inline
+        // instead of queueing behind ourselves (self-deadlock on a
+        // saturated pool).
+        std::promise<core::Distribution> ready;
+        try {
+            ready.set_value(fn());
+        } catch (...) {
+            ready.set_exception(std::current_exception());
+        }
+        return ready.get_future();
+    }
+    return pool_->submit(std::move(fn), priority);
+}
+
+ServiceStats
+ExecutionService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServiceStats snapshot = stats_;
+    snapshot.resultCache.entries =
+        resultCache_ ? resultCache_->size() : 0;
+    snapshot.exactCache = noise::CachedExactSampler::cacheStats();
+    return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// Serving protocol
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Positive integer from a JSON number (spec budgets are ints). */
+int
+positiveIntField(const JsonValue &value)
+{
+    // Range-check before the cast: double -> int conversion of an
+    // out-of-range value is undefined behaviour.
+    const double number = value.asNumber();
+    if (!(number >= 1.0) ||
+        number > static_cast<double>(
+                     std::numeric_limits<int>::max()) ||
+        number != std::floor(number))
+        common::fatal("must be a positive integer");
+    return static_cast<int>(number);
+}
+
+/** One key of the JSON spec form (error messages get the key prefixed). */
+void
+parseJsonSpecField(SpecLine &parsed, const std::string &key,
+                   const JsonValue &value)
+{
+    ExperimentSpec &spec = parsed.spec;
+    if (key == "workload") {
+        spec.workload = value.asString();
+    } else if (key == "backend") {
+        spec.backend = value.asString();
+    } else if (key == "machine") {
+        spec.backendSpec.machine = value.asString();
+    } else if (key == "noise_scale") {
+        spec.backendSpec.noiseScale = value.asNumber();
+    } else if (key == "shots") {
+        spec.backendSpec.shots = positiveIntField(value);
+    } else if (key == "trajectories") {
+        spec.backendSpec.trajectories = positiveIntField(value);
+    } else if (key == "seed") {
+        spec.backendSpec.seed =
+            static_cast<std::uint64_t>(positiveIntField(value));
+    } else if (key == "mitigation") {
+        spec.mitigation = value.asString();
+    } else if (key == "label") {
+        spec.label = value.asString();
+    } else if (key == "priority") {
+        const double number = value.asNumber();
+        if (number != std::floor(number) ||
+            number < static_cast<double>(
+                         std::numeric_limits<int>::min()) ||
+            number > static_cast<double>(
+                         std::numeric_limits<int>::max()))
+            common::fatal("must be an integer");
+        parsed.priority = static_cast<int>(number);
+    } else {
+        common::fatal("unknown key");
+    }
+}
+
+SpecLine
+parseJsonSpecLine(const std::string &line)
+{
+    const JsonValue object = parseJson(line);
+    require(object.isObject(), "spec line: JSON value must be an "
+                               "object");
+    SpecLine parsed;
+    std::vector<std::string> seen;
+    for (const auto &[key, value] : object.members()) {
+        // Last-one-wins duplicate keys would make a stale field in
+        // an edited traffic file win silently: reject them, like
+        // unknown keys.
+        for (const auto &previous : seen)
+            if (previous == key)
+                common::fatal("spec line: duplicate key '" + key +
+                              "'");
+        seen.push_back(key);
+        try {
+            parseJsonSpecField(parsed, key, value);
+        } catch (const std::invalid_argument &error) {
+            // Accessor errors say "not a number" but not where:
+            // re-throw with the key named so a long traffic file
+            // pinpoints the bad value.
+            common::fatal("spec line: key '" + key + "': " +
+                          error.what());
+        }
+    }
+    require(!parsed.spec.workload.empty(),
+            "spec line: 'workload' is required");
+    return parsed;
+}
+
+SpecLine
+parseCsvSpecLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t comma = line.find(',', start);
+        std::string field = line.substr(start, comma - start);
+        // Trim surrounding whitespace ('\r' included: getline on a
+        // CRLF file leaves it on the last field).
+        const auto isSpace = [](char c) {
+            return c == ' ' || c == '\t' || c == '\r';
+        };
+        while (!field.empty() && isSpace(field.front()))
+            field.erase(field.begin());
+        while (!field.empty() && isSpace(field.back()))
+            field.pop_back();
+        fields.push_back(std::move(field));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    require(fields.size() <= 7,
+            "spec line: too many CSV fields (expected workload[,"
+            "backend[,shots[,seed[,mitigation[,machine[,label]]]]]])");
+
+    SpecLine parsed;
+    ExperimentSpec &spec = parsed.spec;
+    require(!fields[0].empty(), "spec line: 'workload' is required");
+    spec.workload = fields[0];
+    if (fields.size() > 1 && !fields[1].empty())
+        spec.backend = fields[1];
+    if (fields.size() > 2 && !fields[2].empty())
+        spec.backendSpec.shots =
+            parsePositiveInt(fields[2], "spec line 'shots'");
+    if (fields.size() > 3 && !fields[3].empty())
+        spec.backendSpec.seed = static_cast<std::uint64_t>(
+            parsePositiveInt(fields[3], "spec line 'seed'"));
+    if (fields.size() > 4 && !fields[4].empty()) {
+        // ',' is the field separator, so multi-stage chains use '+'
+        // here ("readout+hammer"), matching MitigationChain::name().
+        spec.mitigation = fields[4];
+        for (char &c : spec.mitigation)
+            if (c == '+')
+                c = ',';
+    }
+    if (fields.size() > 5 && !fields[5].empty())
+        spec.backendSpec.machine = fields[5];
+    if (fields.size() > 6 && !fields[6].empty())
+        spec.label = fields[6];
+    return parsed;
+}
+
+} // namespace
+
+SpecLine
+parseSpecLine(const std::string &line)
+{
+    std::size_t first = 0;
+    while (first < line.size() &&
+           (line[first] == ' ' || line[first] == '\t'))
+        ++first;
+    require(first < line.size(), "spec line: empty line");
+    if (line[first] == '{')
+        return parseJsonSpecLine(line);
+    return parseCsvSpecLine(line.substr(first));
+}
+
+// ---------------------------------------------------------------------------
+// ServiceSampler
+// ---------------------------------------------------------------------------
+
+ServiceSampler::ServiceSampler(const BackendSpec &spec)
+    : innerName_(spec.serviceBackend)
+{
+    require(!innerName_.empty(),
+            "service backend: serviceBackend must name the delegate "
+            "backend");
+    require(innerName_ != "service",
+            "service backend: serviceBackend must not be 'service' "
+            "(no self-recursion)");
+    inner_ = BackendRegistry::global().make(innerName_, spec);
+}
+
+core::Distribution
+ServiceSampler::sample(const circuits::RoutedCircuit &routed,
+                       int measured_qubits, int shots,
+                       common::Rng &rng)
+{
+    return inner_->sample(routed, measured_qubits, shots, rng);
+}
+
+core::Distribution
+ServiceSampler::sampleBatch(const circuits::RoutedCircuit &routed,
+                            int measured_qubits, int shots,
+                            common::Rng &rng, int threads)
+{
+    if (threads == 1 || ExecutionService::insideWorker())
+        return inner_->sampleBatch(routed, measured_qubits, shots,
+                                   rng, threads);
+    // Blocking on the future before returning keeps the reference
+    // captures safe and the RNG hand-off sequential.
+    return ExecutionService::shared()
+        .submitSampling([&] {
+            return inner_->sampleBatch(routed, measured_qubits,
+                                       shots, rng, threads);
+        })
+        .get();
+}
+
+} // namespace hammer::api

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * hammer::serve — the asynchronous, batching execution service.
+ *
+ * ExecutionService is the queued front door over the experiment
+ * pipeline: submit(ExperimentSpec) enqueues one experiment as an
+ * independent job on a priority/FIFO queue (common::ThreadPool's
+ * future-returning submit), wait()/poll() observe it, and two caches
+ * keep repeated traffic cheap —
+ *
+ *   - request coalescing: jobs whose canonical execution key
+ *     (workload, backend, noise, shots, seed) matches an in-flight or
+ *     recently completed job reuse that job's raw histogram instead
+ *     of re-running the expensive sample stage;
+ *   - a bounded LRU result cache keyed by the canonical spec hash
+ *     (execution key + mitigation), so identical requests are served
+ *     without touching the pipeline at all.
+ *
+ * Determinism is preserved end to end: every job's Result depends
+ * only on its spec (Pipeline::run's own guarantee), a replayed
+ * execution restores the RNG to the exact post-sampling state, and
+ * the caches can therefore never serve a stale or divergent
+ * histogram — results are bit-identical to Pipeline::run for any
+ * worker count, including 1.
+ *
+ * Specs that the registries cannot describe canonically (prebuilt
+ * workload instances, explicit noise models, opaque mitigator
+ * objects) bypass both caches and simply run queued.
+ */
+
+#ifndef HAMMER_API_SERVICE_HPP
+#define HAMMER_API_SERVICE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "common/lru_cache.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/distribution.hpp"
+#include "noise/exact_sampler.hpp"
+#include "noise/sampler.hpp"
+
+namespace hammer::api {
+
+/** Tuning knobs of one ExecutionService. */
+struct ExecutionServiceOptions
+{
+    /**
+     * Worker threads draining the job queue; 0 selects
+     * common::ThreadPool::defaultThreadCount().  With one worker,
+     * jobs run inline on the submitting thread (and keep their
+     * spec's inner sampling threads); with more, per-job inner
+     * sampling is forced to 1 — the fan-out owns the cores.
+     */
+    int workers = 0;
+
+    /**
+     * Capacity of the result LRU and the execution-outcome LRU
+     * (entries each); 0 disables both, leaving only in-flight
+     * coalescing.
+     */
+    std::size_t cacheCapacity = 256;
+
+    /** Dedupe identical executions (in-flight + recent). */
+    bool coalesce = true;
+};
+
+/**
+ * Observability counters of one ExecutionService.
+ *
+ * Cache stats use the same noise::CacheStats triple as
+ * noise::CachedExactSampler, so entry points report every caching
+ * layer uniformly.
+ */
+struct ServiceStats
+{
+    std::uint64_t submitted = 0; ///< Jobs accepted by submit().
+
+    /**
+     * Jobs the service finished itself — executed or served from the
+     * result cache.  Coalesced handles are views onto another job's
+     * future and complete with it, so they are counted there, once:
+     * completed + coalesced == submitted when the queue is idle.
+     */
+    std::uint64_t completed = 0;
+
+    /** Jobs that attached to an identical in-flight job's future. */
+    std::uint64_t coalesced = 0;
+
+    /** Expensive sample stages actually executed. */
+    std::uint64_t executeRuns = 0;
+
+    /** Sample stages served from a peer's execution outcome. */
+    std::uint64_t executeShared = 0;
+
+    /** Raw sampler closures queued via submitSampling(). */
+    std::uint64_t rawTasks = 0;
+
+    /** The bounded result LRU (hits = served without any pipeline work). */
+    noise::CacheStats resultCache;
+
+    /** CachedExactSampler's process-wide density-matrix memo. */
+    noise::CacheStats exactCache;
+};
+
+/**
+ * Canonical execution key of @p spec: everything that determines the
+ * raw histogram (workload spec, backend name, machine, noise scale,
+ * shots, trajectories, seed — threads excluded, histograms are
+ * thread-count-invariant), or nullopt when the spec carries state a
+ * string cannot canonically describe (prebuilt workload instance,
+ * explicit noise model, channel params).
+ */
+std::optional<std::string>
+canonicalExecKey(const ExperimentSpec &spec);
+
+/**
+ * Canonical full-spec key: the execution key plus the mitigation
+ * chain spec; nullopt when the execution key is, or when an opaque
+ * prebuilt mitigator is set.
+ */
+std::optional<std::string>
+canonicalSpecKey(const ExperimentSpec &spec);
+
+/**
+ * Asynchronous, batching, caching front door over Pipeline.
+ *
+ * Thread-safe: submit/wait/poll/stats may be called from any thread.
+ * The destructor joins jobs already running and discards ones still
+ * queued (their wait() throws std::future_error broken_promise), so
+ * a handle's future always becomes ready and tearing a service down
+ * never executes its remaining backlog.
+ */
+class ExecutionService
+{
+  public:
+    /**
+     * Handle to one submitted job.  Cheap to copy; valid() is false
+     * only for default-constructed handles.
+     */
+    class JobHandle
+    {
+      public:
+        JobHandle() = default;
+
+        bool valid() const { return job_ != nullptr; }
+
+        /** Service-unique id, in submission order. */
+        std::uint64_t id() const;
+
+        /** True when submit() satisfied this job from the LRU. */
+        bool servedFromCache() const;
+
+      private:
+        friend class ExecutionService;
+        struct Job;
+        explicit JobHandle(std::shared_ptr<Job> job)
+            : job_(std::move(job))
+        {
+        }
+        std::shared_ptr<Job> job_;
+    };
+
+    /** Service over the global registries. */
+    explicit ExecutionService(ExecutionServiceOptions options = {});
+
+    /** Service over an explicit pipeline (tests, custom stacks). */
+    ExecutionService(const Pipeline &pipeline,
+                     ExecutionServiceOptions options = {});
+
+    ~ExecutionService();
+
+    ExecutionService(const ExecutionService &) = delete;
+    ExecutionService &operator=(const ExecutionService &) = delete;
+
+    /**
+     * Enqueue one experiment; returns immediately with a handle.
+     *
+     * Validation happens here, at the boundary: malformed budgets or
+     * a missing workload throw std::invalid_argument from submit()
+     * itself.  Deeper errors (unknown registry keys, ...) surface
+     * from wait().  Higher @p priority jobs run first; equal
+     * priorities run FIFO.  A submit that coalesces onto an
+     * identical in-flight job keeps that job's queue position — its
+     * own @p priority is not applied retroactively (deduplication
+     * wins over reprioritisation).
+     */
+    JobHandle submit(ExperimentSpec spec, int priority = 0);
+
+    /** Block until @p handle's job finishes and return its Result. */
+    Result wait(const JobHandle &handle) const;
+
+    /** True when @p handle's Result is ready (wait() will not block). */
+    bool poll(const JobHandle &handle) const;
+
+    /**
+     * Submit every spec, then wait in spec order: the batch entry
+     * Pipeline::runMany wraps.  Bit-identical for any worker count.
+     */
+    std::vector<Result> runMany(const std::vector<ExperimentSpec> &specs);
+
+    /**
+     * Queue a raw sampling closure behind the same job queue (the
+     * entry the `service` backend routes NoisySampler::sampleBatch
+     * calls through).  Runs inline when called from a service worker
+     * (no self-deadlock) or on a single-thread pool.
+     */
+    std::future<core::Distribution>
+    submitSampling(std::function<core::Distribution()> fn,
+                   int priority = 0);
+
+    /**
+     * Run one queued job on the calling thread; false when the
+     * queue is empty.  Lets a thread that is polling handles (the
+     * --serve streaming loop) act as the pool's Nth worker instead
+     * of sleeping.
+     */
+    bool helpDrain();
+
+    /** Counter snapshot. */
+    ServiceStats stats() const;
+
+    /** Resolved worker count of the underlying pool. */
+    int workers() const;
+
+    /** True on a thread currently executing a service job. */
+    static bool insideWorker();
+
+    /**
+     * Process-wide service over the global registries with default
+     * options, created on first use — the instance hammer_cli
+     * --serve and the `service` backend share.
+     */
+    static ExecutionService &shared();
+
+  private:
+    /** Everything the execute stage produced, shareable across jobs. */
+    struct ExecOutcome
+    {
+        core::Distribution raw{1};
+        common::Rng rngAfter{0}; ///< RNG state after sampleBatch.
+        double sampleSeconds = 0.0;
+    };
+
+    Result runJob(const ExperimentSpec &spec,
+                  const std::optional<std::string> &execKey);
+
+    const Pipeline pipeline_;
+    const ExecutionServiceOptions options_;
+
+    mutable std::mutex mutex_;
+    std::uint64_t nextJobId_ = 0;
+    ServiceStats stats_;
+    // shared_ptr values: cached Results can be large (workload +
+    // two histograms), so hits hand out a reference and the one
+    // copy per job happens outside the service mutex.
+    std::unique_ptr<common::LruCache<std::shared_ptr<const Result>>>
+        resultCache_;
+    std::unique_ptr<common::LruCache<std::shared_ptr<const ExecOutcome>>>
+        execCache_;
+    std::unordered_map<std::string, std::shared_future<Result>>
+        inflightJobs_;
+    std::unordered_map<
+        std::string,
+        std::shared_future<std::shared_ptr<const ExecOutcome>>>
+        inflightExec_;
+
+    // Declared last: destroyed first, so queued jobs drained by the
+    // pool destructor still see live caches and counters.
+    std::unique_ptr<common::ThreadPool> pool_;
+};
+
+/**
+ * One parsed serving request: the experiment plus its queue
+ * priority.
+ */
+struct SpecLine
+{
+    ExperimentSpec spec;
+    int priority = 0;
+};
+
+/**
+ * Parse one request line of the serving protocol (hammer_cli
+ * --serve): either a JSON object
+ *
+ *   {"workload": "bv:8", "backend": "channel", "shots": 4096,
+ *    "seed": 3, "mitigation": "readout,hammer", "machine":
+ *    "machineA", "noise_scale": 1.0, "trajectories": 250,
+ *    "label": "...", "priority": 5}
+ *
+ * (only "workload" is required; unknown keys throw), or a positional
+ * CSV line
+ *
+ *   workload[,backend[,shots[,seed[,mitigation[,machine[,label]]]]]]
+ *
+ * selected by the first non-space character ('{' = JSON).  In the
+ * CSV form ',' is the field separator, so multi-stage mitigation
+ * chains are written with '+' ("readout+hammer"), the same joiner
+ * MitigationChain::name() renders.
+ *
+ * @throws std::invalid_argument naming the offending field on any
+ *         malformed input.
+ */
+SpecLine parseSpecLine(const std::string &line);
+
+/**
+ * The `service` backend: a NoisySampler whose batched executions are
+ * queued behind ExecutionService::shared()'s job queue instead of
+ * running on the caller.
+ *
+ * Delegates the actual physics to the backend named by
+ * BackendSpec::serviceBackend (default "channel"), so its histograms
+ * are bit-identical to that backend's — the registry conformance
+ * harness holds by construction.  Circuit-level result caching is
+ * deliberately NOT duplicated here: when the inner backend is
+ * exact/exact-cached, the density-matrix memo in
+ * noise::CachedExactSampler is the cache, and the service layer only
+ * adds queueing and spec-level caching on top.
+ */
+class ServiceSampler final : public noise::NoisySampler
+{
+  public:
+    /**
+     * @throws std::invalid_argument when spec.serviceBackend is
+     *         empty, "service" (no self-recursion), or unknown.
+     */
+    explicit ServiceSampler(const BackendSpec &spec);
+
+    /** Serial path: delegates inline (no queue round-trip). */
+    core::Distribution sample(const circuits::RoutedCircuit &routed,
+                              int measured_qubits, int shots,
+                              common::Rng &rng) override;
+
+    /**
+     * Queued path: the sampleBatch call runs as one job on the
+     * shared service's queue (inline when already on a service
+     * worker or when @p threads is 1).  Bit-identical to the inner
+     * backend for every thread count.
+     */
+    core::Distribution sampleBatch(const circuits::RoutedCircuit &routed,
+                                   int measured_qubits, int shots,
+                                   common::Rng &rng,
+                                   int threads = 0) override;
+
+    /** The delegate's registry name. */
+    const std::string &innerBackend() const { return innerName_; }
+
+  private:
+    std::string innerName_;
+    std::unique_ptr<noise::NoisySampler> inner_;
+};
+
+} // namespace hammer::api
+
+#endif // HAMMER_API_SERVICE_HPP

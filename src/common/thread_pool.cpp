@@ -29,6 +29,13 @@ ThreadPool::~ThreadPool()
     wake_.notify_all();
     for (std::thread &worker : workers_)
         worker.join();
+    // Workers exit as soon as they see stop_, which can leave queued
+    // jobs behind.  Discard them: destroying a packaged_task that
+    // never ran makes its future throw broken_promise, so waiters
+    // unblock with a defined error instead of the destructing thread
+    // grinding through a possibly huge backlog (e.g. a batch being
+    // abandoned because its first result threw).
+    jobs_ = {};
 }
 
 int
@@ -49,17 +56,66 @@ ThreadPool::workerLoop(int slot)
 {
     std::uint64_t seen_round = 0;
     for (;;) {
+        std::function<void()> job;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [&] {
-                return stop_ || (task_ && round_ != seen_round);
+                return stop_ || (task_ && round_ != seen_round) ||
+                       !jobs_.empty();
             });
             if (stop_)
                 return;
-            seen_round = round_;
+            if (task_ && round_ != seen_round) {
+                // Rounds are latency-sensitive barriers with a caller
+                // blocked on them: they pre-empt the job queue.
+                seen_round = round_;
+            } else {
+                job = jobs_.top().run;
+                jobs_.pop();
+            }
         }
-        runRound(slot);
+        if (job)
+            job();
+        else
+            runRound(slot);
     }
+}
+
+void
+ThreadPool::enqueueJob(std::function<void()> run, int priority)
+{
+    if (threadCount_ == 1) {
+        // No dedicated workers: run inline, as parallelFor does.
+        run();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobs_.push(QueuedJob{priority, jobSeq_++, std::move(run)});
+    }
+    wake_.notify_one();
+}
+
+std::size_t
+ThreadPool::queuedJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_.size();
+}
+
+bool
+ThreadPool::tryRunOneJob()
+{
+    std::function<void()> job;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (jobs_.empty())
+            return false;
+        job = jobs_.top().run;
+        jobs_.pop();
+    }
+    job();
+    return true;
 }
 
 void

@@ -1,6 +1,7 @@
 /**
  * @file
- * Reusable fixed-size thread pool with a dynamic parallel-for.
+ * Reusable fixed-size thread pool with a dynamic parallel-for and a
+ * future-returning job queue.
  *
  * The pool backs the parallel sampling engine
  * (noise::NoisySampler::sampleBatch): work items are claimed
@@ -10,6 +11,13 @@
  * hot path.  Determinism is the caller's contract: a task's output
  * must depend only on its item index (see common::Rng::fork), never
  * on which worker ran it.
+ *
+ * Alongside the barrier-style parallelFor rounds, submit() enqueues
+ * independent jobs on a priority/FIFO queue and hands back a
+ * std::future — the asynchronous entry the serving layer
+ * (api::ExecutionService) is built on.  Queued jobs run on the same
+ * workers between rounds, so one pool owns the cores no matter which
+ * style a caller uses.
  */
 
 #ifndef HAMMER_COMMON_THREAD_POOL_HPP
@@ -20,8 +28,13 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
+#include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace hammer::common {
@@ -67,6 +80,48 @@ class ThreadPool
     /** Convenience overload for tasks that do not need the slot id. */
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &task);
+
+    /**
+     * Enqueue one independent job and return a future for its result.
+     *
+     * Jobs are drained by the pool's workers whenever no parallelFor
+     * round is pending, highest @p priority first and FIFO within a
+     * priority level.  Exceptions thrown by @p fn are captured into
+     * the future.  On a single-thread pool the job runs inline on the
+     * caller before submit() returns (there are no dedicated workers
+     * to hand it to), mirroring parallelFor's inline fast path.
+     *
+     * Jobs still queued when the pool is destroyed are discarded —
+     * their futures throw std::future_error (broken_promise) from
+     * get() — so tearing a pool down never executes a stale backlog;
+     * jobs already started by a worker are joined to completion.
+     */
+    template <typename F>
+    auto submit(F &&fn, int priority = 0)
+        -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        enqueueJob([task] { (*task)(); }, priority);
+        return future;
+    }
+
+    /** Jobs submitted but not yet started (queue depth). */
+    std::size_t queuedJobs() const;
+
+    /**
+     * Pop and run the highest-priority queued job on the calling
+     * thread; false when the queue is empty.
+     *
+     * The caller-participation half of the job queue: a pool of N
+     * has N-1 dedicated workers, and a caller that blocks on a
+     * future calls this in a loop first (see
+     * api::ExecutionService::wait) so submit-then-wait batches use
+     * all N threads, exactly as parallelFor does.
+     */
+    bool tryRunOneJob();
 
     /**
      * Thread count used when a caller passes 0: the HAMMER_THREADS
@@ -126,6 +181,22 @@ class ThreadPool
                                  int)> &task);
 
   private:
+    /** One queued submit() job; ordering key for the priority queue. */
+    struct QueuedJob
+    {
+        int priority = 0;
+        std::uint64_t seq = 0; // FIFO tiebreak within a priority
+        std::function<void()> run;
+
+        bool operator<(const QueuedJob &other) const
+        {
+            if (priority != other.priority)
+                return priority < other.priority;
+            return seq > other.seq;
+        }
+    };
+
+    void enqueueJob(std::function<void()> run, int priority);
     void workerLoop(int slot);
     void runRound(int slot);
 
@@ -133,7 +204,7 @@ class ThreadPool
     std::vector<std::thread> workers_;
 
     std::mutex roundMutex_; // serialises concurrent parallelFor calls
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable done_;
     const std::function<void(std::size_t, int)> *task_ = nullptr;
@@ -144,6 +215,8 @@ class ThreadPool
     bool stop_ = false;
     bool abandonRound_ = false;
     std::exception_ptr firstError_;
+    std::priority_queue<QueuedJob> jobs_;
+    std::uint64_t jobSeq_ = 0;
 };
 
 } // namespace hammer::common

@@ -154,6 +154,7 @@ struct ExactCache
     std::map<std::string, std::shared_ptr<const Distribution>>
         distributions;
     std::size_t hits = 0;
+    std::size_t misses = 0;
 };
 
 ExactCache &
@@ -189,6 +190,7 @@ CachedExactSampler::cachedDistribution(
     auto exact = std::make_shared<const Distribution>(
         inner_.exactDistribution(routed, measured_qubits));
     std::lock_guard<std::mutex> lock(cache.mutex);
+    ++cache.misses;
     return cache.distributions.emplace(key, std::move(exact))
         .first->second;
 }
@@ -262,6 +264,15 @@ CachedExactSampler::cacheHits()
     return cache.hits;
 }
 
+CacheStats
+CachedExactSampler::cacheStats()
+{
+    ExactCache &cache = exactCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return CacheStats{cache.distributions.size(), cache.hits,
+                      cache.misses};
+}
+
 void
 CachedExactSampler::clearCache()
 {
@@ -269,6 +280,7 @@ CachedExactSampler::clearCache()
     std::lock_guard<std::mutex> lock(cache.mutex);
     cache.distributions.clear();
     cache.hits = 0;
+    cache.misses = 0;
 }
 
 } // namespace hammer::noise

@@ -27,6 +27,28 @@
 namespace hammer::noise {
 
 /**
+ * Uniform cache observability: one counter triple shared by every
+ * caching layer in the stack (CachedExactSampler's density-matrix
+ * memo, the serving layer's histogram LRU), so entry points can
+ * report hit rates the same way regardless of which cache served.
+ */
+struct CacheStats
+{
+    std::size_t entries = 0; ///< Values currently cached.
+    std::size_t hits = 0;    ///< Lookups served from the cache.
+    std::size_t misses = 0;  ///< Lookups that had to compute.
+
+    /** hits / (hits + misses); 0 when no lookups happened. */
+    double hitRate() const
+    {
+        const std::size_t total = hits + misses;
+        return total == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+/**
  * Exact mixed-state noisy sampler.
  */
 class ExactSampler : public NoisySampler
@@ -89,6 +111,9 @@ class CachedExactSampler final : public NoisySampler
 
     /** Cache hits since process start / last clear (process-wide). */
     static std::size_t cacheHits();
+
+    /** Entries, hits and misses in one uniform snapshot. */
+    static CacheStats cacheStats();
 
     /** Drop every cached distribution and reset the hit counter. */
     static void clearCache();

@@ -27,8 +27,24 @@ TEST(BackendRegistry, GlobalKnowsTheBuiltinBackends)
     EXPECT_TRUE(registry.contains("channel"));
     EXPECT_TRUE(registry.contains("exact"));
     EXPECT_TRUE(registry.contains("exact-cached"));
+    EXPECT_TRUE(registry.contains("service"));
     EXPECT_FALSE(registry.contains("remote"));
-    EXPECT_EQ(registry.names().size(), 4u);
+    EXPECT_EQ(registry.names().size(), 5u);
+}
+
+TEST(BackendRegistry, DuplicateRegistrationThrows)
+{
+    auto registry = hammer::api::defaultBackendRegistry();
+    try {
+        registry.add("channel", [](const BackendSpec &) {
+            return std::unique_ptr<hammer::noise::NoisySampler>();
+        });
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &error) {
+        EXPECT_NE(std::string(error.what()).find("channel"),
+                  std::string::npos)
+            << "the message must name the duplicate backend";
+    }
 }
 
 TEST(BackendRegistry, BuiltBackendsSample)
@@ -116,6 +132,41 @@ TEST(BackendRegistry, CachedExactSampleBatchDeterministicAcrossThreads)
             EXPECT_DOUBLE_EQ(e.probability,
                              results[i].probability(e.outcome));
     }
+}
+
+TEST(BackendRegistry, ServiceBackendMatchesItsDelegateBitForBit)
+{
+    // The service backend only adds queueing: its histograms must be
+    // byte-for-byte the delegate backend's.
+    const auto workload = hammer::api::makeGhzWorkload(4);
+    BackendSpec spec;
+    spec.serviceBackend = "channel";
+    for (int threads : {1, 2}) {
+        Rng direct_rng(5), served_rng(5);
+        const auto direct =
+            BackendRegistry::global().make("channel", spec);
+        const auto served =
+            BackendRegistry::global().make("service", spec);
+        const auto a = direct->sampleBatch(workload.routed, 4, 2000,
+                                           direct_rng, threads);
+        const auto b = served->sampleBatch(workload.routed, 4, 2000,
+                                           served_rng, threads);
+        ASSERT_EQ(a.support(), b.support()) << threads << " threads";
+        for (const auto &e : a.entries())
+            EXPECT_DOUBLE_EQ(e.probability, b.probability(e.outcome))
+                << threads << " threads";
+    }
+}
+
+TEST(BackendRegistry, ServiceBackendRejectsSelfRecursion)
+{
+    BackendSpec spec;
+    spec.serviceBackend = "service";
+    EXPECT_THROW(BackendRegistry::global().make("service", spec),
+                 std::invalid_argument);
+    spec.serviceBackend = "";
+    EXPECT_THROW(BackendRegistry::global().make("service", spec),
+                 std::invalid_argument);
 }
 
 TEST(BackendRegistry, UnknownBackendThrowsWithTheKnownList)

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * JSON layer: writer escaping, parser correctness, writer->parser
+ * round trips, and the Result golden-file regression (satellite of
+ * the serving PR: serialized results must parse back cleanly,
+ * adversarial strings included).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "api/json.hpp"
+#include "api/pipeline.hpp"
+
+namespace {
+
+using hammer::api::JsonValue;
+using hammer::api::JsonWriter;
+using hammer::api::jsonQuote;
+using hammer::api::parseJson;
+using hammer::api::Result;
+using hammer::core::Distribution;
+
+/** The adversarial label every serialization test reuses. */
+const char *const kTrickyLabel =
+    "golden \"quoted\" back\\slash\ttab\nnewline \x01 control";
+
+/**
+ * A fixed, libm-free Result: every double is an exact binary
+ * fraction, so its JSON rendering is byte-stable across compilers
+ * and platforms (the precondition for the golden file).
+ */
+Result
+goldenResult()
+{
+    Result result;
+    result.label = kTrickyLabel;
+    result.workloadSpec = "bv:3";
+    result.family = "bv";
+    result.backendName = "channel";
+    result.machine = "machineA";
+    result.mitigationName = "hammer";
+    result.measuredQubits = 3;
+    result.shots = 100;
+    result.seed = 7;
+
+    Distribution raw(3);
+    raw.set(0b101, 0.5);
+    raw.set(0b100, 0.25);
+    raw.set(0b001, 0.125);
+    raw.set(0b111, 0.125);
+    result.raw = raw;
+    Distribution mitigated(3);
+    mitigated.set(0b101, 0.75);
+    mitigated.set(0b100, 0.25);
+    result.mitigated = mitigated;
+
+    result.hammerStats.uniqueOutcomes = 4;
+    result.hammerStats.maxDistance = 1;
+    result.hammerStats.pairOperations = 12;
+    result.timings = {{"workload", 0.5}, {"sample", 0.25},
+                      {"mitigate", 0.125},
+                      {"mitigate:hammer", 0.0625}};
+    result.pstRaw = 0.5;
+    result.pstMitigated = 0.75;
+    result.istRaw = 2.0;
+    result.istMitigated = 4.0;
+    // NaN renders as null and must parse back as null.
+    result.ehdRaw = std::numeric_limits<double>::quiet_NaN();
+    result.ehdMitigated = 0.0625;
+    return result;
+}
+
+TEST(JsonParser, ParsesScalarsAndContainers)
+{
+    const JsonValue doc = parseJson(
+        R"({"s": "text", "i": 42, "f": -1.5e2, "t": true, )"
+        R"("n": null, "a": [1, "two", {"three": 3}], "o": {}})");
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.at("s").asString(), "text");
+    EXPECT_DOUBLE_EQ(doc.at("i").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(doc.at("f").asNumber(), -150.0);
+    EXPECT_TRUE(doc.at("t").asBool());
+    EXPECT_TRUE(doc.at("n").isNull());
+    ASSERT_EQ(doc.at("a").items().size(), 3u);
+    EXPECT_EQ(doc.at("a").items()[1].asString(), "two");
+    EXPECT_DOUBLE_EQ(
+        doc.at("a").items()[2].at("three").asNumber(), 3.0);
+    EXPECT_TRUE(doc.at("o").members().empty());
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    EXPECT_THROW(doc.at("missing"), std::invalid_argument);
+    EXPECT_THROW(doc.at("s").asNumber(), std::invalid_argument);
+}
+
+TEST(JsonParser, DecodesEscapes)
+{
+    const JsonValue doc = parseJson(
+        R"(["a\"b", "c\\d", "e\nf", "\t", "\u0041", "\u00e9", )"
+        R"("\ud83d\ude00", "\u0001"])");
+    const auto &items = doc.items();
+    EXPECT_EQ(items[0].asString(), "a\"b");
+    EXPECT_EQ(items[1].asString(), "c\\d");
+    EXPECT_EQ(items[2].asString(), "e\nf");
+    EXPECT_EQ(items[3].asString(), "\t");
+    EXPECT_EQ(items[4].asString(), "A");
+    EXPECT_EQ(items[5].asString(), "\xC3\xA9");
+    EXPECT_EQ(items[6].asString(), "\xF0\x9F\x98\x80");
+    EXPECT_EQ(items[7].asString(), std::string(1, '\x01'));
+}
+
+TEST(JsonParser, RejectsMalformedDocuments)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "\"unterminated", "{\"a\" 1}",
+          "{\"a\": 1} trailing", "nul", "[1 2]", "\"\\q\"",
+          "\"\\ud83d\"", "\"\\udc00\"", "--5"})
+        EXPECT_THROW(parseJson(bad), std::invalid_argument) << bad;
+}
+
+TEST(JsonParser, BoundsNestingDepth)
+{
+    // The parser fronts untrusted --serve traffic: pathological
+    // nesting must throw, not overflow the stack.
+    const std::string deep(100000, '[');
+    EXPECT_THROW(parseJson(deep), std::invalid_argument);
+    // Reasonable nesting still parses.
+    std::string ok;
+    for (int i = 0; i < 100; ++i)
+        ok += '[';
+    ok += '1';
+    for (int i = 0; i < 100; ++i)
+        ok += ']';
+    EXPECT_NO_THROW(parseJson(ok));
+}
+
+TEST(JsonRoundTrip, WriterOutputParsesBack)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("tricky").value(kTrickyLabel);
+    json.key("nan").value(std::nan(""));
+    json.key("count").value(std::uint64_t{18446744073709551615ull});
+    json.key("nested").beginArray();
+    json.value(0.1);
+    json.value(false);
+    json.endArray();
+    json.endObject();
+
+    const JsonValue doc = parseJson(json.str());
+    EXPECT_EQ(doc.at("tricky").asString(), kTrickyLabel)
+        << "quotes, backslashes and control chars must survive";
+    EXPECT_TRUE(doc.at("nan").isNull());
+    EXPECT_DOUBLE_EQ(doc.at("nested").items()[0].asNumber(), 0.1)
+        << "17-digit rendering must round-trip doubles exactly";
+    EXPECT_FALSE(doc.at("nested").items()[1].asBool());
+}
+
+TEST(JsonRoundTrip, ResultSerializationParsesBack)
+{
+    const Result result = goldenResult();
+    const JsonValue doc = parseJson(result.json());
+
+    EXPECT_EQ(doc.at("label").asString(), kTrickyLabel);
+    EXPECT_EQ(doc.at("workload").asString(), "bv:3");
+    EXPECT_DOUBLE_EQ(doc.at("shots").asNumber(), 100.0);
+    EXPECT_DOUBLE_EQ(doc.at("seed").asNumber(), 7.0);
+    EXPECT_DOUBLE_EQ(doc.at("metrics").at("pst_raw").asNumber(),
+                     0.5);
+    EXPECT_TRUE(doc.at("metrics").at("ehd_raw").isNull());
+    EXPECT_DOUBLE_EQ(
+        doc.at("timings").at("mitigate:hammer").asNumber(), 0.0625);
+
+    const auto &raw = doc.at("histogram").at("raw").items();
+    ASSERT_EQ(raw.size(), 4u);
+    EXPECT_EQ(raw[0].at("outcome").asString(), "101");
+    EXPECT_DOUBLE_EQ(raw[0].at("probability").asNumber(), 0.5);
+    double total = 0.0;
+    for (const auto &entry : raw)
+        total += entry.at("probability").asNumber();
+    EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(JsonRoundTrip, GoldenFileStaysByteExact)
+{
+    // The golden file pins the exact serialization of a Result whose
+    // doubles are binary fractions: any drift in escaping, field
+    // order or number rendering shows up as a diff here.
+    const std::string path =
+        std::string(HAMMER_TEST_DATA_DIR) + "/result_golden.json";
+    std::ifstream file(path, std::ios::binary);
+    ASSERT_TRUE(file.is_open()) << "missing golden file " << path;
+    std::ostringstream golden;
+    golden << file.rdbuf();
+
+    std::ostringstream actual;
+    goldenResult().writeJson(actual);
+    EXPECT_EQ(actual.str(), golden.str());
+
+    // And the pinned bytes parse cleanly.
+    const JsonValue doc = parseJson(golden.str());
+    EXPECT_EQ(doc.at("label").asString(), kTrickyLabel);
+    EXPECT_EQ(doc.at("mitigation").asString(), "hammer");
+}
+
+} // namespace

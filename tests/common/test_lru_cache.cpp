@@ -1,0 +1,88 @@
+/**
+ * @file
+ * LruCache: bounded capacity, recency on get and put, eviction
+ * order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/lru_cache.hpp"
+
+namespace {
+
+using hammer::common::LruCache;
+
+TEST(LruCache, StoresAndRetrieves)
+{
+    LruCache<int> cache(3);
+    EXPECT_EQ(cache.capacity(), 3u);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.get("a"), nullptr);
+
+    cache.put("a", 1);
+    cache.put("b", 2);
+    ASSERT_NE(cache.get("a"), nullptr);
+    EXPECT_EQ(*cache.get("a"), 1);
+    EXPECT_EQ(*cache.get("b"), 2);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.contains("a"));
+    EXPECT_FALSE(cache.contains("c"));
+}
+
+TEST(LruCache, PutOverwritesInPlace)
+{
+    LruCache<int> cache(2);
+    cache.put("a", 1);
+    cache.put("a", 10);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(*cache.get("a"), 10);
+}
+
+TEST(LruCache, EvictsTheLeastRecentlyUsed)
+{
+    LruCache<int> cache(2);
+    cache.put("a", 1);
+    cache.put("b", 2);
+    cache.put("c", 3); // evicts "a"
+    EXPECT_FALSE(cache.contains("a"));
+    EXPECT_TRUE(cache.contains("b"));
+    EXPECT_TRUE(cache.contains("c"));
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, GetRefreshesRecency)
+{
+    LruCache<int> cache(2);
+    cache.put("a", 1);
+    cache.put("b", 2);
+    EXPECT_EQ(*cache.get("a"), 1); // "b" is now LRU
+    cache.put("c", 3);             // evicts "b"
+    EXPECT_TRUE(cache.contains("a"));
+    EXPECT_FALSE(cache.contains("b"));
+}
+
+TEST(LruCache, PutRefreshesRecency)
+{
+    LruCache<int> cache(2);
+    cache.put("a", 1);
+    cache.put("b", 2);
+    cache.put("a", 10); // "b" is now LRU
+    cache.put("c", 3);  // evicts "b"
+    EXPECT_TRUE(cache.contains("a"));
+    EXPECT_FALSE(cache.contains("b"));
+}
+
+TEST(LruCache, ClearAndCapacityValidation)
+{
+    LruCache<int> cache(2);
+    cache.put("a", 1);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.contains("a"));
+    EXPECT_THROW(LruCache<int>(0), std::invalid_argument);
+}
+
+} // namespace

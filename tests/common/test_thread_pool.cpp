@@ -1,15 +1,20 @@
 /**
  * @file
  * Unit tests for the fixed-size thread pool: completeness of the
- * parallel-for, slot-id contracts, exception propagation, and reuse
- * across rounds.
+ * parallel-for, slot-id contracts, exception propagation, reuse
+ * across rounds, and the future-returning priority job queue.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -147,6 +152,158 @@ TEST(ThreadPool, StaticRunCoversAllItems)
         for (const auto &hit : hits)
             EXPECT_EQ(hit.load(), 1);
     }
+}
+
+TEST(ThreadPool, SubmitReturnsAFutureWithTheResult)
+{
+    ThreadPool pool(2);
+    auto doubled = pool.submit([] { return 21 * 2; });
+    auto text = pool.submit([] { return std::string("queued"); });
+    EXPECT_EQ(doubled.get(), 42);
+    EXPECT_EQ(text.get(), "queued");
+}
+
+TEST(ThreadPool, SubmitCapturesExceptionsIntoTheFuture)
+{
+    ThreadPool pool(2);
+    auto failing = pool.submit(
+        []() -> int { throw std::runtime_error("job failed"); });
+    EXPECT_THROW(failing.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitRunsInlineOnASingleThreadPool)
+{
+    // No dedicated workers: the job must complete before submit
+    // returns, on the calling thread.
+    ThreadPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id ran_on;
+    auto done = pool.submit([&] { ran_on = std::this_thread::get_id(); });
+    EXPECT_EQ(done.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, SubmitDrainsHighestPriorityFirstThenFifo)
+{
+    // One dedicated worker (pool of 2), gated so the queue fills
+    // before anything drains: the drain order must be priority
+    // descending, FIFO within a priority level.
+    ThreadPool pool(2);
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    auto blocker = pool.submit([open] { open.wait(); });
+    // Wait until the worker has dequeued the blocker, so the jobs
+    // below pile up behind it in a fully known queue state.
+    while (pool.queuedJobs() > 0)
+        std::this_thread::yield();
+
+    std::mutex order_mutex;
+    std::vector<int> order;
+    std::vector<std::future<void>> jobs;
+    const auto record = [&](int tag) {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(tag);
+    };
+    jobs.push_back(pool.submit([&] { record(0); }, /*priority=*/0));
+    jobs.push_back(pool.submit([&] { record(1); }, /*priority=*/0));
+    jobs.push_back(pool.submit([&] { record(10); }, /*priority=*/5));
+    jobs.push_back(pool.submit([&] { record(11); }, /*priority=*/5));
+    jobs.push_back(pool.submit([&] { record(-1); }, /*priority=*/-3));
+    EXPECT_EQ(pool.queuedJobs(), 5u);
+
+    gate.set_value();
+    blocker.get();
+    for (auto &job : jobs)
+        job.get();
+    EXPECT_EQ(order, (std::vector<int>{10, 11, 0, 1, -1}));
+}
+
+TEST(ThreadPool, TryRunOneJobLetsTheCallerParticipate)
+{
+    // With the only dedicated worker blocked, the caller can drain
+    // the whole queue itself — the participation primitive the
+    // serving layer's wait() builds on.
+    ThreadPool pool(2);
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    auto blocker = pool.submit([open] { open.wait(); });
+    while (pool.queuedJobs() > 0)
+        std::this_thread::yield();
+
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> jobs;
+    for (int i = 0; i < 3; ++i)
+        jobs.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+    while (pool.tryRunOneJob()) {
+    }
+    EXPECT_EQ(ran.load(), 3);
+    EXPECT_FALSE(pool.tryRunOneJob());
+
+    gate.set_value();
+    blocker.get();
+    for (auto &job : jobs)
+        job.get();
+}
+
+TEST(ThreadPool, DestructorDiscardsUnstartedJobsWithBrokenPromise)
+{
+    // Jobs still queued at destruction are discarded — their futures
+    // become ready with broken_promise, and none of their work runs
+    // on the destructing thread (abandoning a batch must not grind
+    // through its backlog).  The already-running job completes.
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::atomic<int> ran{0};
+    std::future<void> started;
+    std::vector<std::future<int>> discarded;
+    {
+        ThreadPool pool(2);
+        started = pool.submit([open, &ran] {
+            open.wait();
+            ran.fetch_add(1);
+        });
+        while (pool.queuedJobs() > 0)
+            std::this_thread::yield();
+        for (int i = 0; i < 4; ++i)
+            discarded.push_back(pool.submit([&ran, i] {
+                ran.fetch_add(1);
+                return i;
+            }));
+        gate.set_value();
+        // Destructor joins the worker; the worker may pick up some
+        // queued jobs before seeing stop_, the rest are discarded.
+    }
+    EXPECT_NO_THROW(started.get());
+    int completed = 0;
+    for (auto &future : discarded) {
+        try {
+            future.get();
+            ++completed;
+        } catch (const std::future_error &error) {
+            EXPECT_EQ(error.code(),
+                      std::future_errc::broken_promise);
+        }
+    }
+    EXPECT_EQ(ran.load(), 1 + completed);
+}
+
+TEST(ThreadPool, SubmitAndParallelForShareTheWorkers)
+{
+    // Rounds pre-empt the queue but both drain to completion.
+    ThreadPool pool(3);
+    std::atomic<int> job_hits{0}, round_hits{0};
+    std::vector<std::future<void>> jobs;
+    for (int i = 0; i < 8; ++i)
+        jobs.push_back(
+            pool.submit([&] { job_hits.fetch_add(1); }));
+    pool.parallelFor(32, [&](std::size_t) {
+        round_hits.fetch_add(1);
+    });
+    for (auto &job : jobs)
+        job.get();
+    EXPECT_EQ(job_hits.load(), 8);
+    EXPECT_EQ(round_hits.load(), 32);
 }
 
 TEST(ThreadPool, ConcurrentCallersOnSharedPoolSerialise)

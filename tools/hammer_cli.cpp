@@ -49,16 +49,30 @@
  *                      hardware threads)
  *   --seed <s>         RNG seed (default 1)
  *   --time             print sampling wall-clock to stderr
+ *
+ * Serving (the api::ExecutionService front door):
+ *   --serve <file|->   read one experiment spec per line (JSON
+ *                      object or positional CSV, see
+ *                      api::parseSpecLine) from the file or stdin,
+ *                      run them through the asynchronous batching
+ *                      service (--threads workers), and stream one
+ *                      JSON result line per spec as jobs complete;
+ *                      queue/cache statistics go to stderr
+ *   --list <what>      enumerate registry contents and exit:
+ *                      workloads | backends | mitigations
  *   --help             this text
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/api.hpp"
 #include "common/thread_pool.hpp"
@@ -98,7 +112,15 @@ usage(int exit_code)
         "  --threads <N>     worker threads (default: HAMMER_THREADS "
         "env, else all cores); output is bit-identical for every N\n"
         "  --seed <s>        RNG seed (default 1)\n"
-        "  --time            sampling wall-clock on stderr\n");
+        "  --time            sampling wall-clock on stderr\n"
+        "serving:\n"
+        "  --serve <file|->  run spec lines (JSON object or CSV\n"
+        "                    workload[,backend[,shots[,seed[,"
+        "mitigation[,machine[,label]]]]]],\n"
+        "                    chains as readout+hammer in CSV)\n"
+        "                    through the batching ExecutionService; "
+        "one JSON result line per spec\n"
+        "  --list <what>     workloads | backends | mitigations\n");
     std::exit(exit_code);
 }
 
@@ -142,6 +164,121 @@ emit(const hammer::api::Result &result, const std::string &format,
     }
 }
 
+/** --list <what>: enumerate one registry. */
+int
+listRegistry(const std::string &what)
+{
+    using namespace hammer::api;
+    if (what == "workloads") {
+        std::cout << WorkloadRegistry::global().usage() << '\n';
+    } else if (what == "backends") {
+        for (const auto &name : BackendRegistry::global().names())
+            std::cout << name << '\n';
+    } else if (what == "mitigations") {
+        std::cout << MitigatorRegistry::global().usage() << '\n';
+    } else {
+        std::fprintf(stderr,
+                     "hammer_cli: --list wants workloads | backends "
+                     "| mitigations, not '%s'\n", what.c_str());
+        return 2;
+    }
+    return 0;
+}
+
+/**
+ * --serve: parse spec lines from @p input, run them through one
+ * ExecutionService, stream JSON result lines as jobs complete.
+ */
+int
+serve(std::istream &input, int threads, int top)
+{
+    using namespace hammer::api;
+
+    // Parse everything up front so malformed traffic fails before
+    // any cycles are spent executing.
+    std::vector<SpecLine> requests;
+    std::string line;
+    int line_number = 0;
+    while (std::getline(input, line)) {
+        ++line_number;
+        std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        try {
+            requests.push_back(parseSpecLine(line));
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "hammer_cli: --serve line %d: %s\n",
+                         line_number, error.what());
+            return 2;
+        }
+    }
+
+    ExecutionServiceOptions options;
+    options.workers = threads;
+    ExecutionService service{options};
+
+    std::vector<ExecutionService::JobHandle> handles;
+    handles.reserve(requests.size());
+    try {
+        for (const SpecLine &request : requests)
+            handles.push_back(
+                service.submit(request.spec, request.priority));
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "hammer_cli: --serve: %s\n",
+                     error.what());
+        return 2;
+    }
+
+    // Stream each result as soon as its job finishes (order follows
+    // completion, not submission — this is a server, not a batch).
+    std::vector<bool> emitted(handles.size(), false);
+    std::size_t remaining = handles.size();
+    int failures = 0;
+    while (remaining > 0) {
+        bool progressed = false;
+        for (std::size_t i = 0; i < handles.size(); ++i) {
+            if (emitted[i] || !service.poll(handles[i]))
+                continue;
+            emitted[i] = true;
+            --remaining;
+            progressed = true;
+            try {
+                const Result result = service.wait(handles[i]);
+                result.writeJson(std::cout, top > 0 ? top : -1);
+                std::cout.flush();
+            } catch (const std::exception &error) {
+                std::fprintf(stderr,
+                             "hammer_cli: --serve job %llu: %s\n",
+                             static_cast<unsigned long long>(
+                                 handles[i].id()),
+                             error.what());
+                ++failures;
+            }
+        }
+        // Act as the pool's extra worker before sleeping: with N
+        // requested threads, N-1 are dedicated workers and this
+        // streaming loop is the Nth.
+        if (!progressed && remaining > 0 && !service.helpDrain())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+    }
+
+    const ServiceStats stats = service.stats();
+    std::fprintf(
+        stderr,
+        "hammer_cli: served %llu job(s) on %d worker(s): "
+        "%llu executed, %llu coalesced, %llu cache hit(s) "
+        "(hit rate %.2f), %llu exec result(s) shared\n",
+        static_cast<unsigned long long>(stats.submitted),
+        service.workers(),
+        static_cast<unsigned long long>(stats.executeRuns),
+        static_cast<unsigned long long>(stats.coalesced),
+        static_cast<unsigned long long>(stats.resultCache.hits),
+        stats.resultCache.hitRate(),
+        static_cast<unsigned long long>(stats.executeShared));
+    return failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -162,6 +299,9 @@ main(int argc, char **argv)
     api::BackendSpec backend_spec;
     backend_spec.machine = "machineA";
     bool print_time = false;
+
+    std::string serve_path;
+    bool serve_mode = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -218,6 +358,11 @@ main(int argc, char **argv)
             }
         } else if (arg == "--sample") {
             sample_spec = next_value("--sample");
+        } else if (arg == "--serve") {
+            serve_mode = true;
+            serve_path = next_value("--serve");
+        } else if (arg == "--list") {
+            return listRegistry(next_value("--list"));
         } else if (arg == "--machine") {
             backend_spec.machine = next_value("--machine");
         } else if (arg == "--backend") {
@@ -242,6 +387,19 @@ main(int argc, char **argv)
                          arg.c_str());
             usage(2);
         }
+    }
+
+    if (serve_mode) {
+        if (serve_path == "-")
+            return serve(std::cin, backend_spec.threads, top);
+        std::ifstream file(serve_path);
+        if (!file) {
+            std::fprintf(stderr,
+                         "hammer_cli: --serve: cannot open '%s'\n",
+                         serve_path.c_str());
+            return 2;
+        }
+        return serve(file, backend_spec.threads, top);
     }
 
     try {
