@@ -276,8 +276,11 @@ ChannelSampler::sample(const circuits::RoutedCircuit &routed,
         correlatedFlips(routed, measured_qubits),
         independentFlipProbabilities(routed, measured_qubits)};
 
-    // Sample all ideal shots in one pass (amortised CDF).
-    const std::vector<Bits> ideal = state.sampleShots(rng, shots);
+    // Sample all ideal shots in one pass (amortised CDF), reusing a
+    // single norm accumulation for the whole batch.
+    const double norm_total = state.normSquared();
+    const std::vector<Bits> ideal =
+        state.sampleShots(rng, shots, norm_total);
 
     core::CountAccumulator counts;
     counts.reserve(ideal.size());
@@ -315,6 +318,10 @@ ChannelSampler::sampleBatch(const circuits::RoutedCircuit &routed,
     constexpr int kChunkShots = 1024;
     const int chunks = (shots + kChunkShots - 1) / kChunkShots;
 
+    // One norm pass shared by every chunk; the state is immutable
+    // for the whole batch.
+    const double norm_total = state.normSquared();
+
     const Rng master = rng.split();
 
     // Resolve the request against the chunk count and run on the
@@ -331,7 +338,8 @@ ChannelSampler::sampleBatch(const circuits::RoutedCircuit &routed,
             Rng stream = master.fork(c);
             core::CountAccumulator &local =
                 partials[static_cast<std::size_t>(slot)];
-            for (Bits physical : state.sampleShots(stream, quota)) {
+            for (Bits physical :
+                 state.sampleShots(stream, quota, norm_total)) {
                 const Bits logical = routed.toLogical(physical);
                 local.add(applyShotNoise(plan, params_, model_,
                                          logical, measured_qubits,

@@ -5,7 +5,6 @@
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "noise/readout.hpp"
-#include "sim/simulator.hpp"
 
 namespace hammer::noise {
 
@@ -18,8 +17,9 @@ using sim::Gate;
 using sim::GateKind;
 
 TrajectorySampler::TrajectorySampler(const NoiseModel &model,
-                                     int trajectories)
-    : model_(model), trajectories_(trajectories)
+                                     int trajectories,
+                                     const ReplayOptions &options)
+    : model_(model), trajectories_(trajectories), options_(options)
 {
     require(trajectories >= 1,
             "TrajectorySampler: need at least one trajectory");
@@ -59,6 +59,50 @@ TrajectorySampler::noisyInstance(const Circuit &circuit, Rng &rng) const
     return noisy;
 }
 
+namespace {
+
+/**
+ * Run one trajectory through the engine: draw error placements, take
+ * the zero-error fast path or a checkpointed replay, sample shots,
+ * push them through readout noise and histogram the logical bits.
+ *
+ * RNG consumption is identical to the historical
+ * noisyInstance-then-simulate engine, so trajectory results are
+ * bit-compatible with it.
+ */
+void
+runTrajectory(const ReplayEngine &engine,
+              const circuits::RoutedCircuit &routed,
+              const NoiseModel &model, Bits mask, int quota, Rng &rng,
+              core::CountAccumulator &counts, ReplayStats &stats)
+{
+    const int n = routed.circuit.numQubits();
+    const std::vector<ErrorEvent> events = engine.drawErrors(rng);
+
+    ++stats.trajectories;
+    stats.gatesFull += engine.numGates() + events.size();
+
+    std::vector<Bits> raw;
+    if (events.empty()) {
+        ++stats.zeroError;
+        raw = engine.cleanState().sampleShots(rng, quota,
+                                              engine.cleanNorm());
+    } else {
+        stats.gatesReplayed +=
+            (engine.numGates() - engine.replayStart(events)) +
+            events.size();
+        raw = engine.replay(events).sampleShots(rng, quota);
+    }
+
+    for (Bits physical : raw) {
+        physical = applyReadoutError(physical, n, model, rng);
+        const Bits logical = routed.toLogical(physical);
+        counts.add(logical & mask);
+    }
+}
+
+} // namespace
+
 Distribution
 TrajectorySampler::sample(const circuits::RoutedCircuit &routed,
                           int measured_qubits, int shots, Rng &rng)
@@ -72,6 +116,10 @@ TrajectorySampler::sample(const circuits::RoutedCircuit &routed,
         ? ~Bits{0}
         : (Bits{1} << measured_qubits) - 1;
 
+    const ReplayEngine engine(routed.circuit, model_, options_);
+    ReplayStats stats;
+    stats.gatesReplayed += engine.numGates(); // the one clean pass
+
     core::CountAccumulator counts;
     counts.reserve(static_cast<std::size_t>(shots));
     int assigned = 0;
@@ -82,15 +130,10 @@ TrajectorySampler::sample(const circuits::RoutedCircuit &routed,
         if (quota == 0)
             continue;
         assigned += quota;
-
-        const Circuit instance = noisyInstance(routed.circuit, rng);
-        const sim::StateVector state = sim::runCircuit(instance);
-        for (Bits physical : state.sampleShots(rng, quota)) {
-            physical = applyReadoutError(physical, n, model_, rng);
-            const Bits logical = routed.toLogical(physical);
-            counts.add(logical & mask);
-        }
+        runTrajectory(engine, routed, model_, mask, quota, rng,
+                      counts, stats);
     }
+    stats_.merge(stats);
     return counts.toDistribution(measured_qubits);
 }
 
@@ -124,11 +167,17 @@ TrajectorySampler::sampleBatch(const circuits::RoutedCircuit &routed,
     // count and scheduling order.
     const Rng master = rng.split();
 
+    // The replay engine is immutable after construction: every
+    // worker reads the same checkpoints and clean state.
+    const ReplayEngine engine(routed.circuit, model_, options_);
+
     // Resolve the request against the trajectory count and run on
     // the shared pool when possible (no per-call thread spawning).
     const int workers = common::ThreadPool::resolveThreadCount(
         threads, static_cast<std::size_t>(trajectories_));
     std::vector<core::CountAccumulator> partials(
+        static_cast<std::size_t>(workers));
+    std::vector<ReplayStats> partial_stats(
         static_cast<std::size_t>(workers));
     common::ThreadPool::run(
         workers, static_cast<std::size_t>(trajectories_),
@@ -137,18 +186,16 @@ TrajectorySampler::sampleBatch(const circuits::RoutedCircuit &routed,
             if (quota == 0)
                 return;
             Rng stream = master.fork(t);
-            const Circuit instance =
-                noisyInstance(routed.circuit, stream);
-            const sim::StateVector state = sim::runCircuit(instance);
-            core::CountAccumulator &local =
-                partials[static_cast<std::size_t>(slot)];
-            for (Bits physical : state.sampleShots(stream, quota)) {
-                physical =
-                    applyReadoutError(physical, n, model_, stream);
-                const Bits logical = routed.toLogical(physical);
-                local.add(logical & mask);
-            }
+            runTrajectory(engine, routed, model_, mask, quota, stream,
+                          partials[static_cast<std::size_t>(slot)],
+                          partial_stats[static_cast<std::size_t>(slot)]);
         });
+
+    ReplayStats stats;
+    stats.gatesReplayed += engine.numGates(); // the one clean pass
+    for (const ReplayStats &partial : partial_stats)
+        stats.merge(partial);
+    stats_.merge(stats);
 
     const core::CountAccumulator merged =
         core::CountAccumulator::treeReduce(partials);

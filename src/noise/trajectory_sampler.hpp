@@ -2,19 +2,27 @@
  * @file
  * Monte-Carlo Pauli-trajectory noisy execution.
  *
- * Each trajectory re-runs the full state-vector simulation with
- * random Pauli errors injected after gates (probability p1q / p2q per
+ * Each trajectory is one noise realisation of the circuit: random
+ * Pauli errors injected after gates (probability p1q / p2q per
  * touched qubit) and readout flips applied to the sampled bits.  This
  * is the faithful stochastic unravelling of a Pauli noise channel —
  * the same physics qulacs/Qiskit-Aer density-matrix noise models
  * describe — and is the reference backend for circuits small enough
  * to afford it.
+ *
+ * Execution goes through the checkpointed replay engine
+ * (noise::ReplayEngine): the clean circuit is simulated once per
+ * sample() call, zero-error trajectories reuse the final clean state,
+ * and noisy trajectories replay only from the checkpoint preceding
+ * their first injected error.  Results are bit-identical to the
+ * historical simulate-every-trajectory-from-scratch engine.
  */
 
 #ifndef HAMMER_NOISE_TRAJECTORY_SAMPLER_HPP
 #define HAMMER_NOISE_TRAJECTORY_SAMPLER_HPP
 
 #include "noise/noise_model.hpp"
+#include "noise/replay.hpp"
 #include "noise/sampler.hpp"
 #include "sim/circuit.hpp"
 
@@ -30,9 +38,11 @@ class TrajectorySampler : public NoisySampler
      * @param model Noise parameters.
      * @param trajectories Number of independent noise realisations;
      *        the shot budget is spread evenly across them.
+     * @param options Replay tuning (checkpoint memory budget).
      */
     explicit TrajectorySampler(const NoiseModel &model,
-                               int trajectories = 250);
+                               int trajectories = 250,
+                               const ReplayOptions &options = {});
 
     core::Distribution sample(const circuits::RoutedCircuit &routed,
                               int measured_qubits, int shots,
@@ -41,9 +51,9 @@ class TrajectorySampler : public NoisySampler
     /**
      * Parallel trajectory fan-out: each trajectory is one work item
      * with its own forked RNG stream, so the merged histogram is
-     * bit-identical for every thread count.  Trajectories dominate
-     * the cost of every figure reproduction (a full state-vector
-     * simulation each), which makes them the natural parallel grain.
+     * bit-identical for every thread count.  The replay engine is
+     * built once and shared read-only by all workers; per-trajectory
+     * error placement, replay and shot draws run on the worker.
      */
     core::Distribution sampleBatch(const circuits::RoutedCircuit &routed,
                                    int measured_qubits, int shots,
@@ -52,14 +62,24 @@ class TrajectorySampler : public NoisySampler
 
     /**
      * Build one noisy realisation of @p circuit: a copy with random
-     * Pauli-error gates inserted after each gate.  Exposed for tests.
+     * Pauli-error gates inserted after each gate.  The replay engine
+     * consumes @p rng identically (ReplayEngine::drawErrors); this
+     * explicit-circuit form is kept for tests and diagnostics.
      */
     sim::Circuit noisyInstance(const sim::Circuit &circuit,
                                common::Rng &rng) const;
 
+    /** Replay work accounting accumulated across sample* calls. */
+    const ReplayStats &replayStats() const { return stats_; }
+
+    /** Zero the accumulated replay statistics. */
+    void resetReplayStats() { stats_ = {}; }
+
   private:
     NoiseModel model_;
     int trajectories_;
+    ReplayOptions options_;
+    ReplayStats stats_;
 };
 
 } // namespace hammer::noise

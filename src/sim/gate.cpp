@@ -100,24 +100,36 @@ Mat2
 gateMatrix(GateKind kind, double theta)
 {
     const Amp i(0.0, 1.0);
-    const double isq2 = 1.0 / std::sqrt(2.0);
+    // Fixed-gate matrices are computed once and reused: only the
+    // parametric rotations below pay trig at call time.
+    static const double isq2 = 1.0 / std::sqrt(2.0);
+    static const Mat2 kH{isq2, isq2, isq2, -isq2};
+    static const Mat2 kX{0.0, 1.0, 1.0, 0.0};
+    static const Mat2 kY{0.0, Amp(0.0, -1.0), Amp(0.0, 1.0), 0.0};
+    static const Mat2 kZ{1.0, 0.0, 0.0, -1.0};
+    static const Mat2 kS{1.0, 0.0, 0.0, Amp(0.0, 1.0)};
+    static const Mat2 kSdg{1.0, 0.0, 0.0, Amp(0.0, -1.0)};
+    static const Mat2 kT{1.0, 0.0, 0.0,
+                         std::exp(Amp(0.0, M_PI / 4.0))};
+    static const Mat2 kTdg{1.0, 0.0, 0.0,
+                           std::exp(Amp(0.0, -M_PI / 4.0))};
     switch (kind) {
       case GateKind::H:
-        return {isq2, isq2, isq2, -isq2};
+        return kH;
       case GateKind::X:
-        return {0.0, 1.0, 1.0, 0.0};
+        return kX;
       case GateKind::Y:
-        return {0.0, -i, i, 0.0};
+        return kY;
       case GateKind::Z:
-        return {1.0, 0.0, 0.0, -1.0};
+        return kZ;
       case GateKind::S:
-        return {1.0, 0.0, 0.0, i};
+        return kS;
       case GateKind::Sdg:
-        return {1.0, 0.0, 0.0, -i};
+        return kSdg;
       case GateKind::T:
-        return {1.0, 0.0, 0.0, std::exp(i * (M_PI / 4.0))};
+        return kT;
       case GateKind::Tdg:
-        return {1.0, 0.0, 0.0, std::exp(-i * (M_PI / 4.0))};
+        return kTdg;
       case GateKind::Rx: {
         const double c = std::cos(theta / 2.0);
         const double s = std::sin(theta / 2.0);

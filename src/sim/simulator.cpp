@@ -1,14 +1,16 @@
 #include "sim/simulator.hpp"
 
+#include "sim/compiled.hpp"
+
 namespace hammer::sim {
 
 StateVector
 runCircuit(const Circuit &circuit)
 {
-    StateVector state(circuit.numQubits());
-    for (const Gate &g : circuit.gates())
-        state.applyGate(g);
-    return state;
+    // Compile-then-execute: specialised kernels plus the adjacent-1q
+    // fusion pass.  Every caller of the ideal evolver (channel/exact
+    // clean states, entropy probes, benches) picks the wins up here.
+    return CompiledCircuit::compile(circuit).run();
 }
 
 std::vector<double>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.hpp"
 
@@ -9,6 +10,24 @@ namespace hammer::sim {
 
 using common::Bits;
 using common::require;
+
+namespace {
+
+/**
+ * Expand a (n-2)-bit loop counter into an n-bit basis index with zero
+ * bits at two positions, given the below-masks (2^p - 1) of the lower
+ * and higher position.  Standard statevector-simulator bit-insertion:
+ * each step shifts the counter bits at/above the position up by one,
+ * leaving a zero slot at the position itself.
+ */
+inline std::size_t
+expandPair(std::size_t k, std::size_t low_below, std::size_t high_below)
+{
+    const std::size_t i = (k & low_below) | ((k & ~low_below) << 1);
+    return (i & high_below) | ((i & ~high_below) << 1);
+}
+
+} // namespace
 
 StateVector::StateVector(int num_qubits)
     : numQubits_(num_qubits)
@@ -40,14 +59,106 @@ StateVector::apply1q(const Mat2 &m, int q)
     require(q >= 0 && q < numQubits_, "apply1q: qubit out of range");
     const std::size_t mask = std::size_t{1} << q;
     const std::size_t dim = amps_.size();
-    for (std::size_t i = 0; i < dim; ++i) {
-        if (i & mask)
-            continue;
-        const std::size_t j = i | mask;
-        const Amp a0 = amps_[i];
-        const Amp a1 = amps_[j];
-        amps_[i] = m[0] * a0 + m[1] * a1;
-        amps_[j] = m[2] * a0 + m[3] * a1;
+    // Unpack the matrix and work on raw components: the textbook
+    // product/sum below is exactly what std::complex arithmetic
+    // computes for finite values, minus the NaN-recovery branch that
+    // blocks vectorisation (bit-identical results; the property
+    // tests in tests/sim/test_kernels.cpp pin this).
+    const double m0r = m[0].real(), m0i = m[0].imag();
+    const double m1r = m[1].real(), m1i = m[1].imag();
+    const double m2r = m[2].real(), m2i = m[2].imag();
+    const double m3r = m[3].real(), m3i = m[3].imag();
+    double *d = reinterpret_cast<double *>(amps_.data());
+    // Half-space iteration: every block of 2*mask indices splits into
+    // a |0> half and a |1> half exactly `mask` apart; walking the |0>
+    // half visits each pair once with no per-element branch.
+    for (std::size_t base = 0; base < dim; base += mask << 1) {
+        for (std::size_t i = base; i < base + mask; ++i) {
+            const std::size_t j = i | mask;
+            const double a0r = d[2 * i], a0i = d[2 * i + 1];
+            const double a1r = d[2 * j], a1i = d[2 * j + 1];
+            d[2 * i] = (m0r * a0r - m0i * a0i) +
+                       (m1r * a1r - m1i * a1i);
+            d[2 * i + 1] = (m0r * a0i + m0i * a0r) +
+                           (m1r * a1i + m1i * a1r);
+            d[2 * j] = (m2r * a0r - m2i * a0i) +
+                       (m3r * a1r - m3i * a1i);
+            d[2 * j + 1] = (m2r * a0i + m2i * a0r) +
+                           (m3r * a1i + m3i * a1r);
+        }
+    }
+}
+
+void
+StateVector::applyDiagonal(Amp d0, Amp d1, int q)
+{
+    require(q >= 0 && q < numQubits_,
+            "applyDiagonal: qubit out of range");
+    const std::size_t mask = std::size_t{1} << q;
+    const std::size_t dim = amps_.size();
+    const double d0r = d0.real(), d0i = d0.imag();
+    const double d1r = d1.real(), d1i = d1.imag();
+    double *d = reinterpret_cast<double *>(amps_.data());
+    for (std::size_t base = 0; base < dim; base += mask << 1) {
+        for (std::size_t i = base; i < base + mask; ++i) {
+            const std::size_t j = i | mask;
+            const double a0r = d[2 * i], a0i = d[2 * i + 1];
+            const double a1r = d[2 * j], a1i = d[2 * j + 1];
+            d[2 * i] = d0r * a0r - d0i * a0i;
+            d[2 * i + 1] = d0r * a0i + d0i * a0r;
+            d[2 * j] = d1r * a1r - d1i * a1i;
+            d[2 * j + 1] = d1r * a1i + d1i * a1r;
+        }
+    }
+}
+
+void
+StateVector::applyPhase(Amp phase, int q)
+{
+    require(q >= 0 && q < numQubits_, "applyPhase: qubit out of range");
+    const std::size_t mask = std::size_t{1} << q;
+    const std::size_t dim = amps_.size();
+    const double pr = phase.real(), pi = phase.imag();
+    double *d = reinterpret_cast<double *>(amps_.data());
+    // Only the |1> half carries the phase; the |0> half is untouched
+    // (no loads, no multiplies).
+    for (std::size_t base = mask; base < dim; base += mask << 1) {
+        for (std::size_t j = base; j < base + mask; ++j) {
+            const double ar = d[2 * j], ai = d[2 * j + 1];
+            d[2 * j] = pr * ar - pi * ai;
+            d[2 * j + 1] = pr * ai + pi * ar;
+        }
+    }
+}
+
+void
+StateVector::applyX(int q)
+{
+    require(q >= 0 && q < numQubits_, "applyX: qubit out of range");
+    const std::size_t mask = std::size_t{1} << q;
+    const std::size_t dim = amps_.size();
+    for (std::size_t base = 0; base < dim; base += mask << 1) {
+        for (std::size_t i = base; i < base + mask; ++i)
+            std::swap(amps_[i], amps_[i | mask]);
+    }
+}
+
+void
+StateVector::applyY(int q)
+{
+    require(q >= 0 && q < numQubits_, "applyY: qubit out of range");
+    const std::size_t mask = std::size_t{1} << q;
+    const std::size_t dim = amps_.size();
+    // Y = [[0, -i], [i, 0]]: a0' = -i*a1, a1' = i*a0 — a swap with
+    // component shuffles, no multiplies.
+    for (std::size_t base = 0; base < dim; base += mask << 1) {
+        for (std::size_t i = base; i < base + mask; ++i) {
+            const std::size_t j = i | mask;
+            const Amp a0 = amps_[i];
+            const Amp a1 = amps_[j];
+            amps_[i] = Amp(a1.imag(), -a1.real());
+            amps_[j] = Amp(-a0.imag(), a0.real());
+        }
     }
 }
 
@@ -59,12 +170,15 @@ StateVector::applyCX(int control, int target)
             "applyCX: bad qubit pair");
     const std::size_t cmask = std::size_t{1} << control;
     const std::size_t tmask = std::size_t{1} << target;
-    const std::size_t dim = amps_.size();
-    for (std::size_t i = 0; i < dim; ++i) {
-        // Visit each (control=1, target=0) index once and swap with
-        // its target=1 partner.
-        if ((i & cmask) && !(i & tmask))
-            std::swap(amps_[i], amps_[i | tmask]);
+    const std::size_t low_below = std::min(cmask, tmask) - 1;
+    const std::size_t high_below = std::max(cmask, tmask) - 1;
+    const std::size_t quarter = amps_.size() >> 2;
+    // Quarter-space iteration: enumerate the (control=1, target=0)
+    // indices directly and swap with their target=1 partners.
+    for (std::size_t k = 0; k < quarter; ++k) {
+        const std::size_t i =
+            expandPair(k, low_below, high_below) | cmask;
+        std::swap(amps_[i], amps_[i | tmask]);
     }
 }
 
@@ -75,10 +189,13 @@ StateVector::applyCZ(int a, int b)
             a != b, "applyCZ: bad qubit pair");
     const std::size_t amask = std::size_t{1} << a;
     const std::size_t bmask = std::size_t{1} << b;
-    const std::size_t dim = amps_.size();
-    for (std::size_t i = 0; i < dim; ++i) {
-        if ((i & amask) && (i & bmask))
-            amps_[i] = -amps_[i];
+    const std::size_t low_below = std::min(amask, bmask) - 1;
+    const std::size_t high_below = std::max(amask, bmask) - 1;
+    const std::size_t quarter = amps_.size() >> 2;
+    for (std::size_t k = 0; k < quarter; ++k) {
+        const std::size_t i =
+            expandPair(k, low_below, high_below) | amask | bmask;
+        amps_[i] = -amps_[i];
     }
 }
 
@@ -89,11 +206,13 @@ StateVector::applySwap(int a, int b)
             a != b, "applySwap: bad qubit pair");
     const std::size_t amask = std::size_t{1} << a;
     const std::size_t bmask = std::size_t{1} << b;
-    const std::size_t dim = amps_.size();
-    for (std::size_t i = 0; i < dim; ++i) {
-        // Swap amplitudes of ...a=1,b=0... and ...a=0,b=1...
-        if ((i & amask) && !(i & bmask))
-            std::swap(amps_[i], amps_[(i & ~amask) | bmask]);
+    const std::size_t low_below = std::min(amask, bmask) - 1;
+    const std::size_t high_below = std::max(amask, bmask) - 1;
+    const std::size_t quarter = amps_.size() >> 2;
+    // Swap amplitudes of ...a=1,b=0... and ...a=0,b=1...
+    for (std::size_t k = 0; k < quarter; ++k) {
+        const std::size_t i = expandPair(k, low_below, high_below);
+        std::swap(amps_[i | amask], amps_[i | bmask]);
     }
 }
 
@@ -110,6 +229,24 @@ StateVector::applyGate(const Gate &gate)
       case GateKind::Swap:
         applySwap(gate.q0, gate.q1);
         return;
+      case GateKind::X:
+        applyX(gate.q0);
+        return;
+      case GateKind::Y:
+        applyY(gate.q0);
+        return;
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+        applyPhase(gateMatrix(gate.kind)[3], gate.q0);
+        return;
+      case GateKind::Rz: {
+        const Mat2 m = gateMatrix(GateKind::Rz, gate.theta);
+        applyDiagonal(m[0], m[3], gate.q0);
+        return;
+      }
       default:
         apply1q(gateMatrix(gate.kind, gate.theta), gate.q0);
         return;
@@ -155,7 +292,13 @@ StateVector::normalize()
 Bits
 StateVector::sampleOutcome(common::Rng &rng) const
 {
-    double r = rng.uniform() * normSquared();
+    return sampleOutcome(rng, normSquared());
+}
+
+Bits
+StateVector::sampleOutcome(common::Rng &rng, double norm_total) const
+{
+    double r = rng.uniform() * norm_total;
     for (std::size_t i = 0; i < amps_.size(); ++i) {
         r -= std::norm(amps_[i]);
         if (r < 0.0)
@@ -167,24 +310,46 @@ StateVector::sampleOutcome(common::Rng &rng) const
 std::vector<Bits>
 StateVector::sampleShots(common::Rng &rng, int shots) const
 {
-    require(shots >= 0, "sampleShots: negative shot count");
-    std::vector<double> cdf(amps_.size());
-    double acc = 0.0;
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-        acc += std::norm(amps_[i]);
-        cdf[i] = acc;
-    }
+    return sampleShots(rng, shots, normSquared());
+}
 
-    std::vector<Bits> out;
-    out.reserve(static_cast<std::size_t>(shots));
-    for (int s = 0; s < shots; ++s) {
-        const double r = rng.uniform() * acc;
-        const auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
-        const std::size_t idx = it == cdf.end()
-            ? cdf.size() - 1
-            : static_cast<std::size_t>(it - cdf.begin());
-        out.push_back(idx);
+std::vector<Bits>
+StateVector::sampleShots(common::Rng &rng, int shots,
+                         double norm_total) const
+{
+    require(shots >= 0, "sampleShots: negative shot count");
+
+    // One uniform per shot, drawn in shot order: the RNG stream is
+    // the same whether shots are resolved here or one at a time.
+    std::vector<double> draws(static_cast<std::size_t>(shots));
+    for (double &r : draws)
+        r = rng.uniform() * norm_total;
+
+    std::vector<std::uint32_t> order(draws.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&draws](std::uint32_t a, std::uint32_t b) {
+                  return draws[a] < draws[b];
+              });
+
+    // Single CDF sweep: outcome(r) is the first index whose running
+    // prefix sum exceeds r — the upper_bound semantics of a
+    // materialised-CDF binary search, without the 2^n CDF array.
+    std::vector<Bits> out(draws.size());
+    std::size_t pos = 0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amps_.size() && pos < order.size();
+         ++i) {
+        acc += std::norm(amps_[i]);
+        while (pos < order.size() && draws[order[pos]] < acc) {
+            out[order[pos]] = i;
+            ++pos;
+        }
     }
+    // Draws at or beyond the accumulated total (rounding) land on the
+    // last basis state.
+    for (; pos < order.size(); ++pos)
+        out[order[pos]] = amps_.size() - 1;
     return out;
 }
 

@@ -5,6 +5,27 @@
  * Qubit i maps to bit i of the basis-state index.  At the paper's
  * scale (<= 24 qubits) a dense complex vector is at most 256 MiB;
  * the benchmarks stay well below that.
+ *
+ * Gate application is organised as a small family of specialised
+ * kernels instead of one generic 2x2 routine:
+ *
+ *  - apply1q      — stride-based half-space iteration over
+ *                   (pair, pair+2^q) amplitude pairs, no per-element
+ *                   branch (dense unitaries: H, Y, Rx, Ry, fused
+ *                   products).
+ *  - applyDiagonal/applyPhase — diagonal unitaries (Z, S, Sdg, T,
+ *                   Tdg, Rz) touch each amplitude once and never
+ *                   load the pair partner; applyPhase skips the
+ *                   untouched |0> half entirely.
+ *  - applyX/applyCX/applySwap — pure amplitude permutations, no
+ *                   arithmetic at all.
+ *  - applyCZ      — quarter-space sign flip.
+ *
+ * Every specialised kernel performs, per amplitude, the same
+ * floating-point operations the generic 2x2 routine would (the zero
+ * and one matrix entries contribute exactly +-0 products), so
+ * switching kernels never changes results beyond the sign of zero —
+ * see tests/sim/test_kernels.cpp.
  */
 
 #ifndef HAMMER_SIM_STATEVECTOR_HPP
@@ -37,8 +58,28 @@ class StateVector
     /** Overwrite one amplitude (test hook; renormalise afterwards). */
     void setAmplitude(common::Bits index, Amp value);
 
-    /** Apply a 2x2 unitary to qubit @p q. */
+    /** Apply a 2x2 unitary to qubit @p q (dense pair kernel). */
     void apply1q(const Mat2 &m, int q);
+
+    /**
+     * Apply the diagonal unitary diag(d0, d1) to qubit @p q.
+     *
+     * One multiply per amplitude; the pair partner is never loaded.
+     */
+    void applyDiagonal(Amp d0, Amp d1, int q);
+
+    /**
+     * Apply diag(1, phase) to qubit @p q (Z/S/Sdg/T/Tdg and friends).
+     *
+     * Touches only the 2^(n-1) amplitudes with bit q set.
+     */
+    void applyPhase(Amp phase, int q);
+
+    /** Apply Pauli-X to qubit @p q (pure permutation). */
+    void applyX(int q);
+
+    /** Apply Pauli-Y to qubit @p q (permutation + +-i phases). */
+    void applyY(int q);
 
     /** Apply CX with @p control and @p target. */
     void applyCX(int control, int target);
@@ -67,17 +108,36 @@ class StateVector
     /**
      * Sample one measurement outcome.
      *
-     * O(2^n); for many shots use sampleShots which amortises the
-     * cumulative scan.
+     * O(2^n); computes the CDF total with one extra pass.  Callers
+     * sampling repeatedly from an unchanged state should pass the
+     * precomputed normSquared() to the overload below.
      */
     common::Bits sampleOutcome(common::Rng &rng) const;
 
     /**
-     * Sample @p shots outcomes (binary search on the cumulative
-     * distribution; O(2^n + shots log 2^n)).
+     * Sample one outcome reusing an already-accumulated norm.
+     *
+     * @param norm_total The value normSquared() returns for this
+     *        state; passing it avoids the per-call renorm pass.
+     */
+    common::Bits sampleOutcome(common::Rng &rng,
+                               double norm_total) const;
+
+    /**
+     * Sample @p shots outcomes.
+     *
+     * Draws all uniforms up front (one per shot, in shot order — the
+     * RNG stream is identical to sampling one by one), sorts them,
+     * and resolves every shot in a single O(2^n + shots) sweep of the
+     * implicit CDF, instead of shots x log(2^n) binary searches over
+     * a materialised 2^n-entry CDF array.
      */
     std::vector<common::Bits> sampleShots(common::Rng &rng,
                                           int shots) const;
+
+    /** Same, reusing an already-accumulated @p norm_total. */
+    std::vector<common::Bits> sampleShots(common::Rng &rng, int shots,
+                                          double norm_total) const;
 
   private:
     int numQubits_;
