@@ -3,9 +3,11 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "api/json.hpp"
+#include "common/checksum.hpp"
 #include "common/logging.hpp"
 
 namespace hammer::api {
@@ -24,6 +26,48 @@ struct WorkerScope
     ~WorkerScope() { --workerDepth; }
 };
 
+/**
+ * Control-flow token for an injected worker death: thrown at a
+ * ServiceJob fault point, caught by the worker's retry loop — never
+ * escapes the service (exhausted retries surface WorkerLostError).
+ */
+struct InjectedWorkerDeath
+{
+};
+
+/**
+ * Checksum of a cached execution outcome.  Covers the payload a
+ * poison fault can corrupt (the raw histogram) plus the replayed
+ * sample cost; the RNG state has no public representation to hash,
+ * and the fault model only ever perturbs the histogram.  Template so
+ * the file-local function can take the service's private ExecOutcome.
+ */
+template <typename Outcome>
+std::uint64_t
+execOutcomeChecksum(const Outcome &outcome)
+{
+    common::Fnv1a hasher;
+    hasher.add(distributionChecksum(outcome.raw));
+    hasher.add(outcome.sampleSeconds);
+    return hasher.digest();
+}
+
+/**
+ * Deterministically corrupt one histogram in place: the smallest
+ * perturbation verification must still catch (one probability nudged
+ * by an exactly-representable delta).
+ */
+void
+corruptDistribution(core::Distribution &dist)
+{
+    if (dist.support() > 0) {
+        const core::Entry &first = dist.entries().front();
+        dist.set(first.outcome, first.probability + 0.125);
+    } else {
+        dist.set(0, 0.125);
+    }
+}
+
 void
 appendField(std::string &key, const char *name,
             const std::string &value)
@@ -35,6 +79,78 @@ appendField(std::string &key, const char *name,
 }
 
 } // namespace
+
+// ---------------------------------------------------------------------------
+// Typed operational errors + integrity checksums
+// ---------------------------------------------------------------------------
+
+QueueSaturatedError::QueueSaturatedError(std::size_t depth,
+                                         std::size_t limit)
+    : ServiceError("ExecutionService: queue saturated (" +
+                   std::to_string(depth) + " queued, limit " +
+                   std::to_string(limit) + ")"),
+      depth_(depth), limit_(limit)
+{
+}
+
+WorkerLostError::WorkerLostError(std::uint64_t job_id, int attempts)
+    : ServiceError("ExecutionService: worker lost for job " +
+                   std::to_string(job_id) + " (" +
+                   std::to_string(attempts) +
+                   " attempts exhausted)"),
+      jobId_(job_id), attempts_(attempts)
+{
+}
+
+std::uint64_t
+distributionChecksum(const core::Distribution &dist)
+{
+    common::Fnv1a hasher;
+    hasher.add(dist.numBits());
+    hasher.add(static_cast<std::uint64_t>(dist.support()));
+    for (const core::Entry &entry : dist.entries()) {
+        hasher.add(static_cast<std::uint64_t>(entry.outcome));
+        hasher.add(entry.probability);
+    }
+    return hasher.digest();
+}
+
+std::uint64_t
+resultChecksum(const Result &result)
+{
+    // Everything bit-identity covers; the label (patched per handle)
+    // and wall-clock timings are deliberately outside the digest.
+    common::Fnv1a hasher;
+    hasher.add(result.workloadSpec);
+    hasher.add(result.family);
+    hasher.add(result.backendName);
+    hasher.add(result.machine);
+    hasher.add(result.mitigationName);
+    hasher.add(result.measuredQubits);
+    hasher.add(result.shots);
+    hasher.add(result.seed);
+    hasher.add(distributionChecksum(result.raw));
+    hasher.add(distributionChecksum(result.mitigated));
+    hasher.add(static_cast<std::uint64_t>(
+        result.hammerStats.uniqueOutcomes));
+    hasher.add(result.hammerStats.maxDistance);
+    hasher.add(static_cast<std::uint64_t>(
+        result.hammerStats.aggregateChs.size()));
+    for (const double value : result.hammerStats.aggregateChs)
+        hasher.add(value);
+    hasher.add(static_cast<std::uint64_t>(
+        result.hammerStats.weights.size()));
+    for (const double value : result.hammerStats.weights)
+        hasher.add(value);
+    hasher.add(result.hammerStats.pairOperations);
+    hasher.add(result.pstRaw);
+    hasher.add(result.pstMitigated);
+    hasher.add(result.istRaw);
+    hasher.add(result.istMitigated);
+    hasher.add(result.ehdRaw);
+    hasher.add(result.ehdMitigated);
+    return hasher.digest();
+}
 
 // ---------------------------------------------------------------------------
 // Canonical keys
@@ -121,14 +237,23 @@ ExecutionService::ExecutionService(const Pipeline &pipeline,
     : pipeline_(pipeline), options_(options)
 {
     if (options_.cacheCapacity > 0) {
-        resultCache_ = std::make_unique<
-            common::LruCache<std::shared_ptr<const Result>>>(
-            options_.cacheCapacity);
-        execCache_ = std::make_unique<
-            common::LruCache<std::shared_ptr<const ExecOutcome>>>(
-            options_.cacheCapacity);
+        resultCache_ =
+            std::make_unique<common::LruCache<Checked<Result>>>(
+                options_.cacheCapacity);
+        execCache_ =
+            std::make_unique<common::LruCache<Checked<ExecOutcome>>>(
+                options_.cacheCapacity);
     }
     pool_ = std::make_unique<common::ThreadPool>(options_.workers);
+}
+
+common::FaultAction
+ExecutionService::fault(common::FaultSite site,
+                        std::uint64_t key) const
+{
+    if (!options_.faultInjector)
+        return common::FaultAction::none();
+    return options_.faultInjector->at(site, key);
 }
 
 ExecutionService::~ExecutionService() = default;
@@ -181,20 +306,27 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
     auto promise = std::make_shared<std::promise<Result>>();
 
     std::shared_ptr<const Result> cached;
+    int registerDelayMillis = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        job->id = ++nextJobId_;
-        ++stats_.submitted;
 
         if (fullKey && resultCache_) {
             if (auto *hit = resultCache_->get(*fullKey)) {
-                ++stats_.resultCache.hits;
-                ++stats_.completed;
-                job->fromCache = true;
-                cached = *hit;
-            } else {
-                ++stats_.resultCache.misses;
+                // Verify before serving: a poisoned entry is evicted
+                // and the submit falls through to a recompute — a
+                // corrupt histogram is never handed out.
+                if (!options_.verifyCache ||
+                    resultChecksum(*hit->value) == hit->checksum) {
+                    cached = hit->value;
+                } else {
+                    ++stats_.cachePoisonDetected;
+                    resultCache_->erase(*fullKey);
+                }
             }
+            if (cached)
+                ++stats_.resultCache.hits;
+            else
+                ++stats_.resultCache.misses;
         }
 
         if (!cached && fullKey && options_.coalesce) {
@@ -202,20 +334,61 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
             if (it != inflightJobs_.end()) {
                 // Identical job already queued or running: attach to
                 // its future; wait() patches the label per handle.
+                job->id = ++nextJobId_;
+                ++stats_.submitted;
                 ++stats_.coalesced;
                 job->future = it->second;
                 return JobHandle(job);
             }
         }
 
+        // Backpressure, only for jobs that would actually enqueue
+        // (cache hits and coalesced attaches cost no queue slot).
+        // Rejected submits are not counted as submitted, preserving
+        // completed + coalesced == submitted at idle.
+        if (!cached && options_.maxQueueDepth > 0 &&
+            pool_->threadCount() > 1) {
+            const std::size_t depth = pool_->queuedJobs();
+            if (depth >= options_.maxQueueDepth) {
+                ++stats_.queueRejections;
+                throw QueueSaturatedError(depth,
+                                          options_.maxQueueDepth);
+            }
+        }
+
+        job->id = ++nextJobId_;
+        ++stats_.submitted;
+        if (cached) {
+            ++stats_.completed;
+            job->fromCache = true;
+        }
+
         // This submit owns the execution: register it before any
         // concurrent identical submit can look the key up.
         if (!cached) {
             job->future = promise->get_future().share();
-            if (fullKey && options_.coalesce)
-                inflightJobs_.emplace(*fullKey, job->future);
+            if (fullKey && options_.coalesce) {
+                const common::FaultAction action =
+                    fault(common::FaultSite::CoalesceRegister,
+                          common::fnv1a64(*fullKey));
+                if (action.kind ==
+                    common::FaultAction::Kind::Drop) {
+                    // Registration lost: identical submits run
+                    // redundantly, results unchanged.
+                    ++stats_.coalesceDropped;
+                } else {
+                    inflightJobs_.emplace(*fullKey, job->future);
+                    if (action.kind ==
+                        common::FaultAction::Kind::Delay)
+                        registerDelayMillis = action.millis;
+                }
+            }
         }
     }
+
+    if (registerDelayMillis > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(registerDelayMillis));
 
     if (cached) {
         // The one per-hit Result copy, outside the service mutex.
@@ -226,20 +399,56 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
     }
 
     pool_->submit(
-        [this, spec = std::move(spec), fullKey, execKey, promise] {
+        [this, spec = std::move(spec), fullKey, execKey, promise,
+         jobId = job->id] {
             WorkerScope scope;
             try {
-                Result result = runJob(spec, execKey);
+                // Retry loop: an injected worker death re-runs the
+                // job (idempotent — a published exec outcome under
+                // the same canonical key is reused, so a retried
+                // Result is bit-identical) until the attempt budget
+                // is spent, which surfaces as WorkerLostError.
+                Result result;
+                for (int attempt = 0;; ++attempt) {
+                    try {
+                        result = runJob(
+                            spec, execKey,
+                            jobId * 16 +
+                                static_cast<std::uint64_t>(attempt) *
+                                    2);
+                        break;
+                    } catch (const InjectedWorkerDeath &) {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        ++stats_.workerDeaths;
+                        if (attempt >= options_.maxRetries) {
+                            ++stats_.workerLost;
+                            throw WorkerLostError(jobId,
+                                                  attempt + 1);
+                        }
+                        ++stats_.retries;
+                    }
+                }
                 // The one per-job cache copy, outside the mutex.
-                std::shared_ptr<const Result> copy;
-                if (fullKey && resultCache_)
-                    copy = std::make_shared<const Result>(result);
+                // Checksummed from the genuine value; a Poison fault
+                // corrupts only the stored copy afterwards, so the
+                // next hit's verification must catch it.
+                Checked<Result> entry;
+                if (fullKey && resultCache_) {
+                    auto copy = std::make_shared<Result>(result);
+                    entry.checksum = resultChecksum(*copy);
+                    if (fault(common::FaultSite::CacheInsert,
+                              common::fnv1a64(*fullKey))
+                            .kind ==
+                        common::FaultAction::Kind::Poison)
+                        corruptDistribution(copy->mitigated);
+                    entry.value = std::move(copy);
+                }
                 {
                     std::lock_guard<std::mutex> lock(mutex_);
                     if (fullKey) {
-                        if (copy)
+                        if (entry.value)
                             resultCache_->put(*fullKey,
-                                              std::move(copy));
+                                              std::move(entry));
                         inflightJobs_.erase(*fullKey);
                     }
                     ++stats_.completed;
@@ -262,8 +471,25 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
 
 Result
 ExecutionService::runJob(const ExperimentSpec &spec,
-                         const std::optional<std::string> &execKey)
+                         const std::optional<std::string> &execKey,
+                         std::uint64_t faultKey)
 {
+    // The two ServiceJob fault points of one attempt: phase 0 before
+    // any work, phase 1 between the (publishable) execute stage and
+    // mitigation.  A kill at either point leaves no in-flight exec
+    // promise dangling — the registration window below has no fault
+    // point — so retries always find a consistent coalescing map.
+    const auto faultPoint = [&](std::uint64_t phase) {
+        const common::FaultAction action =
+            fault(common::FaultSite::ServiceJob, faultKey + phase);
+        if (action.kind == common::FaultAction::Kind::Kill)
+            throw InjectedWorkerDeath{};
+        if (action.kind == common::FaultAction::Kind::Stall)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(action.millis));
+    };
+    faultPoint(0);
+
     RunState state;
     Result result = pipeline_.buildWorkload(spec, state);
 
@@ -271,17 +497,41 @@ ExecutionService::runJob(const ExperimentSpec &spec,
     std::shared_future<std::shared_ptr<const ExecOutcome>> pending;
     std::shared_ptr<std::promise<std::shared_ptr<const ExecOutcome>>>
         computing;
+    bool dropExecRegistration = false;
+    int execDelayMillis = 0;
 
     if (execKey && options_.coalesce) {
+        const common::FaultAction action =
+            fault(common::FaultSite::CoalesceRegister,
+                  common::fnv1a64(*execKey));
+        dropExecRegistration =
+            action.kind == common::FaultAction::Kind::Drop;
+        if (action.kind == common::FaultAction::Kind::Delay)
+            execDelayMillis = action.millis;
+
         std::lock_guard<std::mutex> lock(mutex_);
         if (execCache_) {
-            if (auto *hit = execCache_->get(*execKey))
-                outcome = *hit;
+            if (auto *hit = execCache_->get(*execKey)) {
+                // Same verify-before-serve rule as the result cache.
+                if (!options_.verifyCache ||
+                    execOutcomeChecksum(*hit->value) ==
+                        hit->checksum) {
+                    outcome = hit->value;
+                } else {
+                    ++stats_.cachePoisonDetected;
+                    execCache_->erase(*execKey);
+                }
+            }
         }
         if (!outcome) {
             const auto it = inflightExec_.find(*execKey);
             if (it != inflightExec_.end()) {
                 pending = it->second;
+            } else if (dropExecRegistration) {
+                // Registration lost: this job computes redundantly
+                // and publishes nothing — peers re-execute, results
+                // unchanged.
+                ++stats_.coalesceDropped;
             } else {
                 computing = std::make_shared<std::promise<
                     std::shared_ptr<const ExecOutcome>>>();
@@ -290,6 +540,10 @@ ExecutionService::runJob(const ExperimentSpec &spec,
             }
         }
     }
+
+    if (execDelayMillis > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(execDelayMillis));
 
     if (pending.valid())
         outcome = pending.get(); // rethrows the computing peer's error
@@ -326,11 +580,25 @@ ExecutionService::runJob(const ExperimentSpec &spec,
             auto produced = std::make_shared<const ExecOutcome>(
                 ExecOutcome{result.raw, state.rng,
                             result.stageSeconds("sample")});
+            // The genuine outcome always goes to waiting peers; a
+            // Poison fault corrupts only a separate copy bound for
+            // the cache, keeping the genuine checksum, so the next
+            // hit's verification trips.
+            Checked<ExecOutcome> entry{
+                produced, execOutcomeChecksum(*produced)};
+            if (fault(common::FaultSite::CacheInsert,
+                      common::fnv1a64(*execKey))
+                    .kind == common::FaultAction::Kind::Poison) {
+                auto corrupted =
+                    std::make_shared<ExecOutcome>(*produced);
+                corruptDistribution(corrupted->raw);
+                entry.value = std::move(corrupted);
+            }
             {
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++stats_.executeRuns;
                 if (execCache_)
-                    execCache_->put(*execKey, produced);
+                    execCache_->put(*execKey, std::move(entry));
                 inflightExec_.erase(*execKey);
             }
             computing->set_value(std::move(produced));
@@ -339,6 +607,8 @@ ExecutionService::runJob(const ExperimentSpec &spec,
             ++stats_.executeRuns;
         }
     }
+
+    faultPoint(1);
 
     pipeline_.mitigate(spec, state, result);
     pipeline_.score(state, result);
@@ -361,6 +631,40 @@ ExecutionService::wait(const JobHandle &handle) const
     // Labels are per-handle: coalesced and cached jobs share a
     // Result computed under some other handle's label, so re-derive
     // this handle's (the same rule Pipeline::buildWorkload applies).
+    result.label = handle.job_->label.empty() ? result.workloadSpec
+                                              : handle.job_->label;
+    return result;
+}
+
+std::optional<Result>
+ExecutionService::waitFor(const JobHandle &handle,
+                          std::chrono::milliseconds timeout) const
+{
+    require(handle.valid(), "ExecutionService: invalid job handle");
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+        if (handle.job_->future.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready)
+            break;
+        if (std::chrono::steady_clock::now() >= deadline) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.waitTimeouts;
+            return std::nullopt;
+        }
+        // Drain like wait() does; once the queue is empty the job is
+        // running (or wedged) on another worker, so block on the
+        // future with whatever budget remains.
+        if (!pool_->tryRunOneJob()) {
+            if (handle.job_->future.wait_until(deadline) !=
+                std::future_status::ready) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.waitTimeouts;
+                return std::nullopt;
+            }
+            break;
+        }
+    }
+    Result result = handle.job_->future.get(); // rethrows job errors
     result.label = handle.job_->label.empty() ? result.workloadSpec
                                               : handle.job_->label;
     return result;

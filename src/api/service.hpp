@@ -31,6 +31,7 @@
 #ifndef HAMMER_API_SERVICE_HPP
 #define HAMMER_API_SERVICE_HPP
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -38,11 +39,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "api/pipeline.hpp"
+#include "common/fault_injection.hpp"
 #include "common/lru_cache.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -51,6 +54,69 @@
 #include "noise/sampler.hpp"
 
 namespace hammer::api {
+
+/**
+ * Base of the serving layer's typed runtime failures.
+ *
+ * Boundary violations (malformed specs) keep throwing
+ * std::invalid_argument from submit(); ServiceError and its
+ * subclasses are the *operational* failure vocabulary — overload,
+ * lost workers — that chaos-hardened callers branch on.
+ */
+class ServiceError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * submit() rejected a job because the queue is at
+ * ExecutionServiceOptions::maxQueueDepth: bounded backpressure
+ * instead of unbounded memory growth under a traffic flood.
+ */
+class QueueSaturatedError final : public ServiceError
+{
+  public:
+    QueueSaturatedError(std::size_t depth, std::size_t limit);
+
+    std::size_t depth() const { return depth_; }
+    std::size_t limit() const { return limit_; }
+
+  private:
+    std::size_t depth_;
+    std::size_t limit_;
+};
+
+/**
+ * A job's worker died (injected or real) on every allowed attempt:
+ * wait()/waitFor() surface this instead of hanging or returning a
+ * partial result.
+ */
+class WorkerLostError final : public ServiceError
+{
+  public:
+    WorkerLostError(std::uint64_t job_id, int attempts);
+
+    std::uint64_t jobId() const { return jobId_; }
+    int attempts() const { return attempts_; }
+
+  private:
+    std::uint64_t jobId_;
+    int attempts_;
+};
+
+/**
+ * Deterministic FNV-1a digest of everything a Result guarantees
+ * bit-identically: identity fields, both histograms (outcome +
+ * probability bit patterns), HAMMER counters and metrics.  The label
+ * (patched per handle) and stage timings (wall-clock noise) are
+ * excluded.  This is the integrity checksum the service computes at
+ * cache insert and verifies on every hit.
+ */
+std::uint64_t resultChecksum(const Result &result);
+
+/** FNV-1a digest of one histogram (width + sorted entries). */
+std::uint64_t distributionChecksum(const core::Distribution &dist);
 
 /** Tuning knobs of one ExecutionService. */
 struct ExecutionServiceOptions
@@ -73,6 +139,42 @@ struct ExecutionServiceOptions
 
     /** Dedupe identical executions (in-flight + recent). */
     bool coalesce = true;
+
+    /**
+     * Reject submits with QueueSaturatedError once this many jobs
+     * are queued (0 = unbounded).  Backpressure only engages on
+     * pools with dedicated workers; a 1-worker service runs each job
+     * inline in submit(), so its queue never grows.
+     */
+    std::size_t maxQueueDepth = 0;
+
+    /**
+     * Verify the FNV checksum of every cache hit (result and
+     * execution-outcome caches) and recompute on mismatch instead of
+     * serving a corrupt histogram.  Off only for benchmarking the
+     * verification overhead (bench_chaos_overhead).
+     */
+    bool verifyCache = true;
+
+    /**
+     * Re-run attempts granted to a job whose worker dies mid-job
+     * before wait() surfaces WorkerLostError.  Retries are
+     * idempotent: a re-run is keyed by the same canonicalExecKey, so
+     * a sample stage the dead worker already published is reused and
+     * the retried Result is bit-identical to an undisturbed run.
+     */
+    int maxRetries = 2;
+
+    /**
+     * Chaos seam: consulted at every service fault site (worker
+     * start/mid-job, cache inserts, coalescing registrations).
+     * Production leaves this null; tests install a
+     * chaos::FaultPlan.  Note the service deliberately does NOT
+     * forward this to its ThreadPool's PoolJob site — pool-level
+     * kills break promises, while the service owns worker death
+     * end-to-end (retry, then WorkerLostError).
+     */
+    std::shared_ptr<common::FaultInjector> faultInjector;
 };
 
 /**
@@ -111,6 +213,33 @@ struct ServiceStats
 
     /** CachedExactSampler's process-wide density-matrix memo. */
     noise::CacheStats exactCache;
+
+    // -- failure-semantics counters (see README "Failure semantics") --
+
+    /** Worker deaths observed (injected or real), across attempts. */
+    std::uint64_t workerDeaths = 0;
+
+    /** Job attempts re-run after a worker death. */
+    std::uint64_t retries = 0;
+
+    /** Jobs that exhausted retries and failed with WorkerLostError. */
+    std::uint64_t workerLost = 0;
+
+    /** Submits rejected with QueueSaturatedError (backpressure). */
+    std::uint64_t queueRejections = 0;
+
+    /**
+     * Cache hits whose checksum failed verification: the entry was
+     * evicted and the job recomputed — a poisoned histogram is never
+     * served.
+     */
+    std::uint64_t cachePoisonDetected = 0;
+
+    /** Coalescing registrations dropped by fault injection. */
+    std::uint64_t coalesceDropped = 0;
+
+    /** waitFor() calls that returned Timeout. */
+    std::uint64_t waitTimeouts = 0;
 };
 
 /**
@@ -200,6 +329,20 @@ class ExecutionService
     /** Block until @p handle's job finishes and return its Result. */
     Result wait(const JobHandle &handle) const;
 
+    /**
+     * Deadline-bounded wait: like wait(), but gives up after
+     * @p timeout and returns nullopt (counting a waitTimeouts stat)
+     * instead of blocking forever on a stalled or wedged job.  Job
+     * errors still rethrow, exactly as wait() does.  The calling
+     * thread helps drain the queue while it waits; the deadline is
+     * re-checked between drained jobs, so a drained job that
+     * outlives the deadline delays the Timeout answer by its own
+     * runtime at most.
+     */
+    std::optional<Result>
+    waitFor(const JobHandle &handle,
+            std::chrono::milliseconds timeout) const;
+
     /** True when @p handle's Result is ready (wait() will not block). */
     bool poll(const JobHandle &handle) const;
 
@@ -252,21 +395,40 @@ class ExecutionService
         double sampleSeconds = 0.0;
     };
 
+    /**
+     * One cache slot: the payload plus the FNV checksum computed
+     * from the *genuine* value at insert time.  Verification on a
+     * hit recomputes the payload's checksum and compares — the
+     * ASPIS-style compare-at-the-boundary that turns silent cache
+     * corruption into a detected, recomputed miss.
+     */
+    template <typename T>
+    struct Checked
+    {
+        std::shared_ptr<const T> value;
+        std::uint64_t checksum = 0;
+    };
+
     Result runJob(const ExperimentSpec &spec,
-                  const std::optional<std::string> &execKey);
+                  const std::optional<std::string> &execKey,
+                  std::uint64_t faultKey);
+
+    /** Injector decision for one site visit (None when no injector). */
+    common::FaultAction fault(common::FaultSite site,
+                              std::uint64_t key) const;
 
     const Pipeline pipeline_;
     const ExecutionServiceOptions options_;
 
     mutable std::mutex mutex_;
     std::uint64_t nextJobId_ = 0;
-    ServiceStats stats_;
+    // Mutable: const observers (waitFor) count timeout stats.
+    mutable ServiceStats stats_;
     // shared_ptr values: cached Results can be large (workload +
     // two histograms), so hits hand out a reference and the one
     // copy per job happens outside the service mutex.
-    std::unique_ptr<common::LruCache<std::shared_ptr<const Result>>>
-        resultCache_;
-    std::unique_ptr<common::LruCache<std::shared_ptr<const ExecOutcome>>>
+    std::unique_ptr<common::LruCache<Checked<Result>>> resultCache_;
+    std::unique_ptr<common::LruCache<Checked<ExecOutcome>>>
         execCache_;
     std::unordered_map<std::string, std::shared_future<Result>>
         inflightJobs_;

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * FNV-1a 64-bit checksumming.
+ *
+ * The integrity primitive behind the serving layer's
+ * compare-at-the-boundary hardening: every histogram entering a
+ * result cache is checksummed at insert, and the checksum is
+ * re-verified on every hit, so a poisoned or bit-flipped cache entry
+ * is detected and recomputed instead of being served (see
+ * api::ExecutionService and api::resultChecksum).  FNV-1a is not
+ * cryptographic — the threat model is corruption (radiation-style
+ * upsets, buggy writers, injected chaos faults), not an adversary.
+ */
+
+#ifndef HAMMER_COMMON_CHECKSUM_HPP
+#define HAMMER_COMMON_CHECKSUM_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace hammer::common {
+
+/**
+ * Incremental FNV-1a 64-bit hasher.
+ *
+ * Deterministic and platform-independent for the typed add()
+ * overloads (doubles are hashed by IEEE-754 bit pattern, so bitwise
+ * equality of inputs <=> equality of checksums — exactly the
+ * bit-identity contract the engine guarantees).
+ */
+class Fnv1a
+{
+  public:
+    static constexpr std::uint64_t kOffset = 0xCBF29CE484222325ull;
+    static constexpr std::uint64_t kPrime = 0x00000100000001B3ull;
+
+    /** Fold @p size raw bytes into the digest. */
+    void addBytes(const void *data, std::size_t size)
+    {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            hash_ ^= bytes[i];
+            hash_ *= kPrime;
+        }
+    }
+
+    void add(std::uint64_t value)
+    {
+        // Byte-by-byte in a fixed order, so the digest does not
+        // depend on host endianness.
+        for (int shift = 0; shift < 64; shift += 8) {
+            hash_ ^= (value >> shift) & 0xFFu;
+            hash_ *= kPrime;
+        }
+    }
+
+    void add(std::int64_t value) { add(static_cast<std::uint64_t>(value)); }
+    void add(int value) { add(static_cast<std::uint64_t>(value)); }
+
+    /** Hash the IEEE-754 bit pattern (NaNs hash by representation). */
+    void add(double value)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(value));
+        std::memcpy(&bits, &value, sizeof(bits));
+        add(bits);
+    }
+
+    /** Length-prefixed, so "ab" + "c" != "a" + "bc". */
+    void add(const std::string &text)
+    {
+        add(static_cast<std::uint64_t>(text.size()));
+        addBytes(text.data(), text.size());
+    }
+
+    std::uint64_t digest() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = kOffset;
+};
+
+/** One-shot FNV-1a of a string (cache-key hashing, fault-site keys). */
+inline std::uint64_t
+fnv1a64(const std::string &text)
+{
+    Fnv1a hasher;
+    hasher.addBytes(text.data(), text.size());
+    return hasher.digest();
+}
+
+} // namespace hammer::common
+
+#endif // HAMMER_COMMON_CHECKSUM_HPP

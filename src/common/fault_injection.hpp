@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fault-injection seam shared by the concurrency layers.
+ *
+ * A FaultInjector is consulted at well-defined fault sites — a pool
+ * worker about to run a queued job, the serving layer inserting into
+ * or reading from a cache, a coalescing registration — and answers
+ * with one FaultAction.  Production code runs with no injector
+ * installed (every site resolves to None at the cost of one pointer
+ * test); the chaos harness (hammer::chaos::FaultPlan) installs a
+ * deterministic, RNG-seeded implementation so every injected failure
+ * sequence is replayable from a single uint64 seed.
+ *
+ * The interface lives in common (not chaos) so common::ThreadPool and
+ * api::ExecutionService can accept an injector without depending on
+ * the harness that implements it — the same boundary-layering idea as
+ * ASPIS-style compile-time duplication: the protected code only knows
+ * the seam, never the fault model.
+ */
+
+#ifndef HAMMER_COMMON_FAULT_INJECTION_HPP
+#define HAMMER_COMMON_FAULT_INJECTION_HPP
+
+#include <cstdint>
+
+namespace hammer::common {
+
+/** Where in the stack a fault decision is being made. */
+enum class FaultSite
+{
+    /**
+     * A ThreadPool worker about to run one queued submit() job
+     * (key = job sequence number).  Kill discards the job — its
+     * future throws broken_promise; Stall delays it.
+     */
+    PoolJob,
+
+    /**
+     * An ExecutionService worker starting (or mid-way through) one
+     * service job attempt (key = jobId * 16 + attempt * 2 + phase).
+     * Kill simulates the worker dying — the service retries the
+     * attempt idempotently; Stall delays it.
+     */
+    ServiceJob,
+
+    /**
+     * A result/execution outcome being inserted into a service cache
+     * (key = FNV hash of the cache key).  Poison corrupts the stored
+     * payload after its checksum was computed, so verification on the
+     * next hit must detect it.
+     */
+    CacheInsert,
+
+    /**
+     * An in-flight coalescing registration (key = FNV hash of the
+     * canonical key).  Drop skips the registration (identical jobs
+     * execute redundantly, results unchanged); Delay stalls the
+     * submission path after registering.
+     */
+    CoalesceRegister,
+};
+
+/** What the injector decided for one site visit. */
+struct FaultAction
+{
+    enum class Kind
+    {
+        None,   ///< Proceed normally (the production answer).
+        Kill,   ///< PoolJob/ServiceJob: the worker "dies" here.
+        Stall,  ///< PoolJob/ServiceJob: sleep millis, then proceed.
+        Poison, ///< CacheInsert: corrupt the stored payload.
+        Drop,   ///< CoalesceRegister: skip the registration.
+        Delay,  ///< CoalesceRegister: sleep millis after registering.
+    };
+
+    Kind kind = Kind::None;
+    int millis = 0; ///< Stall/Delay duration.
+
+    static FaultAction none() { return {}; }
+};
+
+/**
+ * Deterministic fault oracle.
+ *
+ * Implementations must be thread-safe and SHOULD be a pure function
+ * of (seed, site, key) so that a chaos run is replayable: which
+ * worker visits a site first may race, but the decision each visit
+ * receives never depends on scheduling.
+ */
+class FaultInjector
+{
+  public:
+    virtual ~FaultInjector() = default;
+
+    /** The action for one visit of @p site with call-site key @p key. */
+    virtual FaultAction at(FaultSite site, std::uint64_t key) = 0;
+};
+
+} // namespace hammer::common
+
+#endif // HAMMER_COMMON_FAULT_INJECTION_HPP

@@ -80,6 +80,21 @@ class LruCache
         return index_.find(key) != index_.end();
     }
 
+    /**
+     * Remove @p key if present (the integrity-eviction path: a cache
+     * hit whose checksum fails verification is erased so the next
+     * lookup recomputes).  Returns true when an entry was removed.
+     */
+    bool erase(const std::string &key)
+    {
+        const auto it = index_.find(key);
+        if (it == index_.end())
+            return false;
+        order_.erase(it->second);
+        index_.erase(it);
+        return true;
+    }
+
     void clear()
     {
         order_.clear();

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "common/logging.hpp"
@@ -57,6 +58,7 @@ ThreadPool::workerLoop(int slot)
     std::uint64_t seen_round = 0;
     for (;;) {
         std::function<void()> job;
+        std::uint64_t job_seq = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [&] {
@@ -71,13 +73,48 @@ ThreadPool::workerLoop(int slot)
                 seen_round = round_;
             } else {
                 job = jobs_.top().run;
+                job_seq = jobs_.top().seq;
                 jobs_.pop();
             }
         }
-        if (job)
-            job();
-        else
+        if (job) {
+            if (passesFaultGate(job_seq))
+                job();
+            // A killed job is simply dropped: destroying its
+            // packaged_task makes the future throw broken_promise.
+        } else {
             runRound(slot);
+        }
+    }
+}
+
+void
+ThreadPool::setFaultInjector(std::shared_ptr<FaultInjector> injector)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    faultInjector_ = std::move(injector);
+}
+
+bool
+ThreadPool::passesFaultGate(std::uint64_t seq)
+{
+    std::shared_ptr<FaultInjector> injector;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        injector = faultInjector_;
+    }
+    if (!injector)
+        return true;
+    const FaultAction action = injector->at(FaultSite::PoolJob, seq);
+    switch (action.kind) {
+    case FaultAction::Kind::Kill:
+        return false;
+    case FaultAction::Kind::Stall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(action.millis));
+        return true;
+    default:
+        return true;
     }
 }
 
@@ -86,7 +123,15 @@ ThreadPool::enqueueJob(std::function<void()> run, int priority)
 {
     if (threadCount_ == 1) {
         // No dedicated workers: run inline, as parallelFor does.
-        run();
+        // The fault gate still applies — a single-worker pool can
+        // kill or stall its jobs like any other.
+        std::uint64_t seq;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            seq = jobSeq_++;
+        }
+        if (passesFaultGate(seq))
+            run();
         return;
     }
     {
@@ -107,14 +152,17 @@ bool
 ThreadPool::tryRunOneJob()
 {
     std::function<void()> job;
+    std::uint64_t job_seq = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (jobs_.empty())
             return false;
         job = jobs_.top().run;
+        job_seq = jobs_.top().seq;
         jobs_.pop();
     }
-    job();
+    if (passesFaultGate(job_seq))
+        job();
     return true;
 }
 

@@ -37,6 +37,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.hpp"
+
 namespace hammer::common {
 
 /**
@@ -110,6 +112,21 @@ class ThreadPool
 
     /** Jobs submitted but not yet started (queue depth). */
     std::size_t queuedJobs() const;
+
+    /**
+     * Install (or clear, with nullptr) a fault injector consulted at
+     * FaultSite::PoolJob before every queued job runs, keyed by the
+     * job's submission sequence number.
+     *
+     * Kill discards the job without running it — its future throws
+     * std::future_error (broken_promise), the same defined error a
+     * pool destruction delivers, so callers observe a dead worker as
+     * a clean typed failure, never a hang.  Stall sleeps the worker
+     * for the action's millis before running the job.  parallelFor
+     * rounds are never faulted: the chaos surface is the asynchronous
+     * job queue the serving layer runs on.
+     */
+    void setFaultInjector(std::shared_ptr<FaultInjector> injector);
 
     /**
      * Pop and run the highest-priority queued job on the calling
@@ -200,6 +217,13 @@ class ThreadPool
     void workerLoop(int slot);
     void runRound(int slot);
 
+    /**
+     * Apply the installed injector's PoolJob decision for job @p seq:
+     * sleeps through a Stall; returns false for a Kill (the caller
+     * must discard @p job without running it).
+     */
+    bool passesFaultGate(std::uint64_t seq);
+
     int threadCount_;
     std::vector<std::thread> workers_;
 
@@ -217,6 +241,7 @@ class ThreadPool
     std::exception_ptr firstError_;
     std::priority_queue<QueuedJob> jobs_;
     std::uint64_t jobSeq_ = 0;
+    std::shared_ptr<FaultInjector> faultInjector_;
 };
 
 } // namespace hammer::common

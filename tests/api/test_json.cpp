@@ -17,6 +17,7 @@
 
 #include "api/json.hpp"
 #include "api/pipeline.hpp"
+#include "api/service.hpp"
 
 namespace {
 
@@ -24,6 +25,7 @@ using hammer::api::JsonValue;
 using hammer::api::JsonWriter;
 using hammer::api::jsonQuote;
 using hammer::api::parseJson;
+using hammer::api::parseSpecLine;
 using hammer::api::Result;
 using hammer::core::Distribution;
 
@@ -137,6 +139,93 @@ TEST(JsonParser, BoundsNestingDepth)
     for (int i = 0; i < 100; ++i)
         ok += ']';
     EXPECT_NO_THROW(parseJson(ok));
+}
+
+TEST(JsonParser, MalformedInputFuzzTable)
+{
+    // Table-driven fuzz over the hostile classes the chaos flood
+    // exercises at volume: each case states whether the document
+    // must parse or must throw the parser's one typed error.
+    struct Case
+    {
+        const char *document;
+        bool valid;
+    };
+    const Case cases[] = {
+        // Truncated documents.
+        {"{\"a\": ", false},
+        {"{\"a\": 1", false},
+        {"[1, 2", false},
+        {"\"trunc", false},
+        {"{\"a\": \"b", false},
+        // Surrogate pairs: a valid pair decodes, every lone or
+        // malformed half throws.
+        {"\"\\ud83d\\ude00\"", true},
+        {"\"\\ud800\"", false},
+        {"\"\\udc00 first\"", false},
+        {"\"\\ud800\\ud800\"", false},
+        {"\"\\ud800x\"", false},
+        {"\"\\ude00\\ud83d\"", false}, // reversed pair
+        // Huge and degenerate numbers: syntactically valid JSON
+        // numbers parse (range policy is the spec layer's job);
+        // non-JSON spellings throw.
+        {"1e999", true},
+        {"-1e999", true},
+        {"5000000000", true},
+        {"0.0000000000000000000000001", true},
+        {"1e", false},
+        {"0x10", false},
+        {"Infinity", false},
+        {"NaN", false},
+        // Duplicate keys are legal at the JSON layer (last wins is
+        // left to the consumer; the spec parser rejects them below).
+        {"{\"a\": 1, \"a\": 2}", true},
+    };
+    for (const Case &c : cases) {
+        if (c.valid)
+            EXPECT_NO_THROW(parseJson(c.document)) << c.document;
+        else
+            EXPECT_THROW(parseJson(c.document),
+                         std::invalid_argument)
+                << c.document;
+    }
+}
+
+TEST(SpecLineParser, MalformedSpecFuzzTable)
+{
+    // The same hostile classes one layer up, where budget range
+    // checks and the duplicate-key rejection live.
+    const char *const rejected[] = {
+        // Truncated / malformed carriers.
+        "{\"workload\": \"bv:5\",",
+        "{\"workload\": \"bv:5\", \"shots\": }",
+        // Lone surrogate halves inside a field.
+        "{\"workload\": \"bv:5\", \"label\": \"\\ud800\"}",
+        "{\"workload\": \"bv:5\", \"label\": \"\\udc00\"}",
+        // Huge numbers overflow the int budgets; fractions and
+        // non-positives violate them.
+        "{\"workload\": \"bv:5\", \"shots\": 5000000000}",
+        "{\"workload\": \"bv:5\", \"shots\": 1e999}",
+        "{\"workload\": \"bv:5\", \"shots\": 1.5}",
+        "{\"workload\": \"bv:5\", \"shots\": 0}",
+        "{\"workload\": \"bv:5\", \"seed\": -1}",
+        "{\"workload\": \"bv:5\", \"priority\": 1e20}",
+        // Duplicate and unknown keys.
+        "{\"workload\": \"bv:5\", \"shots\": 1, \"shots\": 2}",
+        "{\"workload\": \"bv:5\", \"workload\": \"ghz:4\"}",
+        "{\"workload\": \"bv:5\", \"warpdrive\": 9}",
+        // Required key missing.
+        "{\"shots\": 100}",
+        "{}",
+    };
+    for (const char *line : rejected)
+        EXPECT_THROW(parseSpecLine(line), std::invalid_argument)
+            << line;
+
+    // A valid surrogate pair in a label survives end to end.
+    const auto parsed = parseSpecLine(
+        "{\"workload\": \"bv:5\", \"label\": \"\\ud83d\\ude00\"}");
+    EXPECT_EQ(parsed.spec.label, "\xF0\x9F\x98\x80");
 }
 
 TEST(JsonRoundTrip, WriterOutputParsesBack)

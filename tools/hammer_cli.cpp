@@ -120,6 +120,10 @@ usage(int exit_code)
         "                    chains as readout+hammer in CSV)\n"
         "                    through the batching ExecutionService; "
         "one JSON result line per spec\n"
+        "  --deadline <ms>   per-job completion deadline for --serve: "
+        "a job that misses it is\n"
+        "                    reported as timed out on stderr and "
+        "skipped instead of wedging the stream\n"
         "  --list <what>     workloads | backends | mitigations\n");
     std::exit(exit_code);
 }
@@ -188,9 +192,14 @@ listRegistry(const std::string &what)
 /**
  * --serve: parse spec lines from @p input, run them through one
  * ExecutionService, stream JSON result lines as jobs complete.
+ *
+ * @param deadline_ms Per-job completion budget (0 = wait forever).
+ *        Enforced with ExecutionService::waitFor, so one stuck or
+ *        stalled job costs the stream at most one deadline window
+ *        and a typed stderr line instead of wedging it.
  */
 int
-serve(std::istream &input, int threads, int top)
+serve(std::istream &input, int threads, int top, int deadline_ms)
 {
     using namespace hammer::api;
 
@@ -255,12 +264,51 @@ serve(std::istream &input, int threads, int top)
                 ++failures;
             }
         }
-        // Act as the pool's extra worker before sleeping: with N
-        // requested threads, N-1 are dedicated workers and this
-        // streaming loop is the Nth.
-        if (!progressed && remaining > 0 && !service.helpDrain())
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(1));
+        if (!progressed && remaining > 0) {
+            if (deadline_ms > 0) {
+                // Nothing became ready: spend one deadline window on
+                // the oldest outstanding job (waitFor helps drain
+                // the queue, so this is also the loop's worker
+                // role).  A miss is a typed failure, not a wedge.
+                std::size_t oldest = 0;
+                while (emitted[oldest])
+                    ++oldest;
+                try {
+                    const auto result = service.waitFor(
+                        handles[oldest],
+                        std::chrono::milliseconds(deadline_ms));
+                    if (result) {
+                        result->writeJson(std::cout,
+                                          top > 0 ? top : -1);
+                        std::cout.flush();
+                    } else {
+                        std::fprintf(
+                            stderr,
+                            "hammer_cli: --serve job %llu: timed "
+                            "out after %d ms\n",
+                            static_cast<unsigned long long>(
+                                handles[oldest].id()),
+                            deadline_ms);
+                        ++failures;
+                    }
+                } catch (const std::exception &error) {
+                    std::fprintf(stderr,
+                                 "hammer_cli: --serve job %llu: %s\n",
+                                 static_cast<unsigned long long>(
+                                     handles[oldest].id()),
+                                 error.what());
+                    ++failures;
+                }
+                emitted[oldest] = true;
+                --remaining;
+            } else if (!service.helpDrain()) {
+                // Act as the pool's extra worker before sleeping:
+                // with N requested threads, N-1 are dedicated
+                // workers and this streaming loop is the Nth.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        }
     }
 
     const ServiceStats stats = service.stats();
@@ -302,6 +350,7 @@ main(int argc, char **argv)
 
     std::string serve_path;
     bool serve_mode = false;
+    int serve_deadline_ms = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -361,6 +410,9 @@ main(int argc, char **argv)
         } else if (arg == "--serve") {
             serve_mode = true;
             serve_path = next_value("--serve");
+        } else if (arg == "--deadline") {
+            serve_deadline_ms = parsePositiveInt(
+                next_value("--deadline"), "--deadline");
         } else if (arg == "--list") {
             return listRegistry(next_value("--list"));
         } else if (arg == "--machine") {
@@ -391,7 +443,8 @@ main(int argc, char **argv)
 
     if (serve_mode) {
         if (serve_path == "-")
-            return serve(std::cin, backend_spec.threads, top);
+            return serve(std::cin, backend_spec.threads, top,
+                         serve_deadline_ms);
         std::ifstream file(serve_path);
         if (!file) {
             std::fprintf(stderr,
@@ -399,7 +452,8 @@ main(int argc, char **argv)
                          serve_path.c_str());
             return 2;
         }
-        return serve(file, backend_spec.threads, top);
+        return serve(file, backend_spec.threads, top,
+                     serve_deadline_ms);
     }
 
     try {
