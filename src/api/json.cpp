@@ -519,4 +519,37 @@ parseJson(const std::string &text)
     return JsonParser(text).parse();
 }
 
+void
+writeJsonValue(JsonWriter &out, const JsonValue &value)
+{
+    switch (value.kind()) {
+    case JsonValue::Kind::Null:
+        out.null();
+        break;
+    case JsonValue::Kind::Bool:
+        out.value(value.asBool());
+        break;
+    case JsonValue::Kind::Number:
+        out.value(value.asNumber());
+        break;
+    case JsonValue::Kind::String:
+        out.value(value.asString());
+        break;
+    case JsonValue::Kind::Array:
+        out.beginArray();
+        for (const JsonValue &item : value.items())
+            writeJsonValue(out, item);
+        out.endArray();
+        break;
+    case JsonValue::Kind::Object:
+        out.beginObject();
+        for (const auto &[key, member] : value.members()) {
+            out.key(key);
+            writeJsonValue(out, member);
+        }
+        out.endObject();
+        break;
+    }
+}
+
 } // namespace hammer::api

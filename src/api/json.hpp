@@ -138,6 +138,15 @@ class JsonValue
  */
 JsonValue parseJson(const std::string &text);
 
+/**
+ * Re-emit a parsed value through @p out (object members in document
+ * order, numbers via jsonNumber).  Because jsonNumber renders doubles
+ * round-trip-exactly, two values re-emitted this way are byte-equal
+ * iff they are value-equal — the primitive canonicalResultJson builds
+ * cross-process bit-identity checks on.
+ */
+void writeJsonValue(JsonWriter &out, const JsonValue &value);
+
 } // namespace hammer::api
 
 #endif // HAMMER_API_JSON_HPP

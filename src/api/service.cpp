@@ -1,7 +1,9 @@
 #include "api/service.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <thread>
 #include <utility>
@@ -78,7 +80,33 @@ appendField(std::string &key, const char *name,
     key += '|';
 }
 
+/** Process-wide RemoteExecutor slot (see service.hpp). */
+std::mutex remoteExecutorMutex;
+RemoteExecutor remoteExecutorHook;
+
+/** Copy the installed executor (empty when none). */
+RemoteExecutor
+remoteExecutorSnapshot()
+{
+    std::lock_guard<std::mutex> lock(remoteExecutorMutex);
+    return remoteExecutorHook;
+}
+
 } // namespace
+
+void
+setRemoteExecutor(RemoteExecutor executor)
+{
+    std::lock_guard<std::mutex> lock(remoteExecutorMutex);
+    remoteExecutorHook = std::move(executor);
+}
+
+bool
+hasRemoteExecutor()
+{
+    std::lock_guard<std::mutex> lock(remoteExecutorMutex);
+    return static_cast<bool>(remoteExecutorHook);
+}
 
 // ---------------------------------------------------------------------------
 // Typed operational errors + integrity checksums
@@ -99,6 +127,12 @@ WorkerLostError::WorkerLostError(std::uint64_t job_id, int attempts)
                    std::to_string(attempts) +
                    " attempts exhausted)"),
       jobId_(job_id), attempts_(attempts)
+{
+}
+
+ServiceShutdownError::ServiceShutdownError()
+    : ServiceError("ExecutionService: shut down (no new submits "
+                   "accepted)")
 {
 }
 
@@ -286,6 +320,23 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
     require(spec.workloadInstance.has_value() || !spec.workload.empty(),
             "ExecutionService: spec needs a workload (registry spec "
             "or prebuilt instance)");
+    if (spec.backend == "remote") {
+        require(hasRemoteExecutor(),
+                "ExecutionService: backend 'remote' needs a "
+                "RemoteExecutor installed (net::enableRemoteBackend)");
+        require(canonicalExecKey(spec).has_value(),
+                "ExecutionService: backend 'remote' cannot carry "
+                "prebuilt state (workload instance, noise model or "
+                "channel params) across the wire");
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shutdown_) {
+            ++stats_.shutdownRejections;
+            throw ServiceShutdownError();
+        }
+    }
 
     // The fan-out owns the cores when the pool has real workers;
     // forcing inner sampling serial does not change any histogram
@@ -402,6 +453,16 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
         [this, spec = std::move(spec), fullKey, execKey, promise,
          jobId = job->id] {
             WorkerScope scope;
+            // CPU time of this worker thread, not wall-clock: on an
+            // oversubscribed machine concurrent workers time-slice
+            // and every job's wall time inflates with the number of
+            // neighbours — the busySeconds comparison across
+            // processes (bench_shard_throughput's speedup model)
+            // would measure core contention, not work.
+            const double busyStart = common::threadCpuSeconds();
+            const auto busyElapsed = [busyStart] {
+                return common::threadCpuSeconds() - busyStart;
+            };
             try {
                 // Retry loop: an injected worker death re-runs the
                 // job (idempotent — a published exec outcome under
@@ -452,6 +513,7 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
                         inflightJobs_.erase(*fullKey);
                     }
                     ++stats_.completed;
+                    stats_.busySeconds += busyElapsed();
                 }
                 promise->set_value(std::move(result));
             } catch (...) {
@@ -460,6 +522,7 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
                     if (fullKey)
                         inflightJobs_.erase(*fullKey);
                     ++stats_.completed;
+                    stats_.busySeconds += busyElapsed();
                 }
                 promise->set_exception(std::current_exception());
             }
@@ -489,6 +552,22 @@ ExecutionService::runJob(const ExperimentSpec &spec,
                 std::chrono::milliseconds(action.millis));
     };
     faultPoint(0);
+
+    if (spec.backend == "remote") {
+        // The transport owns the whole build/execute/mitigate/score
+        // chain on some shard; this worker only ferries the spec out
+        // and the Result back.  Job-level coalescing and the result
+        // LRU still wrap this path (canonical keys include the
+        // backend and its delegate), so repeat remote traffic is
+        // served locally without touching the wire.
+        const RemoteExecutor executor = remoteExecutorSnapshot();
+        require(executor != nullptr,
+                "ExecutionService: RemoteExecutor uninstalled while "
+                "a remote job was queued");
+        Result result = executor(spec);
+        faultPoint(1);
+        return result;
+    }
 
     RunState state;
     Result result = pipeline_.buildWorkload(spec, state);
@@ -705,6 +784,10 @@ ExecutionService::submitSampling(
     require(fn != nullptr, "ExecutionService: null sampling task");
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (shutdown_) {
+            ++stats_.shutdownRejections;
+            throw ServiceShutdownError();
+        }
         ++stats_.rawTasks;
     }
     if (insideWorker()) {
@@ -722,6 +805,37 @@ ExecutionService::submitSampling(
     return pool_->submit(std::move(fn), priority);
 }
 
+void
+ExecutionService::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    // Drain: run queued jobs on this thread; once the queue is empty,
+    // wait for jobs still running on dedicated workers.  At idle
+    // completed + coalesced == submitted (the submit() invariant), so
+    // that equality is the drained condition.
+    for (;;) {
+        if (pool_->tryRunOneJob())
+            continue;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stats_.completed + stats_.coalesced >=
+                stats_.submitted)
+                return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+bool
+ExecutionService::isShutdown() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shutdown_;
+}
+
 ServiceStats
 ExecutionService::stats() const
 {
@@ -731,6 +845,49 @@ ExecutionService::stats() const
         resultCache_ ? resultCache_->size() : 0;
     snapshot.exactCache = noise::CachedExactSampler::cacheStats();
     return snapshot;
+}
+
+std::string
+serviceStatsJson(const ServiceStats &stats, int workers)
+{
+    const auto cache = [](JsonWriter &json,
+                          const noise::CacheStats &entry) {
+        json.beginObject();
+        json.key("entries")
+            .value(static_cast<std::uint64_t>(entry.entries));
+        json.key("hits")
+            .value(static_cast<std::uint64_t>(entry.hits));
+        json.key("misses")
+            .value(static_cast<std::uint64_t>(entry.misses));
+        json.endObject();
+    };
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("type").value("service_stats");
+    json.key("workers").value(workers);
+    json.key("submitted").value(stats.submitted);
+    json.key("completed").value(stats.completed);
+    json.key("coalesced").value(stats.coalesced);
+    json.key("execute_runs").value(stats.executeRuns);
+    json.key("execute_shared").value(stats.executeShared);
+    json.key("raw_tasks").value(stats.rawTasks);
+    json.key("result_cache");
+    cache(json, stats.resultCache);
+    json.key("exact_cache");
+    cache(json, stats.exactCache);
+    json.key("worker_deaths").value(stats.workerDeaths);
+    json.key("retries").value(stats.retries);
+    json.key("worker_lost").value(stats.workerLost);
+    json.key("queue_rejections").value(stats.queueRejections);
+    json.key("cache_poison_detected")
+        .value(stats.cachePoisonDetected);
+    json.key("coalesce_dropped").value(stats.coalesceDropped);
+    json.key("wait_timeouts").value(stats.waitTimeouts);
+    json.key("shutdown_rejections").value(stats.shutdownRejections);
+    json.key("busy_seconds").value(stats.busySeconds);
+    json.endObject();
+    return json.str();
 }
 
 // ---------------------------------------------------------------------------
@@ -847,9 +1004,10 @@ parseCsvSpecLine(const std::string &line)
             break;
         start = comma + 1;
     }
-    require(fields.size() <= 7,
+    require(fields.size() <= 8,
             "spec line: too many CSV fields (expected workload[,"
-            "backend[,shots[,seed[,mitigation[,machine[,label]]]]]])");
+            "backend[,shots[,seed[,mitigation[,machine[,label[,"
+            "priority]]]]]]])");
 
     SpecLine parsed;
     ExperimentSpec &spec = parsed.spec;
@@ -875,6 +1033,21 @@ parseCsvSpecLine(const std::string &line)
         spec.backendSpec.machine = fields[5];
     if (fields.size() > 6 && !fields[6].empty())
         spec.label = fields[6];
+    if (fields.size() > 7 && !fields[7].empty()) {
+        // Priorities may be negative (background traffic), so
+        // parsePositiveInt does not fit; full-consumption strtol
+        // with an explicit int range check does.
+        const std::string &field = fields[7];
+        errno = 0;
+        char *end = nullptr;
+        const long value = std::strtol(field.c_str(), &end, 10);
+        if (end == field.c_str() || *end != '\0' || errno == ERANGE ||
+            value < std::numeric_limits<int>::min() ||
+            value > std::numeric_limits<int>::max())
+            common::fatal("spec line 'priority': must be an integer, "
+                          "got '" + field + "'");
+        parsed.priority = static_cast<int>(value);
+    }
     return parsed;
 }
 
@@ -891,6 +1064,150 @@ parseSpecLine(const std::string &line)
     if (line[first] == '{')
         return parseJsonSpecLine(line);
     return parseCsvSpecLine(line.substr(first));
+}
+
+// ---------------------------------------------------------------------------
+// Result interchange
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Integer >= @p floor from a JSON number (UB-safe cast). */
+long long
+jsonIntField(const JsonValue &value, long long floor_value)
+{
+    const double number = value.asNumber();
+    if (number != std::floor(number) ||
+        number < static_cast<double>(floor_value) ||
+        number > 9.007199254740992e15) // 2^53: exact-int ceiling
+        common::fatal("must be an integer in range");
+    return static_cast<long long>(number);
+}
+
+/** JSON metric field: null means unscored (NaN). */
+double
+metricField(const JsonValue &value)
+{
+    if (value.isNull())
+        return std::numeric_limits<double>::quiet_NaN();
+    return value.asNumber();
+}
+
+/** One histogram array back into a Distribution. */
+core::Distribution
+distributionFromJson(const JsonValue &array, int fallback_bits)
+{
+    require(array.isArray(), "result json: histogram must be an "
+                             "array");
+    // The writer renders outcomes at dist.numBits() width, so the
+    // first entry's bitstring length is the width; an empty
+    // histogram falls back to the measured-qubit count.
+    int num_bits = fallback_bits > 0 ? fallback_bits : 1;
+    if (!array.items().empty())
+        num_bits = static_cast<int>(
+            array.items().front().at("outcome").asString().size());
+    core::Distribution dist(num_bits);
+    for (const JsonValue &entry : array.items()) {
+        const std::string &outcome =
+            entry.at("outcome").asString();
+        require(static_cast<int>(outcome.size()) == num_bits,
+                "result json: ragged histogram outcome widths");
+        dist.set(common::fromBitstring(outcome),
+                 entry.at("probability").asNumber());
+    }
+    return dist;
+}
+
+} // namespace
+
+Result
+resultFromJson(const std::string &json)
+{
+    const JsonValue doc = parseJson(json);
+    require(doc.isObject(), "result json: not an object");
+
+    Result result;
+    result.label = doc.at("label").asString();
+    result.workloadSpec = doc.at("workload").asString();
+    result.family = doc.at("family").asString();
+    result.backendName = doc.at("backend").asString();
+    result.machine = doc.at("machine").asString();
+    result.mitigationName = doc.at("mitigation").asString();
+    result.measuredQubits = static_cast<int>(
+        jsonIntField(doc.at("measured_qubits"), 0));
+    result.shots =
+        static_cast<int>(jsonIntField(doc.at("shots"), 0));
+    result.seed = static_cast<std::uint64_t>(
+        jsonIntField(doc.at("seed"), 0));
+
+    if (const JsonValue *correct = doc.find("correct_outcomes")) {
+        // writeJson only emits correct_outcomes off a Workload, so
+        // rebuild a stub one (empty circuit, all-to-all coupling)
+        // carrying just the success predicate — enough for the
+        // parsed Result to re-serialize byte-identically and for
+        // isCorrect()-based consumers.
+        require(correct->isArray(),
+                "result json: correct_outcomes must be an array");
+        const int qubits = std::max(1, result.measuredQubits);
+        Workload stub(result.family.empty() ? "replay"
+                                            : result.family,
+                      sim::Circuit(qubits),
+                      circuits::CouplingMap::full(qubits), qubits);
+        stub.spec = result.workloadSpec;
+        for (const JsonValue &outcome : correct->items())
+            stub.correctOutcomes.push_back(
+                common::fromBitstring(outcome.asString()));
+        result.workload = std::move(stub);
+    }
+
+    const JsonValue &timings = doc.at("timings");
+    require(timings.isObject(),
+            "result json: timings must be an object");
+    for (const auto &[stage, seconds] : timings.members()) {
+        if (stage == "total") // derived, not stored
+            continue;
+        result.timings.push_back({stage, seconds.asNumber()});
+    }
+
+    const JsonValue &hammer = doc.at("hammer_stats");
+    result.hammerStats.uniqueOutcomes = static_cast<std::size_t>(
+        jsonIntField(hammer.at("unique_outcomes"), 0));
+    result.hammerStats.maxDistance = static_cast<int>(
+        jsonIntField(hammer.at("max_distance"), 0));
+    result.hammerStats.pairOperations = static_cast<std::uint64_t>(
+        jsonIntField(hammer.at("pair_operations"), 0));
+
+    const JsonValue &metrics = doc.at("metrics");
+    result.pstRaw = metricField(metrics.at("pst_raw"));
+    result.pstMitigated = metricField(metrics.at("pst_mitigated"));
+    result.istRaw = metricField(metrics.at("ist_raw"));
+    result.istMitigated = metricField(metrics.at("ist_mitigated"));
+    result.ehdRaw = metricField(metrics.at("ehd_raw"));
+    result.ehdMitigated = metricField(metrics.at("ehd_mitigated"));
+
+    const JsonValue &histogram = doc.at("histogram");
+    result.raw = distributionFromJson(histogram.at("raw"),
+                                      result.measuredQubits);
+    result.mitigated = distributionFromJson(
+        histogram.at("mitigated"), result.measuredQubits);
+    return result;
+}
+
+std::string
+canonicalResultJson(const std::string &json)
+{
+    const JsonValue doc = parseJson(json);
+    require(doc.isObject(), "canonicalResultJson: not an object");
+    JsonWriter out;
+    out.beginObject();
+    for (const auto &[key, member] : doc.members()) {
+        if (key == "label" || key == "timings")
+            continue;
+        out.key(key);
+        writeJsonValue(out, member);
+    }
+    out.endObject();
+    return out.str();
 }
 
 // ---------------------------------------------------------------------------

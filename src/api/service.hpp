@@ -106,6 +106,16 @@ class WorkerLostError final : public ServiceError
 };
 
 /**
+ * submit()/submitSampling() called after shutdown(): the service is
+ * draining or drained and accepts no new work.
+ */
+class ServiceShutdownError final : public ServiceError
+{
+  public:
+    ServiceShutdownError();
+};
+
+/**
  * Deterministic FNV-1a digest of everything a Result guarantees
  * bit-identically: identity fields, both histograms (outcome +
  * probability bit patterns), HAMMER counters and metrics.  The label
@@ -240,7 +250,31 @@ struct ServiceStats
 
     /** waitFor() calls that returned Timeout. */
     std::uint64_t waitTimeouts = 0;
+
+    /** Submits rejected with ServiceShutdownError after shutdown(). */
+    std::uint64_t shutdownRejections = 0;
+
+    /**
+     * Wall-clock seconds spent actually running jobs (all attempts,
+     * summed across workers).  Machine-independent-ish measure of
+     * compute consumed: cache hits and coalesced attaches add
+     * nothing, so a shard fleet's critical path is the max of its
+     * members' busySeconds — what bench_shard_throughput gates on.
+     */
+    double busySeconds = 0.0;
 };
+
+/**
+ * One ServiceStats snapshot as a single-line JSON object (no trailing
+ * newline): the machine-readable form --serve and --shard emit on
+ * stderr, and the form net::ShardWorker answers StatsRequest frames
+ * with.  Key layout:
+ *
+ *   {"type":"service_stats","workers":N,"submitted":...,
+ *    "result_cache":{"entries":..,"hits":..,"misses":..},
+ *    "exact_cache":{...}, ..., "busy_seconds":...}
+ */
+std::string serviceStatsJson(const ServiceStats &stats, int workers);
 
 /**
  * Canonical execution key of @p spec: everything that determines the
@@ -370,6 +404,24 @@ class ExecutionService
      */
     bool helpDrain();
 
+    /**
+     * Stop accepting work and drain what was already accepted.
+     *
+     * Idempotent and callable from any thread: the first call flips
+     * the service into the draining state (submit/submitSampling
+     * throw ServiceShutdownError from then on, counted in
+     * shutdownRejections), then every call — first or repeated —
+     * helps run the remaining queued jobs and returns only once all
+     * accepted jobs have completed.  Handles stay valid: wait() after
+     * shutdown() returns the drained Result.  A submit racing the
+     * first shutdown() call may still be accepted; it is drained like
+     * any other job.
+     */
+    void shutdown();
+
+    /** True once shutdown() has been called. */
+    bool isShutdown() const;
+
     /** Counter snapshot. */
     ServiceStats stats() const;
 
@@ -422,6 +474,7 @@ class ExecutionService
 
     mutable std::mutex mutex_;
     std::uint64_t nextJobId_ = 0;
+    bool shutdown_ = false;
     // Mutable: const observers (waitFor) count timeout stats.
     mutable ServiceStats stats_;
     // shared_ptr values: cached Results can be large (workload +
@@ -464,17 +517,75 @@ struct SpecLine
  * (only "workload" is required; unknown keys throw), or a positional
  * CSV line
  *
- *   workload[,backend[,shots[,seed[,mitigation[,machine[,label]]]]]]
+ *   workload[,backend[,shots[,seed[,mitigation[,machine[,label
+ *   [,priority]]]]]]]
  *
  * selected by the first non-space character ('{' = JSON).  In the
  * CSV form ',' is the field separator, so multi-stage mitigation
  * chains are written with '+' ("readout+hammer"), the same joiner
- * MitigationChain::name() renders.
+ * MitigationChain::name() renders.  "priority" (JSON key or 8th CSV
+ * field, default 0, negatives allowed) maps straight onto submit()'s
+ * priority argument, so remote clients reach the same priority queue
+ * in-process callers do.
  *
  * @throws std::invalid_argument naming the offending field on any
  *         malformed input.
  */
 SpecLine parseSpecLine(const std::string &line);
+
+// ---------------------------------------------------------------------------
+// Remote execution (the `remote` backend's seam)
+// ---------------------------------------------------------------------------
+
+/**
+ * Process-wide hook the `remote` backend dispatches through: given a
+ * spec (backend == "remote", delegate named by
+ * BackendSpec::serviceBackend), produce its Result — typically by
+ * serializing the spec as a protocol line, sending it to a
+ * net::ShardRouter fleet, and parsing the result line back.
+ *
+ * Lives here (not in net) so ExecutionService never depends on the
+ * transport: net::enableRemoteBackend installs the implementation,
+ * the same boundary-layering as the FaultInjector seam.  Thread-safe
+ * to install/clear; jobs in flight keep the executor they started
+ * with.
+ */
+using RemoteExecutor = std::function<Result(const ExperimentSpec &)>;
+
+/** Install (or with nullptr clear) the process-wide RemoteExecutor. */
+void setRemoteExecutor(RemoteExecutor executor);
+
+/** True when a RemoteExecutor is installed. */
+bool hasRemoteExecutor();
+
+// ---------------------------------------------------------------------------
+// Result interchange (what crosses the shard wire)
+// ---------------------------------------------------------------------------
+
+/**
+ * Parse one Result::writeJson line back into a Result.
+ *
+ * Everything writeJson emits round-trips: identity fields, timings,
+ * HAMMER counters, metrics (null -> NaN) and both histograms;
+ * correct_outcomes are rebuilt onto a stub Workload so re-serializing
+ * the parsed Result reproduces the original JSON byte-for-byte
+ * (given the same max_outcomes).  Fields writeJson does not emit
+ * (aggregate CHS vectors, the circuit itself) are absent — compare
+ * remote results with canonicalResultJson, not resultChecksum.
+ *
+ * @throws std::invalid_argument on malformed or incomplete input.
+ */
+Result resultFromJson(const std::string &json);
+
+/**
+ * Canonical bit-identity form of one Result JSON line: parse, strip
+ * the top-level "label" and "timings" members (per-handle and
+ * wall-clock noise — exactly what resultChecksum excludes), and
+ * re-emit via writeJsonValue.  Two Results are bit-identical iff
+ * their canonical forms are byte-equal, across processes and
+ * transports.  No trailing newline.
+ */
+std::string canonicalResultJson(const std::string &json);
 
 /**
  * The `service` backend: a NoisySampler whose batched executions are

@@ -58,6 +58,24 @@ FaultPlan::peek(FaultSite site, std::uint64_t key) const
             return {FaultAction::Kind::Delay, options_.delayMillis};
         break;
     }
+    case FaultSite::ShardSend: {
+        const bool kill = rng.bernoulli(options_.shardSendKillRate);
+        const bool stall = rng.bernoulli(options_.shardSendStallRate);
+        if (kill)
+            return {FaultAction::Kind::Kill, 0};
+        if (stall)
+            return {FaultAction::Kind::Stall, options_.stallMillis};
+        break;
+    }
+    case FaultSite::ShardRecv: {
+        const bool kill = rng.bernoulli(options_.shardRecvKillRate);
+        const bool stall = rng.bernoulli(options_.shardRecvStallRate);
+        if (kill)
+            return {FaultAction::Kind::Kill, 0};
+        if (stall)
+            return {FaultAction::Kind::Stall, options_.stallMillis};
+        break;
+    }
     }
     return FaultAction::none();
 }

@@ -54,6 +54,16 @@ struct FaultPlanOptions
     /** P(delay) per coalescing registration. */
     double coalesceDelayRate = 0.0;
 
+    /** P(connection death) per router->shard job send. */
+    double shardSendKillRate = 0.0;
+    /** P(stall) per router->shard job send. */
+    double shardSendStallRate = 0.0;
+
+    /** P(lost response) per shard->router result frame. */
+    double shardRecvKillRate = 0.0;
+    /** P(stall) per shard->router result frame. */
+    double shardRecvStallRate = 0.0;
+
     /** Stall/delay duration handed back with those actions. */
     int stallMillis = 5;
     int delayMillis = 1;

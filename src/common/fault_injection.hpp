@@ -58,6 +58,24 @@ enum class FaultSite
      * submission path after registering.
      */
     CoalesceRegister,
+
+    /**
+     * net::ShardRouter about to send one job frame to a shard
+     * (key = jobId * 8 + attempt * 2).  Kill simulates the shard
+     * connection dying at send — the router marks the shard dead,
+     * re-routes every job pending on it, and retries this job on the
+     * next attempt; Stall delays the send.
+     */
+    ShardSend,
+
+    /**
+     * net::ShardRouter receiving one job's result frame
+     * (key = jobId * 8 + attempt * 2 + 1).  Kill simulates the
+     * response being lost on the wire — the frame is discarded and
+     * the job re-dispatched idempotently (same spec, next attempt);
+     * Stall delays delivery.
+     */
+    ShardRecv,
 };
 
 /** What the injector decided for one site visit. */

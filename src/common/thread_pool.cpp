@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <ctime>
 
 #include "common/logging.hpp"
 
@@ -306,6 +307,16 @@ ThreadPool::parallelFor(std::size_t count,
 {
     parallelFor(count,
                 [&task](std::size_t item, int) { task(item); });
+}
+
+double
+threadCpuSeconds()
+{
+    std::timespec ts{};
+    if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0.0;
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
 } // namespace hammer::common

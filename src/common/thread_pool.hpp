@@ -244,6 +244,16 @@ class ThreadPool
     std::shared_ptr<FaultInjector> faultInjector_;
 };
 
+/**
+ * CPU seconds consumed by the calling thread so far
+ * (CLOCK_THREAD_CPUTIME_ID).  Unlike wall-clock, the value is
+ * immune to time-slicing on oversubscribed machines, which makes it
+ * the right basis for cross-process work comparisons
+ * (api::ServiceStats::busySeconds).  Work done on *other* threads a
+ * task spawns is not included.
+ */
+double threadCpuSeconds();
+
 } // namespace hammer::common
 
 #endif // HAMMER_COMMON_THREAD_POOL_HPP

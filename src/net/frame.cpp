@@ -1,0 +1,197 @@
+#include "net/frame.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "api/json.hpp"
+#include "common/checksum.hpp"
+
+namespace hammer::net {
+
+namespace {
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out += static_cast<char>((value >> (8 * i)) & 0xff);
+}
+
+void
+putU64(std::string &out, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out += static_cast<char>((value >> (8 * i)) & 0xff);
+}
+
+std::uint32_t
+getU32(const unsigned char *bytes)
+{
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+    return value;
+}
+
+std::uint64_t
+getU64(const unsigned char *bytes)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    return value;
+}
+
+bool
+knownFrameType(std::uint8_t type)
+{
+    return type >= static_cast<std::uint8_t>(FrameType::Hello) &&
+           type <= static_cast<std::uint8_t>(FrameType::Shutdown);
+}
+
+/** FNV digest over raw payload bytes (length-independent of Fnv1a's
+ *  own string framing: the length is already in the header). */
+std::uint64_t
+payloadChecksum(const std::string &payload)
+{
+    return common::fnv1a64(payload);
+}
+
+} // namespace
+
+std::string
+encodeFrame(const Frame &frame)
+{
+    std::string out;
+    out.reserve(kFrameHeaderBytes + frame.payload.size());
+    putU32(out, kFrameMagic);
+    out += static_cast<char>(frame.type);
+    out += '\0'; // flags
+    out += '\0'; // reserved
+    out += '\0';
+    putU32(out,
+           static_cast<std::uint32_t>(frame.payload.size()));
+    putU64(out, payloadChecksum(frame.payload));
+    out += frame.payload;
+    return out;
+}
+
+void
+writeFrame(Socket &socket, const Frame &frame)
+{
+    const std::string bytes = encodeFrame(frame);
+    socket.sendAll(bytes.data(), bytes.size());
+}
+
+std::optional<Frame>
+readFrame(Socket &socket, std::size_t max_payload)
+{
+    unsigned char header[kFrameHeaderBytes];
+
+    // A clean EOF before any header byte is the peer hanging up
+    // between frames — the one non-error end of stream.
+    const std::size_t first = socket.recvSome(header, 1);
+    if (first == 0)
+        return std::nullopt;
+    socket.recvAll(header + 1, kFrameHeaderBytes - 1);
+
+    const std::uint32_t magic = getU32(header);
+    if (magic != kFrameMagic)
+        throw WireError(WireError::Kind::BadMagic,
+                        "bad frame magic 0x" + [magic] {
+                            char buf[16];
+                            std::snprintf(buf, sizeof(buf), "%08x",
+                                          magic);
+                            return std::string(buf);
+                        }());
+    const std::uint8_t type = header[4];
+    if (!knownFrameType(type))
+        throw WireError(WireError::Kind::BadType,
+                        "unknown frame type " +
+                            std::to_string(type));
+    if (header[5] != 0 || header[6] != 0 || header[7] != 0)
+        throw WireError(WireError::Kind::BadType,
+                        "nonzero reserved frame header bytes");
+    const std::uint32_t length = getU32(header + 8);
+    // Bound before allocating: a hostile length prefix must not
+    // drive a multi-gigabyte allocation.
+    if (length > max_payload)
+        throw WireError(WireError::Kind::Oversized,
+                        "frame payload length " +
+                            std::to_string(length) +
+                            " exceeds bound " +
+                            std::to_string(max_payload));
+    const std::uint64_t checksum = getU64(header + 12);
+
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload.resize(length);
+    if (length > 0)
+        socket.recvAll(frame.payload.data(), length);
+    if (payloadChecksum(frame.payload) != checksum)
+        throw WireError(WireError::Kind::BadChecksum,
+                        "frame payload checksum mismatch");
+    return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Job-frame payload envelopes
+// ---------------------------------------------------------------------------
+
+std::string
+encodeJobPayload(std::uint64_t id, int attempt,
+                 const std::string &body)
+{
+    api::JsonWriter envelope;
+    envelope.beginObject();
+    envelope.key("id").value(id);
+    envelope.key("attempt").value(attempt);
+    envelope.endObject();
+    return envelope.str() + "\n" + body;
+}
+
+std::string
+encodeErrorPayload(std::uint64_t id, int attempt,
+                   const std::string &kind,
+                   const std::string &message)
+{
+    api::JsonWriter envelope;
+    envelope.beginObject();
+    envelope.key("id").value(id);
+    envelope.key("attempt").value(attempt);
+    envelope.key("kind").value(kind);
+    envelope.endObject();
+    return envelope.str() + "\n" + message;
+}
+
+JobPayload
+parseJobPayload(const std::string &payload)
+{
+    const std::size_t newline = payload.find('\n');
+    if (newline == std::string::npos)
+        throw WireError(WireError::Kind::BadPayload,
+                        "job payload has no envelope line");
+    JobPayload parsed;
+    try {
+        const api::JsonValue envelope =
+            api::parseJson(payload.substr(0, newline));
+        const double id = envelope.at("id").asNumber();
+        const double attempt = envelope.at("attempt").asNumber();
+        if (id < 0 || id != std::floor(id) || attempt < 0 ||
+            attempt > 1e6 || attempt != std::floor(attempt))
+            throw std::invalid_argument("id/attempt out of range");
+        parsed.id = static_cast<std::uint64_t>(id);
+        parsed.attempt = static_cast<int>(attempt);
+        if (const api::JsonValue *kind = envelope.find("kind"))
+            parsed.kind = kind->asString();
+    } catch (const std::invalid_argument &error) {
+        throw WireError(WireError::Kind::BadPayload,
+                        std::string("bad job envelope: ") +
+                            error.what());
+    }
+    parsed.body = payload.substr(newline + 1);
+    return parsed;
+}
+
+} // namespace hammer::net

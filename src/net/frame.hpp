@@ -1,0 +1,128 @@
+/**
+ * @file
+ * hammer::net — the checksummed wire framing.
+ *
+ * Every message between a ShardRouter and a ShardWorker is one
+ * frame: a fixed 20-byte little-endian header followed by the
+ * payload bytes.
+ *
+ *     offset  size  field
+ *     0       4     magic 0x31524D48 ("HMR1" bytes)
+ *     4       1     FrameType
+ *     5       1     flags (reserved, must be 0)
+ *     6       2     reserved (must be 0)
+ *     8       4     payload length
+ *     12      8     FNV-1a 64 digest of the payload bytes
+ *
+ * Payloads are the serving protocol's existing text formats.  Job
+ * frames (Submit/Result/Error) carry a one-line JSON envelope, a
+ * newline, then the body verbatim:
+ *
+ *     Submit:  {"id":7,"attempt":0}\n<api::parseSpecLine line>
+ *     Result:  {"id":7,"attempt":0}\n<api::Result::writeJson line>
+ *     Error:   {"id":7,"attempt":0,"kind":"invalid_argument"}\n<message>
+ *
+ * keeping the body byte-exact across the wire (the spec line parses
+ * with the same parser --serve uses; the result line re-parses with
+ * api::resultFromJson and canonicalises with api::canonicalResultJson
+ * for bit-identity checks).  Heartbeat/HeartbeatAck echo a
+ * {"seq":N} payload; StatsReply carries api::serviceStatsJson's
+ * line; Hello and Shutdown are empty.
+ *
+ * readFrame() never trusts the peer: bad magic, unknown types,
+ * oversized length prefixes and checksum mismatches are typed
+ * WireErrors, truncation mid-frame is WireError(Truncated), and a
+ * clean EOF between frames is nullopt — hostile bytes can produce
+ * errors, never hangs or UB.
+ */
+
+#ifndef HAMMER_NET_FRAME_HPP
+#define HAMMER_NET_FRAME_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/socket.hpp"
+
+namespace hammer::net {
+
+/** Frame magic: "HMR1" read as a little-endian u32. */
+inline constexpr std::uint32_t kFrameMagic = 0x31524D48;
+
+/** Header bytes on the wire. */
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+
+/** Default payload-size bound readFrame enforces (64 MiB). */
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+/** Message kinds of the shard protocol. */
+enum class FrameType : std::uint8_t
+{
+    Hello = 1,        ///< Router -> shard, once per connection.
+    Submit = 2,       ///< Router -> shard: one job.
+    Result = 3,       ///< Shard -> router: one finished job.
+    Error = 4,        ///< Shard -> router: one failed job.
+    Heartbeat = 5,    ///< Router -> shard liveness probe.
+    HeartbeatAck = 6, ///< Shard -> router probe echo.
+    StatsRequest = 7, ///< Router -> shard: stats snapshot wanted.
+    StatsReply = 8,   ///< Shard -> router: serviceStatsJson line.
+    Shutdown = 9,     ///< Router -> shard: drain and exit.
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Hello;
+    std::string payload;
+};
+
+/** Encode header + payload into wire bytes. */
+std::string encodeFrame(const Frame &frame);
+
+/** encodeFrame + Socket::sendAll. @throws WireError(Io). */
+void writeFrame(Socket &socket, const Frame &frame);
+
+/**
+ * Read one frame; nullopt on clean EOF at a frame boundary.
+ *
+ * @param max_payload Length-prefix bound; larger prefixes throw
+ *        WireError(Oversized) without allocating.
+ * @throws WireError(BadMagic/BadType/Oversized/BadChecksum/
+ *         Truncated/Io/Timeout).
+ */
+std::optional<Frame> readFrame(Socket &socket,
+                               std::size_t max_payload =
+                                   kMaxFramePayload);
+
+// ---------------------------------------------------------------------------
+// Job-frame payload envelopes
+// ---------------------------------------------------------------------------
+
+/** Parsed envelope + body of one Submit/Result/Error payload. */
+struct JobPayload
+{
+    std::uint64_t id = 0;    ///< Router-assigned job id.
+    int attempt = 0;         ///< Dispatch attempt (idempotent replay).
+    std::string kind;        ///< Error frames: typed failure class.
+    std::string body;        ///< Spec line / result line / message.
+};
+
+/** Build a Submit/Result payload ("kind" omitted). */
+std::string encodeJobPayload(std::uint64_t id, int attempt,
+                             const std::string &body);
+
+/** Build an Error payload (body = human-readable message). */
+std::string encodeErrorPayload(std::uint64_t id, int attempt,
+                               const std::string &kind,
+                               const std::string &message);
+
+/**
+ * Parse a job payload (envelope line + body).
+ * @throws WireError(BadPayload) on malformed envelopes.
+ */
+JobPayload parseJobPayload(const std::string &payload);
+
+} // namespace hammer::net
+
+#endif // HAMMER_NET_FRAME_HPP

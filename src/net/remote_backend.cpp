@@ -1,0 +1,66 @@
+#include "net/remote_backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "api/json.hpp"
+#include "api/service.hpp"
+
+namespace hammer::net {
+
+std::string
+remoteSpecLine(const api::ExperimentSpec &spec)
+{
+    const std::string &delegate = spec.backendSpec.serviceBackend;
+    if (delegate.empty() || delegate == "remote" ||
+        delegate == "service")
+        throw std::invalid_argument(
+            "remote backend: serviceBackend names the delegate and "
+            "must not be empty, 'remote' or 'service' (got '" +
+            delegate + "')");
+    if (spec.workloadInstance.has_value() || spec.mitigator ||
+        spec.backendSpec.model.has_value() ||
+        spec.backendSpec.channelParams.has_value())
+        throw std::invalid_argument(
+            "remote backend: prebuilt workloads/mitigators and "
+            "explicit noise models cannot cross the wire — use "
+            "registry specs");
+
+    api::JsonWriter line;
+    line.beginObject();
+    line.key("workload").value(spec.workload);
+    line.key("backend").value(delegate);
+    line.key("machine").value(spec.backendSpec.machine);
+    line.key("noise_scale").value(spec.backendSpec.noiseScale);
+    line.key("shots").value(spec.backendSpec.shots);
+    line.key("trajectories").value(spec.backendSpec.trajectories);
+    line.key("seed").value(spec.backendSpec.seed);
+    line.key("mitigation").value(spec.mitigation);
+    if (!spec.label.empty())
+        line.key("label").value(spec.label);
+    line.endObject();
+    return line.str();
+}
+
+void
+enableRemoteBackend(std::shared_ptr<ShardRouter> router)
+{
+    if (!router)
+        throw std::invalid_argument(
+            "enableRemoteBackend: null router");
+    api::setRemoteExecutor(
+        [router = std::move(router)](
+            const api::ExperimentSpec &spec) -> api::Result {
+            const std::string line = remoteSpecLine(spec);
+            const std::uint64_t id = router->submit(line);
+            return api::resultFromJson(router->wait(id));
+        });
+}
+
+void
+disableRemoteBackend()
+{
+    api::setRemoteExecutor(nullptr);
+}
+
+} // namespace hammer::net

@@ -1,0 +1,538 @@
+#include "net/router.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "api/json.hpp"
+#include "api/service.hpp"
+#include "common/checksum.hpp"
+
+namespace hammer::net {
+
+namespace {
+
+/**
+ * splitmix64 finalizer over the FNV digest: FNV's low bits are weak
+ * for small-modulus bucketing, and shard balance is what the bench
+ * speedup gates stand on.
+ */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+sleepMillis(int millis)
+{
+    if (millis > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(millis));
+}
+
+} // namespace
+
+ShardRouter::ShardRouter(ShardRouterOptions options)
+    : options_(std::move(options))
+{
+    if (options_.addresses.empty())
+        throw std::invalid_argument(
+            "ShardRouter: at least one shard address required");
+    shards_.reserve(options_.addresses.size());
+    for (const std::string &address : options_.addresses) {
+        auto shard = std::make_unique<Shard>();
+        shard->address = address;
+        shards_.push_back(std::move(shard));
+    }
+    if (options_.heartbeatIntervalMs > 0)
+        heartbeat_ = std::thread(&ShardRouter::heartbeatLoop, this);
+}
+
+ShardRouter::~ShardRouter()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        for (auto &shard : shards_) {
+            if (shard->conn)
+                shard->conn->shutdownBoth();
+            shard->connected = false;
+        }
+    }
+    heartbeatCv_.notify_all();
+    jobsCv_.notify_all();
+    if (heartbeat_.joinable())
+        heartbeat_.join();
+    std::lock_guard<std::mutex> rlock(readersMutex_);
+    for (std::thread &reader : readers_)
+        if (reader.joinable())
+            reader.join();
+}
+
+common::FaultAction
+ShardRouter::fault(common::FaultSite site, std::uint64_t key) const
+{
+    if (!options_.faultInjector)
+        return common::FaultAction::none();
+    return options_.faultInjector->at(site, key);
+}
+
+std::uint64_t
+ShardRouter::submit(const std::string &line)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    // Parse at the boundary: malformed lines throw here and never
+    // consume a dispatch attempt.  The parsed spec only feeds the
+    // affinity hash — the *line* travels verbatim, so the shard's
+    // parse sees the same bytes a local --serve would.
+    const api::SpecLine parsed = api::parseSpecLine(line);
+    const std::optional<std::string> execKey =
+        api::canonicalExecKey(parsed.spec);
+    const std::uint64_t hash =
+        mix64(common::fnv1a64(execKey ? *execKey : line));
+
+    std::uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            throw RouterError("router stopped");
+        id = nextJobId_++;
+        Job job;
+        job.line = line;
+        job.hash = hash;
+        jobs_.emplace(id, std::move(job));
+        ++stats_.submitted;
+        stats_.busySeconds +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+    }
+    dispatchJob(id);
+    return id;
+}
+
+void
+ShardRouter::dispatchJob(std::uint64_t id)
+{
+    const std::size_t n = shards_.size();
+    for (;;) {
+        int attempt = 0;
+        std::string line;
+        std::uint64_t hash = 0;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_)
+                return;
+            Job &job = jobs_.at(id);
+            if (job.state != Job::State::Pending ||
+                job.shard >= 0)
+                return; // Resolved or re-dispatched concurrently.
+            if (job.attempt >= options_.maxAttempts) {
+                job.state = Job::State::Failed;
+                job.errorKind = "router";
+                job.errorMessage =
+                    "job " + std::to_string(id) + ": " +
+                    std::to_string(options_.maxAttempts) +
+                    " dispatch attempts exhausted";
+                jobsCv_.notify_all();
+                return;
+            }
+            attempt = job.attempt++;
+            if (attempt > 0)
+                ++stats_.retries;
+            line = job.line;
+            hash = job.hash;
+        }
+
+        const std::size_t index =
+            (hash + static_cast<std::uint64_t>(attempt)) % n;
+
+        // Chaos seam first, before any liveness check: the key
+        // sequence a same-seed replay consults must depend only on
+        // (id, attempt), never on which connections happen to be up.
+        const common::FaultAction action = fault(
+            common::FaultSite::ShardSend,
+            id * 8 + static_cast<std::uint64_t>(attempt) * 2);
+        if (action.kind == common::FaultAction::Kind::Kill) {
+            markDead(index);
+            continue;
+        }
+        if (action.kind == common::FaultAction::Kind::Stall)
+            sleepMillis(action.millis);
+
+        Shard &shard = *shards_[index];
+        bool sent = false;
+        {
+            std::lock_guard<std::mutex> wlock(shard.writeMutex);
+            const std::shared_ptr<Socket> conn =
+                ensureConnected(index);
+            if (!conn)
+                continue; // Unreachable: burn the attempt, rotate.
+            {
+                // Mark pending *before* the send: the response can
+                // race back on the reader thread mid-writeFrame.
+                // The dispatched counter moves with it — were it
+                // incremented after the send, the response could
+                // resolve the job and let a waiter read stats()
+                // before the increment landed.
+                std::lock_guard<std::mutex> lock(mutex_);
+                Job &job = jobs_.at(id);
+                if (job.state != Job::State::Pending)
+                    return;
+                job.shard = static_cast<int>(index);
+                ++stats_.dispatched;
+            }
+            try {
+                writeFrame(*conn,
+                           Frame{FrameType::Submit,
+                                 encodeJobPayload(id, attempt,
+                                                  line)});
+                sent = true;
+            } catch (const WireError &) {
+                // Take this job off the shard first so markDead's
+                // re-route sweep cannot double-dispatch it, and
+                // roll back the optimistic dispatch count.
+                std::lock_guard<std::mutex> lock(mutex_);
+                jobs_.at(id).shard = -1;
+                --stats_.dispatched;
+            }
+        }
+        if (!sent) {
+            markDead(index);
+            continue;
+        }
+        return;
+    }
+}
+
+std::shared_ptr<Socket>
+ShardRouter::ensureConnected(std::size_t index)
+{
+    Shard &shard = *shards_[index];
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shard.connected)
+            return shard.conn;
+    }
+    for (int attempt = 0; attempt <= options_.reconnectAttempts;
+         ++attempt) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_)
+                return nullptr;
+        }
+        try {
+            Socket sock = connectTo(shard.address,
+                                    options_.connectTimeoutMs);
+            if (options_.recvTimeoutMs > 0)
+                sock.setRecvTimeout(options_.recvTimeoutMs);
+            auto conn = std::make_shared<Socket>(std::move(sock));
+            writeFrame(*conn, Frame{FrameType::Hello, {}});
+            std::uint64_t generation = 0;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                shard.conn = conn;
+                shard.connected = true;
+                generation = ++shard.generation;
+                shard.lastAck = std::chrono::steady_clock::now();
+                if (generation > 1)
+                    ++stats_.reconnects;
+            }
+            {
+                std::lock_guard<std::mutex> rlock(readersMutex_);
+                readers_.emplace_back(&ShardRouter::readerLoop,
+                                      this, index, generation,
+                                      conn);
+            }
+            return conn;
+        } catch (const WireError &) {
+            sleepMillis(options_.reconnectDelayMs);
+        }
+    }
+    return nullptr;
+}
+
+void
+ShardRouter::markDead(std::size_t index)
+{
+    std::vector<std::uint64_t> pending;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Shard &shard = *shards_[index];
+        if (shard.connected) {
+            shard.connected = false;
+            if (shard.conn)
+                shard.conn->shutdownBoth();
+            ++stats_.shardDeaths;
+        }
+        if (stopping_)
+            return;
+        for (auto &[id, job] : jobs_) {
+            if (job.state == Job::State::Pending &&
+                job.shard == static_cast<int>(index)) {
+                job.shard = -1;
+                ++stats_.reroutes;
+                pending.push_back(id);
+            }
+        }
+    }
+    for (const std::uint64_t id : pending)
+        dispatchJob(id);
+}
+
+void
+ShardRouter::readerLoop(std::size_t index, std::uint64_t generation,
+                        std::shared_ptr<Socket> conn)
+{
+    try {
+        for (;;) {
+            std::optional<Frame> frame =
+                readFrame(*conn, options_.maxFramePayload);
+            if (!frame)
+                break;
+            switch (frame->type) {
+            case FrameType::Result:
+            case FrameType::Error:
+                handleJobFrame(index, frame->type,
+                               frame->payload);
+                break;
+            case FrameType::HeartbeatAck: {
+                std::lock_guard<std::mutex> lock(mutex_);
+                Shard &shard = *shards_[index];
+                if (shard.generation == generation)
+                    shard.lastAck =
+                        std::chrono::steady_clock::now();
+                break;
+            }
+            case FrameType::StatsReply: {
+                std::lock_guard<std::mutex> lock(mutex_);
+                Shard &shard = *shards_[index];
+                shard.statsReply = frame->payload;
+                ++shard.statsSeq;
+                statsCv_.notify_all();
+                break;
+            }
+            default:
+                break; // Router-bound types only; ignore the rest.
+            }
+        }
+    } catch (const WireError &) {
+        // Fall through to the connection-down handling.
+    }
+
+    // Only the *current* generation's death re-routes: a reader
+    // draining a connection a reconnect already replaced must not
+    // declare the new connection's shard dead.
+    bool current = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Shard &shard = *shards_[index];
+        current = shard.generation == generation && shard.connected;
+    }
+    if (current)
+        markDead(index);
+}
+
+void
+ShardRouter::handleJobFrame(std::size_t index, FrameType type,
+                            const std::string &payload)
+{
+    const JobPayload parsed = parseJobPayload(payload);
+
+    // ShardRecv seam: a key sequence of (id, attempt) pairs, drawn
+    // exactly once per response frame.
+    const common::FaultAction action = fault(
+        common::FaultSite::ShardRecv,
+        parsed.id * 8 +
+            static_cast<std::uint64_t>(parsed.attempt) * 2 + 1);
+    if (action.kind == common::FaultAction::Kind::Stall)
+        sleepMillis(action.millis);
+
+    bool redispatch = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = jobs_.find(parsed.id);
+        if (it == jobs_.end())
+            return;
+        Job &job = it->second;
+        // Stale guards: only the response to the job's *latest*
+        // dispatched attempt on *this* shard resolves it (attempt_
+        // holds the next attempt number, hence the -1).
+        if (job.state != Job::State::Pending ||
+            job.shard != static_cast<int>(index) ||
+            job.attempt - 1 != parsed.attempt)
+            return;
+        if (action.kind == common::FaultAction::Kind::Kill) {
+            // Injected lost response: drop the frame, re-dispatch
+            // idempotently at the next attempt.
+            ++stats_.recvDropped;
+            job.shard = -1;
+            redispatch = true;
+        } else if (type == FrameType::Result) {
+            job.state = Job::State::Done;
+            job.resultJson = parsed.body;
+            job.shard = -1;
+            ++stats_.resultsReceived;
+            jobsCv_.notify_all();
+        } else {
+            job.state = Job::State::Failed;
+            job.errorKind =
+                parsed.kind.empty() ? "internal" : parsed.kind;
+            job.errorMessage = parsed.body;
+            job.shard = -1;
+            ++stats_.errorsReceived;
+            jobsCv_.notify_all();
+        }
+    }
+    if (redispatch)
+        dispatchJob(parsed.id);
+}
+
+std::string
+ShardRouter::wait(std::uint64_t id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    jobsCv_.wait(lock, [&] {
+        if (stopping_)
+            return true;
+        return jobs_.at(id).state != Job::State::Pending;
+    });
+    const Job &job = jobs_.at(id);
+    if (job.state == Job::State::Done)
+        return job.resultJson;
+    if (job.state == Job::State::Pending)
+        throw RouterError("router stopped while job " +
+                          std::to_string(id) + " was pending");
+    if (job.errorKind == "router")
+        throw RouterError(job.errorMessage);
+    throw RemoteJobError(job.errorKind, job.errorMessage);
+}
+
+std::vector<std::string>
+ShardRouter::runMany(const std::vector<std::string> &lines)
+{
+    std::vector<std::uint64_t> ids;
+    ids.reserve(lines.size());
+    for (const std::string &line : lines)
+        ids.push_back(submit(line));
+    std::vector<std::string> results;
+    results.reserve(ids.size());
+    for (const std::uint64_t id : ids)
+        results.push_back(wait(id));
+    return results;
+}
+
+std::string
+ShardRouter::fetchStats(std::size_t index)
+{
+    if (index >= shards_.size())
+        throw std::invalid_argument("ShardRouter: no shard " +
+                                    std::to_string(index));
+    Shard &shard = *shards_[index];
+    std::uint64_t seqBefore = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        seqBefore = shard.statsSeq;
+    }
+    {
+        std::lock_guard<std::mutex> wlock(shard.writeMutex);
+        const std::shared_ptr<Socket> conn = ensureConnected(index);
+        if (!conn)
+            throw RouterError("shard " + std::to_string(index) +
+                              " unreachable for stats");
+        writeFrame(*conn, Frame{FrameType::StatsRequest, {}});
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool arrived = statsCv_.wait_for(
+        lock, std::chrono::seconds(10),
+        [&] { return shard.statsSeq != seqBefore; });
+    if (!arrived)
+        throw RouterError("shard " + std::to_string(index) +
+                          " stats reply timed out");
+    return shard.statsReply;
+}
+
+void
+ShardRouter::shutdownShards()
+{
+    for (std::size_t index = 0; index < shards_.size(); ++index) {
+        Shard &shard = *shards_[index];
+        std::shared_ptr<Socket> conn;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!shard.connected)
+                continue;
+            conn = shard.conn;
+        }
+        try {
+            std::lock_guard<std::mutex> wlock(shard.writeMutex);
+            writeFrame(*conn, Frame{FrameType::Shutdown, {}});
+        } catch (const WireError &) {
+            // Already down is already shut down.
+        }
+    }
+}
+
+RouterStats
+ShardRouter::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ShardRouter::heartbeatLoop()
+{
+    const auto interval =
+        std::chrono::milliseconds(options_.heartbeatIntervalMs);
+    std::uint64_t seq = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            heartbeatCv_.wait_for(lock, interval,
+                                  [&] { return stopping_; });
+            if (stopping_)
+                return;
+        }
+        ++seq;
+        api::JsonWriter probe;
+        probe.beginObject();
+        probe.key("seq").value(seq);
+        probe.endObject();
+        for (std::size_t index = 0; index < shards_.size();
+             ++index) {
+            Shard &shard = *shards_[index];
+            std::shared_ptr<Socket> conn;
+            bool silent = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!shard.connected)
+                    continue;
+                conn = shard.conn;
+                silent = std::chrono::steady_clock::now() -
+                             shard.lastAck >
+                         interval + std::chrono::milliseconds(
+                                        options_.heartbeatTimeoutMs);
+            }
+            if (silent) {
+                markDead(index);
+                continue;
+            }
+            try {
+                std::lock_guard<std::mutex> wlock(shard.writeMutex);
+                writeFrame(*conn, Frame{FrameType::Heartbeat,
+                                        probe.str()});
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.heartbeatsSent;
+            } catch (const WireError &) {
+                markDead(index);
+            }
+        }
+    }
+}
+
+} // namespace hammer::net

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * hammer::net — the shard router: one client-side front over a fleet
+ * of ShardWorkers.
+ *
+ * A ShardRouter owns one framed connection per shard address and
+ * routes each submitted spec line by hashing its canonical execution
+ * key (api::canonicalExecKey): identical executions always land on
+ * the same shard, so the fleet's result/exec caches and in-flight
+ * coalescing keep their full hit rates — cache affinity is the whole
+ * point of hashing by exec key rather than round-robin.
+ *
+ * Failure semantics (the distributed mirror of ExecutionService's):
+ *
+ *   - every dispatch is idempotent — a job is a (id, attempt) pair
+ *     carrying the verbatim spec line, and re-running a spec anywhere
+ *     yields a bit-identical Result (the serving stack's core
+ *     determinism guarantee), so replays are always safe;
+ *   - a dead/unreachable shard is detected at send, at recv (reader
+ *     EOF/error) or by heartbeat timeout; its pending jobs re-route
+ *     to the next shard in hash order ((hash + attempt) % n) after a
+ *     bounded reconnect budget;
+ *   - a lost response re-dispatches just that job at attempt + 1;
+ *   - attempts are bounded (maxAttempts); exhaustion surfaces as
+ *     RouterError from wait(), never a hang.
+ *
+ * Chaos seams: FaultSite::ShardSend is consulted once per dispatch
+ * attempt (key = id * 8 + attempt * 2, before any liveness check, so
+ * same-seed replays consult an identical key sequence) and
+ * FaultSite::ShardRecv once per received job frame
+ * (key = id * 8 + attempt * 2 + 1).  Kill at send simulates a
+ * connection death; Kill at recv a lost response.
+ *
+ * Results come back as verbatim Result::writeJson lines; merge order
+ * is the caller's submit order (runMany returns lines in input
+ * order), so a router campaign's output is byte-comparable to a
+ * local --serve run via api::canonicalResultJson.
+ */
+
+#ifndef HAMMER_NET_ROUTER_HPP
+#define HAMMER_NET_ROUTER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace hammer::net {
+
+/** Routing/transport failure the router itself produced. */
+class RouterError : public std::runtime_error
+{
+  public:
+    explicit RouterError(const std::string &what)
+        : std::runtime_error("hammer::net: " + what)
+    {
+    }
+};
+
+/**
+ * A shard answered with an Error frame: the job itself failed
+ * remotely (bad spec, worker lost beyond the shard's retries, ...).
+ * kind() is the shard's typed failure class ("invalid_argument",
+ * "worker_lost", "service", "internal").
+ */
+class RemoteJobError final : public RouterError
+{
+  public:
+    RemoteJobError(std::string kind, const std::string &message)
+        : RouterError("remote job failed (" + kind + "): " + message),
+          kind_(std::move(kind))
+    {
+    }
+
+    const std::string &kind() const { return kind_; }
+
+  private:
+    std::string kind_;
+};
+
+/** Tuning knobs of one ShardRouter. */
+struct ShardRouterOptions
+{
+    /** Shard addresses (connectTo syntax), fixed for the lifetime. */
+    std::vector<std::string> addresses;
+
+    /**
+     * Dispatch attempts per job before wait() fails with
+     * RouterError.  Attempt k routes to shard (hash + k) % n, so the
+     * budget must cover at least one full rotation to survive a
+     * single dead shard.
+     */
+    int maxAttempts = 8;
+
+    /**
+     * Connect attempts inside one dispatch before the shard is
+     * treated as unreachable for that attempt.  Generous by default:
+     * an injected send-kill drops a healthy connection, and replay
+     * determinism wants the non-killed retry to succeed.
+     */
+    int reconnectAttempts = 25;
+
+    /** Sleep between reconnect attempts (milliseconds). */
+    int reconnectDelayMs = 10;
+
+    /** connect() deadline per attempt (milliseconds). */
+    int connectTimeoutMs = 5000;
+
+    /**
+     * Heartbeat probe interval (milliseconds; 0 disables the
+     * monitor thread).  A shard whose last ack is older than
+     * interval + heartbeatTimeoutMs is declared dead and its pending
+     * jobs re-route.  Chaos replay tests disable heartbeats: probe
+     * timing is wall-clock, not seed-determined.
+     */
+    int heartbeatIntervalMs = 0;
+
+    /** Grace beyond the interval before a silent shard is dead. */
+    int heartbeatTimeoutMs = 1000;
+
+    /** Per-connection recv timeout (milliseconds; 0 = none). */
+    int recvTimeoutMs = 0;
+
+    /** Payload bound handed to readFrame. */
+    std::size_t maxFramePayload = kMaxFramePayload;
+
+    /** Chaos seam (ShardSend/ShardRecv sites); null in production. */
+    std::shared_ptr<common::FaultInjector> faultInjector;
+};
+
+/** Observability counters of one ShardRouter. */
+struct RouterStats
+{
+    std::uint64_t submitted = 0;   ///< Jobs accepted by submit().
+    std::uint64_t dispatched = 0;  ///< Submit frames sent (all attempts).
+    std::uint64_t retries = 0;     ///< Dispatches at attempt > 0.
+    std::uint64_t reroutes = 0;    ///< Pending jobs moved off a dead shard.
+    std::uint64_t shardDeaths = 0; ///< Connections declared dead.
+    std::uint64_t reconnects = 0;  ///< Successful re-connects (gen > 1).
+    std::uint64_t recvDropped = 0; ///< Injected lost responses.
+    std::uint64_t resultsReceived = 0; ///< Result frames accepted.
+    std::uint64_t errorsReceived = 0;  ///< Error frames accepted.
+    std::uint64_t heartbeatsSent = 0;  ///< Probes written.
+
+    /**
+     * Wall-clock seconds the router spent on its serial per-job work
+     * (spec parsing + affinity hashing).  The router-side term of
+     * bench_shard_throughput's critical-path model.
+     */
+    double busySeconds = 0.0;
+};
+
+/**
+ * Client-side router over N ShardWorkers.
+ *
+ * Thread-safe: submit/wait/runMany/stats may be called from any
+ * thread.  Connections are lazy (first dispatch to a shard
+ * connects), and the destructor stops the heartbeat monitor, closes
+ * every connection and joins every reader thread.
+ */
+class ShardRouter
+{
+  public:
+    /** @throws std::invalid_argument when no addresses are given. */
+    explicit ShardRouter(ShardRouterOptions options);
+
+    ~ShardRouter();
+
+    ShardRouter(const ShardRouter &) = delete;
+    ShardRouter &operator=(const ShardRouter &) = delete;
+
+    /** Shard count. */
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /**
+     * Route one protocol line (api::parseSpecLine grammar) to its
+     * shard; returns the router-assigned job id.
+     *
+     * The line is parsed locally first: malformed lines throw
+     * std::invalid_argument here, at the boundary, and never reach a
+     * shard.  Valid lines travel verbatim, so the shard's parse is
+     * byte-identical to a local --serve parse.
+     */
+    std::uint64_t submit(const std::string &line);
+
+    /**
+     * Block until job @p id completes; returns the shard's verbatim
+     * Result::writeJson line.
+     *
+     * @throws RemoteJobError when the shard answered with an Error
+     *         frame; RouterError when dispatch attempts were
+     *         exhausted or the router was stopped.
+     */
+    std::string wait(std::uint64_t id);
+
+    /**
+     * Submit every line, then wait in submit order — the
+     * deterministic-merge batch entry (output order never depends on
+     * which shard answered first).
+     */
+    std::vector<std::string>
+    runMany(const std::vector<std::string> &lines);
+
+    /**
+     * Fetch shard @p index's serviceStatsJson line via a
+     * StatsRequest round-trip. @throws RouterError on timeout.
+     */
+    std::string fetchStats(std::size_t index);
+
+    /**
+     * Send every connected shard a Shutdown frame (it drains its
+     * service and exits run()).  Send failures are ignored — a dead
+     * shard is already shut down.
+     */
+    void shutdownShards();
+
+    /** Counter snapshot. */
+    RouterStats stats() const;
+
+  private:
+    /** One shard endpoint and its current connection. */
+    struct Shard
+    {
+        std::string address;
+
+        /**
+         * Serializes frame writes AND connection management: the
+         * holder of writeMutex is the only thread that may
+         * (re)connect this shard, so concurrent dispatches can never
+         * race two connections into existence.
+         */
+        std::mutex writeMutex;
+
+        // Connection state below is guarded by the router mutex_.
+        // The socket is shared: each reader thread keeps its own
+        // reference, so a reconnect can replace conn while the old
+        // reader is still draining — the old fd closes when the last
+        // reference drops, never under a concurrent recv.
+        std::shared_ptr<Socket> conn;
+        bool connected = false;
+        std::uint64_t generation = 0;
+        std::chrono::steady_clock::time_point lastAck{};
+        std::string statsReply;
+        std::uint64_t statsSeq = 0;
+    };
+
+    /** One routed job. */
+    struct Job
+    {
+        enum class State
+        {
+            Pending,
+            Done,
+            Failed
+        };
+
+        std::string line;
+        std::uint64_t hash = 0;
+        int attempt = 0; ///< Next attempt number to dispatch with.
+        int shard = -1;  ///< Shard awaiting a response (-1 = none).
+        State state = State::Pending;
+        std::string resultJson;
+        std::string errorKind;
+        std::string errorMessage;
+    };
+
+    common::FaultAction fault(common::FaultSite site,
+                              std::uint64_t key) const;
+
+    /**
+     * Drive one job to a dispatched (or terminally failed) state:
+     * pick shard (hash + attempt) % n, consult the ShardSend seam,
+     * connect if needed, send.  Loops over attempts; send failures
+     * mark the shard dead and re-route its other pending jobs.
+     */
+    void dispatchJob(std::uint64_t id);
+
+    /**
+     * Connection for shard @p index, (re)connecting within the
+     * reconnect budget; nullptr when unreachable.  Caller holds the
+     * shard's writeMutex.
+     */
+    std::shared_ptr<Socket> ensureConnected(std::size_t index);
+
+    /**
+     * Declare shard @p index dead: shut its socket down, collect its
+     * pending jobs, re-dispatch them elsewhere.
+     */
+    void markDead(std::size_t index);
+
+    /** Per-connection reader: drains frames until EOF/error. */
+    void readerLoop(std::size_t index, std::uint64_t generation,
+                    std::shared_ptr<Socket> conn);
+
+    /** One Result/Error frame: resolve or re-dispatch its job. */
+    void handleJobFrame(std::size_t index, FrameType type,
+                        const std::string &payload);
+
+    /** Heartbeat monitor body (only runs when the interval is set). */
+    void heartbeatLoop();
+
+    const ShardRouterOptions options_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable jobsCv_;  ///< Job completions.
+    std::condition_variable statsCv_; ///< StatsReply arrivals.
+    std::unordered_map<std::uint64_t, Job> jobs_;
+    std::uint64_t nextJobId_ = 0;
+    RouterStats stats_;
+    bool stopping_ = false;
+
+    std::mutex readersMutex_;
+    std::vector<std::thread> readers_;
+
+    std::thread heartbeat_;
+    std::condition_variable heartbeatCv_; ///< Wakes the monitor early.
+};
+
+} // namespace hammer::net
+
+#endif // HAMMER_NET_ROUTER_HPP

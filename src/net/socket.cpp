@@ -1,0 +1,384 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace hammer::net {
+
+namespace {
+
+std::string
+errnoText(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+/**
+ * One parsed transport address.  kind is "unix" or "tcp"; for tcp
+ * host/port are split, for unix path holds the filesystem path.
+ */
+struct ParsedAddress
+{
+    bool isUnix = false;
+    std::string path;
+    std::string host;
+    int port = 0;
+};
+
+ParsedAddress
+parseAddress(const std::string &address)
+{
+    ParsedAddress parsed;
+    if (address.rfind("unix:", 0) == 0) {
+        parsed.isUnix = true;
+        parsed.path = address.substr(5);
+        if (parsed.path.empty())
+            throw WireError(WireError::Kind::Address,
+                            "unix address needs a path: '" + address +
+                                "'");
+        // sockaddr_un::sun_path is a fixed 108-byte buffer.
+        if (parsed.path.size() >= sizeof(sockaddr_un{}.sun_path))
+            throw WireError(WireError::Kind::Address,
+                            "unix socket path too long: '" +
+                                parsed.path + "'");
+        return parsed;
+    }
+    if (address.rfind("tcp:", 0) == 0) {
+        const std::string rest = address.substr(4);
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= rest.size())
+            throw WireError(WireError::Kind::Address,
+                            "tcp address needs host:port: '" +
+                                address + "'");
+        parsed.host = rest.substr(0, colon);
+        const std::string port_text = rest.substr(colon + 1);
+        int port = 0;
+        for (const char c : port_text) {
+            if (c < '0' || c > '9')
+                throw WireError(WireError::Kind::Address,
+                                "bad tcp port '" + port_text + "'");
+            port = port * 10 + (c - '0');
+            if (port > 65535)
+                throw WireError(WireError::Kind::Address,
+                                "tcp port out of range: '" +
+                                    port_text + "'");
+        }
+        parsed.port = port;
+        return parsed;
+    }
+    throw WireError(WireError::Kind::Address,
+                    "address must start with unix: or tcp: — got '" +
+                        address + "'");
+}
+
+/** Resolve an IPv4 host ("1.2.3.4" or "localhost"). */
+in_addr
+resolveHost(const std::string &host)
+{
+    in_addr addr{};
+    const std::string name =
+        host == "localhost" ? std::string("127.0.0.1") : host;
+    if (inet_pton(AF_INET, name.c_str(), &addr) != 1)
+        throw WireError(WireError::Kind::Address,
+                        "cannot resolve IPv4 host '" + host +
+                            "' (numeric or 'localhost' only)");
+    return addr;
+}
+
+int
+newSocket(int domain)
+{
+    const int fd = ::socket(domain, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw WireError(WireError::Kind::Connect,
+                        errnoText("socket"));
+    return fd;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Socket
+// ---------------------------------------------------------------------------
+
+Socket &
+Socket::operator=(Socket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+Socket::sendAll(const void *data, std::size_t size)
+{
+    const char *bytes = static_cast<const char *>(data);
+    std::size_t sent = 0;
+    while (sent < size) {
+        // MSG_NOSIGNAL: a dead peer yields EPIPE (a typed WireError
+        // the router reroutes on), never a process-killing SIGPIPE.
+        const ssize_t n = ::send(fd_, bytes + sent, size - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw WireError(WireError::Kind::Io, errnoText("send"));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::size_t
+Socket::recvSome(void *data, std::size_t size)
+{
+    for (;;) {
+        const ssize_t n = ::recv(fd_, data, size, 0);
+        if (n >= 0)
+            return static_cast<std::size_t>(n);
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            throw WireError(WireError::Kind::Timeout,
+                            "recv timed out");
+        throw WireError(WireError::Kind::Io, errnoText("recv"));
+    }
+}
+
+void
+Socket::recvAll(void *data, std::size_t size)
+{
+    char *bytes = static_cast<char *>(data);
+    std::size_t got = 0;
+    while (got < size) {
+        const std::size_t n = recvSome(bytes + got, size - got);
+        if (n == 0)
+            throw WireError(WireError::Kind::Truncated,
+                            "peer closed mid-message (" +
+                                std::to_string(got) + "/" +
+                                std::to_string(size) + " bytes)");
+        got += n;
+    }
+}
+
+void
+Socket::setRecvTimeout(int millis)
+{
+    timeval tv{};
+    tv.tv_sec = millis / 1000;
+    tv.tv_usec = (millis % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+// ---------------------------------------------------------------------------
+// connectTo
+// ---------------------------------------------------------------------------
+
+Socket
+connectTo(const std::string &address, int timeout_ms)
+{
+    const ParsedAddress parsed = parseAddress(address);
+
+    sockaddr_un sun{};
+    sockaddr_in sin{};
+    const sockaddr *sa = nullptr;
+    socklen_t sa_len = 0;
+    int domain = 0;
+    if (parsed.isUnix) {
+        domain = AF_UNIX;
+        sun.sun_family = AF_UNIX;
+        std::strncpy(sun.sun_path, parsed.path.c_str(),
+                     sizeof(sun.sun_path) - 1);
+        sa = reinterpret_cast<const sockaddr *>(&sun);
+        sa_len = sizeof(sun);
+    } else {
+        domain = AF_INET;
+        sin.sin_family = AF_INET;
+        sin.sin_addr = resolveHost(parsed.host);
+        sin.sin_port =
+            htons(static_cast<std::uint16_t>(parsed.port));
+        sa = reinterpret_cast<const sockaddr *>(&sin);
+        sa_len = sizeof(sin);
+    }
+
+    Socket sock(newSocket(domain));
+
+    // Deadline-bounded connect: non-blocking connect + poll, then
+    // back to blocking mode for the framed I/O.
+    const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+    if (timeout_ms > 0)
+        ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK);
+
+    if (::connect(sock.fd(), sa, sa_len) < 0) {
+        if (timeout_ms > 0 && errno == EINPROGRESS) {
+            pollfd pfd{sock.fd(), POLLOUT, 0};
+            int rc;
+            do {
+                rc = ::poll(&pfd, 1, timeout_ms);
+            } while (rc < 0 && errno == EINTR);
+            if (rc == 0)
+                throw WireError(WireError::Kind::Timeout,
+                                "connect to '" + address +
+                                    "' timed out");
+            int err = 0;
+            socklen_t err_len = sizeof(err);
+            if (rc < 0 ||
+                ::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err,
+                             &err_len) < 0 ||
+                err != 0) {
+                errno = err != 0 ? err : errno;
+                throw WireError(WireError::Kind::Connect,
+                                "connect to '" + address + "': " +
+                                    std::strerror(errno));
+            }
+        } else {
+            throw WireError(WireError::Kind::Connect,
+                            "connect to '" + address + "': " +
+                                std::strerror(errno));
+        }
+    }
+    if (timeout_ms > 0)
+        ::fcntl(sock.fd(), F_SETFL, flags);
+    return sock;
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
+
+Listener::Listener(const std::string &address)
+{
+    const ParsedAddress parsed = parseAddress(address);
+
+    if (parsed.isUnix) {
+        fd_ = newSocket(AF_UNIX);
+        sockaddr_un sun{};
+        sun.sun_family = AF_UNIX;
+        std::strncpy(sun.sun_path, parsed.path.c_str(),
+                     sizeof(sun.sun_path) - 1);
+        // A stale path from a crashed shard would fail the bind;
+        // unlink it first (connectors to the old path would have
+        // gotten ECONNREFUSED anyway).
+        ::unlink(parsed.path.c_str());
+        if (::bind(fd_, reinterpret_cast<sockaddr *>(&sun),
+                   sizeof(sun)) < 0) {
+            const std::string text = errnoText("bind");
+            ::close(fd_);
+            fd_ = -1;
+            throw WireError(WireError::Kind::Connect, text);
+        }
+        unixPath_ = parsed.path;
+        address_ = "unix:" + parsed.path;
+    } else {
+        fd_ = newSocket(AF_INET);
+        const int one = 1;
+        ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in sin{};
+        sin.sin_family = AF_INET;
+        sin.sin_addr = resolveHost(parsed.host);
+        sin.sin_port =
+            htons(static_cast<std::uint16_t>(parsed.port));
+        if (::bind(fd_, reinterpret_cast<sockaddr *>(&sin),
+                   sizeof(sin)) < 0) {
+            const std::string text = errnoText("bind");
+            ::close(fd_);
+            fd_ = -1;
+            throw WireError(WireError::Kind::Connect, text);
+        }
+        sockaddr_in bound{};
+        socklen_t bound_len = sizeof(bound);
+        ::getsockname(fd_, reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len);
+        address_ = "tcp:" + parsed.host + ":" +
+                   std::to_string(ntohs(bound.sin_port));
+    }
+
+    if (::listen(fd_, 16) < 0) {
+        const std::string text = errnoText("listen");
+        close();
+        throw WireError(WireError::Kind::Connect, text);
+    }
+}
+
+Listener::~Listener()
+{
+    close();
+}
+
+void
+Listener::close()
+{
+    stopped_.store(true);
+    const int fd = fd_.exchange(-1);
+    if (fd >= 0)
+        ::close(fd);
+    if (!unixPath_.empty()) {
+        ::unlink(unixPath_.c_str());
+        unixPath_.clear();
+    }
+}
+
+Socket
+Listener::accept()
+{
+    // Poll with a short timeout instead of blocking in accept():
+    // close() just flips the stop flag and the loop notices within
+    // one poll interval, with no self-pipe plumbing.
+    while (!stopped_.load()) {
+        const int fd = fd_.load();
+        if (fd < 0)
+            break;
+        pollfd pfd{fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, /*timeout_ms=*/50);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throw WireError(WireError::Kind::Io, errnoText("poll"));
+        }
+        if (rc == 0 || (pfd.revents & POLLNVAL) != 0)
+            continue;
+        const int conn = ::accept(fd, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            if (stopped_.load())
+                break;
+            throw WireError(WireError::Kind::Io,
+                            errnoText("accept"));
+        }
+        return Socket(conn);
+    }
+    return Socket();
+}
+
+} // namespace hammer::net

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * hammer::net — socket RAII and address handling.
+ *
+ * The transport's POSIX layer: a move-only Socket wrapping one
+ * connected stream fd (full-length send/recv loops, EINTR-safe,
+ * SIGPIPE-free), a Listener that binds, accepts and can be unblocked
+ * from another thread, and an address mini-language shared by every
+ * entry point:
+ *
+ *   unix:/path/to/socket     Unix-domain stream socket
+ *   tcp:host:port            IPv4 TCP (port 0 = kernel-assigned;
+ *                            Listener::address() reports the
+ *                            resolved port)
+ *
+ * All failures are typed: WireError carries a Kind the router's
+ * retry logic branches on (Closed/Truncated are reroutable transport
+ * deaths; Address/BadMagic/... are protocol or configuration bugs).
+ */
+
+#ifndef HAMMER_NET_SOCKET_HPP
+#define HAMMER_NET_SOCKET_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace hammer::net {
+
+/** Typed transport failure (every throwing path in hammer::net). */
+class WireError : public std::runtime_error
+{
+  public:
+    enum class Kind
+    {
+        Address,     ///< Unparseable/unresolvable address string.
+        Connect,     ///< connect()/bind()/listen() failed.
+        Closed,      ///< Peer closed (or listener shut down).
+        Truncated,   ///< EOF inside a frame or payload.
+        BadMagic,    ///< Frame header magic mismatch.
+        BadChecksum, ///< Frame payload failed its FNV digest.
+        Oversized,   ///< Length prefix beyond the payload bound.
+        BadType,     ///< Unknown FrameType byte.
+        BadPayload,  ///< Payload failed protocol-level parsing.
+        Io,          ///< send/recv error (EPIPE, ECONNRESET, ...).
+        Timeout,     ///< recv timeout expired.
+    };
+
+    WireError(Kind kind, const std::string &what)
+        : std::runtime_error("hammer::net: " + what), kind_(kind)
+    {
+    }
+
+    Kind kind() const { return kind_; }
+
+  private:
+    Kind kind_;
+};
+
+/**
+ * Move-only owner of one connected stream socket fd.
+ *
+ * Thread model: one concurrent reader plus one concurrent writer are
+ * safe (recv and send touch disjoint kernel state); concurrent
+ * senders need external locking.  shutdownBoth() may be called from
+ * any thread to unblock a reader.
+ */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    Socket &operator=(Socket &&other) noexcept;
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Close the fd (idempotent). */
+    void close();
+
+    /**
+     * Half-close both directions without releasing the fd: a reader
+     * blocked in recv on another thread sees EOF.  Safe to call on a
+     * closed socket (no-op).
+     */
+    void shutdownBoth();
+
+    /** Send all @p size bytes. @throws WireError(Io) on failure. */
+    void sendAll(const void *data, std::size_t size);
+
+    /**
+     * Receive up to @p size bytes; returns 0 on clean EOF.
+     * @throws WireError(Io/Timeout).
+     */
+    std::size_t recvSome(void *data, std::size_t size);
+
+    /**
+     * Receive exactly @p size bytes.
+     * @throws WireError(Truncated) on EOF mid-read, Io/Timeout
+     *         otherwise.
+     */
+    void recvAll(void *data, std::size_t size);
+
+    /**
+     * Bound every subsequent recv by @p millis (0 = block forever).
+     * The backstop that turns a wedged peer into WireError(Timeout)
+     * instead of a hang.
+     */
+    void setRecvTimeout(int millis);
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Connect to @p address ("unix:<path>" or "tcp:<host>:<port>").
+ *
+ * @param timeout_ms Connect deadline (0 = OS default).
+ * @throws WireError(Address/Connect/Timeout).
+ */
+Socket connectTo(const std::string &address, int timeout_ms = 5000);
+
+/**
+ * Bound, listening server socket.
+ *
+ * accept() blocks via a short poll loop checking a stop flag, so
+ * close() from another thread unblocks it promptly (an accept racing
+ * close returns an invalid Socket).  Unix-domain paths are unlinked
+ * on destruction (and stale ones on bind).
+ */
+class Listener
+{
+  public:
+    /** Bind + listen. @throws WireError(Address/Connect). */
+    explicit Listener(const std::string &address);
+    ~Listener();
+
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /**
+     * The resolved address in connectTo() syntax: for "tcp:host:0"
+     * the kernel-assigned port is filled in via getsockname.
+     */
+    const std::string &address() const { return address_; }
+
+    /**
+     * Accept one connection; returns an invalid Socket after
+     * close().  @throws WireError(Io) on accept failure.
+     */
+    Socket accept();
+
+    /** Unblock accept() and close the listening fd (idempotent). */
+    void close();
+
+  private:
+    // Atomic: close() races accept()'s poll loop on another thread;
+    // the loop tolerates EBADF/POLLNVAL after a concurrent close.
+    std::atomic<int> fd_{-1};
+    std::string address_;
+    std::string unixPath_; ///< Unlink target ("" for TCP).
+    std::atomic<bool> stopped_{false};
+};
+
+} // namespace hammer::net
+
+#endif // HAMMER_NET_SOCKET_HPP

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Wire-framing tests against hostile input: truncated frames,
+ * corrupted checksums, oversized length prefixes, partial writes and
+ * chaos::hostileSpecLines bodies all resolve to typed WireErrors or
+ * byte-exact round-trips — never hangs, allocpocalypses or UB.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+
+#include "chaos/fault_plan.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace {
+
+using hammer::net::encodeErrorPayload;
+using hammer::net::encodeFrame;
+using hammer::net::encodeJobPayload;
+using hammer::net::Frame;
+using hammer::net::FrameType;
+using hammer::net::JobPayload;
+using hammer::net::kFrameHeaderBytes;
+using hammer::net::Listener;
+using hammer::net::parseJobPayload;
+using hammer::net::readFrame;
+using hammer::net::Socket;
+using hammer::net::WireError;
+using hammer::net::writeFrame;
+
+/** A connected in-process socket pair. */
+struct Pair
+{
+    Socket a;
+    Socket b;
+
+    Pair()
+    {
+        int fds[2] = {-1, -1};
+        EXPECT_EQ(
+            ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        a = Socket(fds[0]);
+        b = Socket(fds[1]);
+    }
+};
+
+/** readFrame's WireError kind for raw @p bytes fed to one end. */
+WireError::Kind
+kindFor(const std::string &bytes, std::size_t max_payload =
+                                      hammer::net::kMaxFramePayload)
+{
+    Pair pair;
+    pair.a.sendAll(bytes.data(), bytes.size());
+    pair.a.close(); // EOF after the bytes: no read can hang.
+    try {
+        readFrame(pair.b, max_payload);
+    } catch (const WireError &error) {
+        return error.kind();
+    }
+    ADD_FAILURE() << "expected WireError";
+    return WireError::Kind::Io;
+}
+
+TEST(Frame, RoundTripsEveryTypeAndPayloadShape)
+{
+    const std::vector<std::string> payloads = {
+        "",
+        "x",
+        std::string("\0\x01\xff binary \0", 12),
+        std::string(100000, 'q'),
+    };
+    Pair pair;
+    for (int type = 1; type <= 9; ++type) {
+        for (const std::string &payload : payloads) {
+            const Frame sent{static_cast<FrameType>(type), payload};
+            writeFrame(pair.a, sent);
+            const auto got = readFrame(pair.b);
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(got->type, sent.type);
+            EXPECT_EQ(got->payload, sent.payload);
+        }
+    }
+}
+
+TEST(Frame, CleanEofBetweenFramesIsNullopt)
+{
+    Pair pair;
+    writeFrame(pair.a, Frame{FrameType::Hello, "hi"});
+    pair.a.close();
+    EXPECT_TRUE(readFrame(pair.b).has_value());
+    EXPECT_FALSE(readFrame(pair.b).has_value());
+}
+
+TEST(Frame, TruncationMidHeaderAndMidPayloadIsTyped)
+{
+    const std::string whole =
+        encodeFrame(Frame{FrameType::Submit, "abcdefgh"});
+    // Every proper prefix must fail Truncated, never hang or parse.
+    for (const std::size_t keep :
+         {std::size_t{1}, std::size_t{5}, kFrameHeaderBytes - 1,
+          kFrameHeaderBytes + 3, whole.size() - 1}) {
+        EXPECT_EQ(kindFor(whole.substr(0, keep)),
+                  WireError::Kind::Truncated)
+            << "prefix of " << keep << " bytes";
+    }
+}
+
+TEST(Frame, RejectsBadMagicUnknownTypeAndReservedBytes)
+{
+    const std::string good =
+        encodeFrame(Frame{FrameType::Submit, "payload"});
+
+    std::string bad_magic = good;
+    bad_magic[0] = 'X';
+    EXPECT_EQ(kindFor(bad_magic), WireError::Kind::BadMagic);
+
+    std::string bad_type = good;
+    bad_type[4] = 42;
+    EXPECT_EQ(kindFor(bad_type), WireError::Kind::BadType);
+
+    std::string zero_type = good;
+    zero_type[4] = 0;
+    EXPECT_EQ(kindFor(zero_type), WireError::Kind::BadType);
+
+    for (const int reserved : {5, 6, 7}) {
+        std::string bad_reserved = good;
+        bad_reserved[reserved] = 1;
+        EXPECT_EQ(kindFor(bad_reserved), WireError::Kind::BadType);
+    }
+}
+
+TEST(Frame, OversizedLengthPrefixFailsBeforeAllocating)
+{
+    // A hostile 4 GiB length prefix must be rejected from the header
+    // alone — kindFor closes the sender, so if readFrame tried to
+    // read (or allocate) the claimed payload it would report
+    // Truncated, not Oversized.
+    std::string header =
+        encodeFrame(Frame{FrameType::Submit, ""});
+    header[8] = header[9] = header[10] = '\xff';
+    header[11] = '\xfe';
+    EXPECT_EQ(kindFor(header), WireError::Kind::Oversized);
+
+    // The per-call bound applies too: a frame over max_payload is
+    // oversized even though the default bound would admit it.
+    const std::string big =
+        encodeFrame(Frame{FrameType::Submit, std::string(512, 'x')});
+    EXPECT_EQ(kindFor(big, 100), WireError::Kind::Oversized);
+}
+
+TEST(Frame, ChecksumCorruptionIsDetectedAnywhereInThePayload)
+{
+    const std::string payload = "the payload under protection";
+    const std::string good =
+        encodeFrame(Frame{FrameType::Result, payload});
+    for (std::size_t i = 0; i < payload.size(); i += 5) {
+        std::string corrupt = good;
+        corrupt[kFrameHeaderBytes + i] ^= 0x20;
+        EXPECT_EQ(kindFor(corrupt), WireError::Kind::BadChecksum)
+            << "payload byte " << i;
+    }
+    // Corrupting the stored digest itself is equally detected.
+    std::string bad_digest = good;
+    bad_digest[12] ^= 0x01;
+    EXPECT_EQ(kindFor(bad_digest), WireError::Kind::BadChecksum);
+}
+
+TEST(Frame, SurvivesPartialWrites)
+{
+    Pair pair;
+    const std::string bytes =
+        encodeFrame(Frame{FrameType::Submit, "split across writes"});
+    std::thread dribble([&] {
+        for (const char c : bytes)
+            pair.a.sendAll(&c, 1);
+    });
+    const auto got = readFrame(pair.b);
+    dribble.join();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->payload, "split across writes");
+}
+
+TEST(Frame, RecvTimeoutIsTypedNotAHang)
+{
+    Pair pair;
+    pair.b.setRecvTimeout(50);
+    try {
+        readFrame(pair.b);
+        FAIL() << "expected WireError(Timeout)";
+    } catch (const WireError &error) {
+        EXPECT_EQ(error.kind(), WireError::Kind::Timeout);
+    }
+}
+
+TEST(JobPayloadTest, RoundTripsEnvelopeAndVerbatimBody)
+{
+    const std::string body =
+        "{\"workload\": \"bv:5\"}\nwith\nembedded\nnewlines\0x";
+    const std::string payload = encodeJobPayload(7, 2, body);
+    const JobPayload parsed = parseJobPayload(payload);
+    EXPECT_EQ(parsed.id, 7u);
+    EXPECT_EQ(parsed.attempt, 2);
+    EXPECT_TRUE(parsed.kind.empty());
+    EXPECT_EQ(parsed.body, body);
+
+    const JobPayload error = parseJobPayload(
+        encodeErrorPayload(9, 0, "invalid_argument", "bad spec"));
+    EXPECT_EQ(error.id, 9u);
+    EXPECT_EQ(error.kind, "invalid_argument");
+    EXPECT_EQ(error.body, "bad spec");
+}
+
+TEST(JobPayloadTest, HostileSpecLinesRoundTripByteExact)
+{
+    // The flood the serving parser is hardened against must also
+    // cross the wire untouched: framing is payload-agnostic.
+    Pair pair;
+    const auto lines = hammer::chaos::hostileSpecLines(2024, 64);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        writeFrame(pair.a,
+                   Frame{FrameType::Submit,
+                         encodeJobPayload(i, 0, lines[i])});
+        const auto got = readFrame(pair.b);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(parseJobPayload(got->payload).body, lines[i]);
+    }
+}
+
+TEST(JobPayloadTest, HostileEnvelopesAreTypedErrors)
+{
+    const std::vector<std::string> hostile = {
+        "",                                   // no envelope line
+        "not json",                           // no newline at all
+        "not json\nbody",                     // unparseable envelope
+        "{}\nbody",                           // missing id/attempt
+        "{\"id\": -1, \"attempt\": 0}\nb",    // negative id
+        "{\"id\": 1.5, \"attempt\": 0}\nb",   // fractional id
+        "{\"id\": 1, \"attempt\": 2000000}\nb", // absurd attempt
+        "{\"id\": 1}\nb",                     // missing attempt
+        "[1,2]\nb",                           // envelope not an object
+    };
+    for (const std::string &payload : hostile) {
+        try {
+            parseJobPayload(payload);
+            FAIL() << "expected WireError for: " << payload;
+        } catch (const WireError &error) {
+            EXPECT_EQ(error.kind(), WireError::Kind::BadPayload)
+                << payload;
+        }
+    }
+}
+
+TEST(Address, SyntaxErrorsAndResolutionAreTyped)
+{
+    const std::vector<std::string> bad_addresses = {
+        "",         "garbage",          "unix:",
+        "tcp:",     "tcp:hostonly",     "tcp:host:notaport",
+        "tcp:host:99999", "tcp::123"};
+    for (const std::string &bad : bad_addresses) {
+        try {
+            hammer::net::connectTo(bad, 100);
+            FAIL() << "expected WireError for '" << bad << "'";
+        } catch (const WireError &error) {
+            EXPECT_EQ(error.kind(), WireError::Kind::Address)
+                << bad;
+        }
+    }
+    // A well-formed address nobody listens on: Connect, not a hang.
+    try {
+        hammer::net::connectTo("tcp:127.0.0.1:1", 200);
+        FAIL() << "expected WireError(Connect)";
+    } catch (const WireError &error) {
+        EXPECT_EQ(error.kind(), WireError::Kind::Connect);
+    }
+}
+
+TEST(ListenerTest, ResolvesKernelAssignedPortsAndUnblocksAccept)
+{
+    Listener listener("tcp:127.0.0.1:0");
+    EXPECT_NE(listener.address(), "tcp:127.0.0.1:0")
+        << "port 0 must resolve to the kernel-assigned port";
+
+    // connect/accept round-trip over the resolved address.
+    Socket client = hammer::net::connectTo(listener.address());
+    Socket served = listener.accept();
+    ASSERT_TRUE(served.valid());
+    writeFrame(client, Frame{FrameType::Hello, "ping"});
+    const auto got = readFrame(served);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->payload, "ping");
+
+    // close() from another thread unblocks a parked accept().
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        listener.close();
+    });
+    Socket after = listener.accept();
+    closer.join();
+    EXPECT_FALSE(after.valid());
+}
+
+} // namespace

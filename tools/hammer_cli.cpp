@@ -53,17 +53,34 @@
  * Serving (the api::ExecutionService front door):
  *   --serve <file|->   read one experiment spec per line (JSON
  *                      object or positional CSV, see
- *                      api::parseSpecLine) from the file or stdin,
- *                      run them through the asynchronous batching
- *                      service (--threads workers), and stream one
- *                      JSON result line per spec as jobs complete;
- *                      queue/cache statistics go to stderr
+ *                      api::parseSpecLine; an optional "priority"
+ *                      key / 8th CSV field jumps the queue) from the
+ *                      file or stdin, run them through the
+ *                      asynchronous batching service (--threads
+ *                      workers), and stream one JSON result line per
+ *                      spec as jobs complete; a human summary plus
+ *                      one machine-readable service_stats JSON line
+ *                      go to stderr
+ *   --canonical        emit results in submit order in canonical
+ *                      form (label/timings stripped) so two runs —
+ *                      local or sharded — diff byte-exactly
+ *   --shards <list>    route --serve traffic across a comma-
+ *                      separated shard fleet (net::ShardRouter) by
+ *                      execution-key hash instead of executing
+ *                      locally
+ *   --shard --listen <addr>
+ *                      run one shard worker: serve framed spec
+ *                      traffic on addr (unix:/path | tcp:host:port)
+ *                      until SIGTERM/SIGINT or a Shutdown frame,
+ *                      then drain and print service_stats to stderr
  *   --list <what>      enumerate registry contents and exit:
  *                      workloads | backends | mitigations
  *   --help             this text
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -77,6 +94,8 @@
 #include "api/api.hpp"
 #include "common/thread_pool.hpp"
 #include "core/io.hpp"
+#include "net/router.hpp"
+#include "net/shard_worker.hpp"
 
 namespace {
 
@@ -116,14 +135,29 @@ usage(int exit_code)
         "serving:\n"
         "  --serve <file|->  run spec lines (JSON object or CSV\n"
         "                    workload[,backend[,shots[,seed[,"
-        "mitigation[,machine[,label]]]]]],\n"
-        "                    chains as readout+hammer in CSV)\n"
+        "mitigation[,machine[,label[,priority]]]]]]],\n"
+        "                    chains as readout+hammer in CSV; higher "
+        "priority runs first)\n"
         "                    through the batching ExecutionService; "
-        "one JSON result line per spec\n"
+        "one JSON result line per spec;\n"
+        "                    a service_stats JSON line goes to "
+        "stderr\n"
         "  --deadline <ms>   per-job completion deadline for --serve: "
         "a job that misses it is\n"
         "                    reported as timed out on stderr and "
         "skipped instead of wedging the stream\n"
+        "  --canonical       emit results in submit order, canonical "
+        "form (label/timings stripped):\n"
+        "                    two runs over the same specs diff "
+        "byte-exactly\n"
+        "  --shards <list>   comma-separated shard addresses "
+        "(unix:/path | tcp:host:port):\n"
+        "                    route --serve traffic across the fleet "
+        "by execution-key hash\n"
+        "  --shard           run one shard worker (requires "
+        "--listen); SIGTERM drains cleanly\n"
+        "  --listen <addr>   shard listen address "
+        "(unix:/path | tcp:host:port)\n"
         "  --list <what>     workloads | backends | mitigations\n");
     std::exit(exit_code);
 }
@@ -199,7 +233,8 @@ listRegistry(const std::string &what)
  *        and a typed stderr line instead of wedging it.
  */
 int
-serve(std::istream &input, int threads, int top, int deadline_ms)
+serve(std::istream &input, int threads, int top, int deadline_ms,
+      bool canonical)
 {
     using namespace hammer::api;
 
@@ -238,11 +273,38 @@ serve(std::istream &input, int threads, int top, int deadline_ms)
         return 2;
     }
 
+    int failures = 0;
+    if (canonical) {
+        // Canonical mode trades streaming latency for diffability:
+        // submit-order emission with label/timings stripped, so the
+        // byte stream depends only on the specs — comparable 1:1
+        // against a sharded run's --canonical output.
+        for (std::size_t i = 0; i < handles.size(); ++i) {
+            try {
+                const Result result = service.wait(handles[i]);
+                std::cout << canonicalResultJson(result.json(-1))
+                          << '\n';
+            } catch (const std::exception &error) {
+                std::fprintf(stderr,
+                             "hammer_cli: --serve job %llu: %s\n",
+                             static_cast<unsigned long long>(
+                                 handles[i].id()),
+                             error.what());
+                ++failures;
+            }
+        }
+        std::cout.flush();
+        std::fprintf(stderr, "%s\n",
+                     serviceStatsJson(service.stats(),
+                                      service.workers())
+                         .c_str());
+        return failures == 0 ? 0 : 1;
+    }
+
     // Stream each result as soon as its job finishes (order follows
     // completion, not submission — this is a server, not a batch).
     std::vector<bool> emitted(handles.size(), false);
     std::size_t remaining = handles.size();
-    int failures = 0;
     while (remaining > 0) {
         bool progressed = false;
         for (std::size_t i = 0; i < handles.size(); ++i) {
@@ -324,7 +386,165 @@ serve(std::istream &input, int threads, int top, int deadline_ms)
         static_cast<unsigned long long>(stats.resultCache.hits),
         stats.resultCache.hitRate(),
         static_cast<unsigned long long>(stats.executeShared));
+    std::fprintf(stderr, "%s\n",
+                 serviceStatsJson(stats, service.workers()).c_str());
     return failures == 0 ? 0 : 1;
+}
+
+/**
+ * --serve --shards: route the spec lines across a shard fleet and
+ * merge results in submit order.  Lines travel verbatim, so a
+ * shard's parse is byte-identical to the local serve() path's.
+ */
+int
+serveShards(std::istream &input,
+            const std::vector<std::string> &addresses, bool canonical)
+{
+    using namespace hammer;
+
+    std::vector<std::string> lines;
+    std::string line;
+    int line_number = 0;
+    std::vector<int> line_numbers;
+    while (std::getline(input, line)) {
+        ++line_number;
+        const std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        lines.push_back(line);
+        line_numbers.push_back(line_number);
+    }
+
+    net::ShardRouterOptions options;
+    options.addresses = addresses;
+    options.heartbeatIntervalMs = 500;
+    net::ShardRouter router{options};
+
+    std::vector<std::uint64_t> ids;
+    ids.reserve(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        try {
+            ids.push_back(router.submit(lines[i]));
+        } catch (const std::exception &error) {
+            std::fprintf(stderr,
+                         "hammer_cli: --serve line %d: %s\n",
+                         line_numbers[i], error.what());
+            return 2;
+        }
+    }
+
+    int failures = 0;
+    for (const std::uint64_t id : ids) {
+        try {
+            const std::string json = router.wait(id);
+            if (canonical)
+                std::cout << api::canonicalResultJson(json) << '\n';
+            else
+                std::cout << json; // writeJson lines end with '\n'.
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "hammer_cli: --serve job %llu: %s\n",
+                         static_cast<unsigned long long>(id),
+                         error.what());
+            ++failures;
+        }
+    }
+    std::cout.flush();
+
+    // One service_stats line per shard (same scrape format the local
+    // path emits), then the router's own routing summary.
+    for (std::size_t i = 0; i < router.shardCount(); ++i) {
+        try {
+            std::fprintf(stderr, "%s\n",
+                         router.fetchStats(i).c_str());
+        } catch (const std::exception &error) {
+            std::fprintf(stderr,
+                         "hammer_cli: shard %zu stats: %s\n", i,
+                         error.what());
+        }
+    }
+    const net::RouterStats stats = router.stats();
+    std::fprintf(
+        stderr,
+        "hammer_cli: routed %llu job(s) across %zu shard(s): "
+        "%llu dispatched, %llu retried, %llu rerouted, "
+        "%llu shard death(s)\n",
+        static_cast<unsigned long long>(stats.submitted),
+        router.shardCount(),
+        static_cast<unsigned long long>(stats.dispatched),
+        static_cast<unsigned long long>(stats.retries),
+        static_cast<unsigned long long>(stats.reroutes),
+        static_cast<unsigned long long>(stats.shardDeaths));
+    return failures == 0 ? 0 : 1;
+}
+
+volatile std::sig_atomic_t g_shard_signal = 0;
+
+void
+shardSignalHandler(int)
+{
+    g_shard_signal = 1;
+}
+
+/**
+ * --shard --listen: one shard worker process.  run() executes on a
+ * helper thread so the main thread can watch for SIGTERM/SIGINT with
+ * nothing but a sig_atomic_t flag — stop() takes locks, which a
+ * signal handler must never do.
+ */
+int
+runShard(const std::string &listen, int threads)
+{
+    using namespace hammer;
+
+    net::ShardWorkerOptions options;
+    options.service.workers = threads;
+    options.emitStats = true;
+    try {
+        net::ShardWorker worker(listen, options);
+        std::fprintf(stderr, "hammer_cli: shard listening on %s\n",
+                     worker.address().c_str());
+        std::signal(SIGTERM, shardSignalHandler);
+        std::signal(SIGINT, shardSignalHandler);
+
+        std::atomic<bool> done{false};
+        std::thread runner([&] {
+            worker.run();
+            done.store(true);
+        });
+        while (!done.load() && g_shard_signal == 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        worker.stop();
+        runner.join();
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "hammer_cli: --shard: %s\n",
+                     error.what());
+        return 2;
+    }
+    return 0;
+}
+
+/** Split a comma-separated address list (empty items rejected). */
+std::vector<std::string>
+splitAddresses(const std::string &csv)
+{
+    std::vector<std::string> addresses;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        const std::string item = csv.substr(start, comma - start);
+        if (item.empty()) {
+            std::fprintf(stderr,
+                         "hammer_cli: --shards: empty address in "
+                         "'%s'\n", csv.c_str());
+            std::exit(2);
+        }
+        addresses.push_back(item);
+        start = comma + 1;
+    }
+    return addresses;
 }
 
 } // namespace
@@ -351,6 +571,10 @@ main(int argc, char **argv)
     std::string serve_path;
     bool serve_mode = false;
     int serve_deadline_ms = 0;
+    bool canonical = false;
+    std::string shards_csv;
+    bool shard_mode = false;
+    std::string listen_address;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -413,6 +637,14 @@ main(int argc, char **argv)
         } else if (arg == "--deadline") {
             serve_deadline_ms = parsePositiveInt(
                 next_value("--deadline"), "--deadline");
+        } else if (arg == "--canonical") {
+            canonical = true;
+        } else if (arg == "--shards") {
+            shards_csv = next_value("--shards");
+        } else if (arg == "--shard") {
+            shard_mode = true;
+        } else if (arg == "--listen") {
+            listen_address = next_value("--listen");
         } else if (arg == "--list") {
             return listRegistry(next_value("--list"));
         } else if (arg == "--machine") {
@@ -441,19 +673,35 @@ main(int argc, char **argv)
         }
     }
 
-    if (serve_mode) {
-        if (serve_path == "-")
-            return serve(std::cin, backend_spec.threads, top,
-                         serve_deadline_ms);
-        std::ifstream file(serve_path);
-        if (!file) {
+    if (shard_mode) {
+        if (listen_address.empty()) {
             std::fprintf(stderr,
-                         "hammer_cli: --serve: cannot open '%s'\n",
-                         serve_path.c_str());
+                         "hammer_cli: --shard needs --listen "
+                         "<addr>\n");
             return 2;
         }
-        return serve(file, backend_spec.threads, top,
-                     serve_deadline_ms);
+        return runShard(listen_address, backend_spec.threads);
+    }
+
+    if (serve_mode) {
+        std::ifstream file;
+        std::istream *input = &std::cin;
+        if (serve_path != "-") {
+            file.open(serve_path);
+            if (!file) {
+                std::fprintf(
+                    stderr,
+                    "hammer_cli: --serve: cannot open '%s'\n",
+                    serve_path.c_str());
+                return 2;
+            }
+            input = &file;
+        }
+        if (!shards_csv.empty())
+            return serveShards(*input, splitAddresses(shards_csv),
+                               canonical);
+        return serve(*input, backend_spec.threads, top,
+                     serve_deadline_ms, canonical);
     }
 
     try {
