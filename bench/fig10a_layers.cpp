@@ -46,8 +46,10 @@ main()
 
             const auto ideal_state = sim::runCircuit(
                 circuits::qaoaCircuit(g, circuits::linearRampParams(p)));
-            const auto ideal = core::Distribution::fromDense(
-                g.numVertices(), ideal_state.probabilities());
+            const auto ideal = core::Distribution::fromProbabilityFn(
+                g.numVertices(), [&](std::size_t i) {
+                    return ideal_state.probability(i);
+                });
             noiseless.push_back(
                 qaoa::costRatio(ideal, g, instance.minCost));
 

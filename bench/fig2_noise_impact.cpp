@@ -52,8 +52,8 @@ main()
                                                   "3reg");
     const auto ideal_state = sim::runCircuit(
         circuits::qaoaCircuit(g, circuits::linearRampParams(2)));
-    const auto ideal = core::Distribution::fromDense(
-        9, ideal_state.probabilities());
+    const auto ideal = core::Distribution::fromProbabilityFn(
+        9, [&](std::size_t i) { return ideal_state.probability(i); });
     const auto noisy_qaoa = bench::sampleNoisy(
         instance.routed, 9, noise::machinePreset("machineB").scaled(3.0),
         bench::smokeShots(8192), rng);

@@ -11,6 +11,7 @@
 #include "api/json.hpp"
 #include "common/checksum.hpp"
 #include "common/logging.hpp"
+#include "sim/kernels.hpp"
 
 namespace hammer::api {
 
@@ -866,6 +867,7 @@ serviceStatsJson(const ServiceStats &stats, int workers)
     json.beginObject();
     json.key("type").value("service_stats");
     json.key("workers").value(workers);
+    json.key("kernels").value(sim::tierName(sim::activeKernels().tier));
     json.key("submitted").value(stats.submitted);
     json.key("completed").value(stats.completed);
     json.key("coalesced").value(stats.coalesced);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/bitops.hpp"
+#include "common/logging.hpp"
 
 namespace hammer::core {
 
@@ -92,6 +93,34 @@ class Distribution
     static Distribution fromDense(int num_bits,
                                   const std::vector<double> &probs,
                                   double threshold = 1e-12);
+
+    /**
+     * Build by evaluating @p prob(i) for every outcome i in
+     * [0, 2^num_bits) — fromDense semantics (same validation, same
+     * threshold, no normalisation) without ever materialising the
+     * dense probability vector.  The statevector paths use this to
+     * fold |amp|^2 straight from the SoA re/im planes into the
+     * sparse build.
+     */
+    template <typename Fn>
+    static Distribution fromProbabilityFn(int num_bits, Fn &&prob,
+                                          double threshold = 1e-12)
+    {
+        common::require(num_bits <= 30,
+                        "Distribution::fromProbabilityFn: width too "
+                        "large");
+        Distribution dist(num_bits);
+        const std::size_t dim = std::size_t{1} << num_bits;
+        for (std::size_t i = 0; i < dim; ++i) {
+            const double p = prob(i);
+            common::require(p >= -1e-12,
+                            "Distribution::fromProbabilityFn: "
+                            "negative probability");
+            if (p > threshold)
+                dist.entries_.push_back({i, p});
+        }
+        return dist;
+    }
 
     /**
      * Adopt an already-sorted entry vector without per-entry

@@ -49,11 +49,19 @@ class TrajectorySampler : public NoisySampler
                               common::Rng &rng) override;
 
     /**
-     * Parallel trajectory fan-out: each trajectory is one work item
-     * with its own forked RNG stream, so the merged histogram is
-     * bit-identical for every thread count.  The replay engine is
-     * built once and shared read-only by all workers; per-trajectory
-     * error placement, replay and shot draws run on the worker.
+     * Parallel batched trajectory fan-out.
+     *
+     * Every trajectory runs off its own forked RNG stream
+     * (master.fork(t)), so its output is a pure function of the
+     * caller RNG state and t.  Error placements are pre-drawn for all
+     * trajectories; noisy trajectories sharing a replay checkpoint
+     * are then grouped into batches of up to
+     * ReplayOptions::batchLanes lanes and swept through the gate
+     * suffix in one SoA pass (ReplayEngine::replayBatch), while
+     * zero-error trajectories sample the shared clean state directly.
+     * The work-item list is deterministic and per-item results merge
+     * through commutative integer counts, so the histogram is
+     * bit-identical for every thread count AND every batch width.
      */
     core::Distribution sampleBatch(const circuits::RoutedCircuit &routed,
                                    int measured_qubits, int shots,

@@ -1,0 +1,256 @@
+#include "sim/batched_statevector.hpp"
+
+#include "common/logging.hpp"
+#include "sim/kernels.hpp"
+
+namespace hammer::sim {
+
+using common::Bits;
+using common::require;
+
+BatchedStateVector::BatchedStateVector(int num_qubits, int lanes)
+    : numQubits_(num_qubits), lanes_(lanes)
+{
+    require(num_qubits >= 1 && num_qubits <= 24,
+            "BatchedStateVector: qubit count must be in [1, 24]");
+    require(lanes >= 1, "BatchedStateVector: lanes must be >= 1");
+    dim_ = std::size_t{1} << num_qubits;
+    const std::size_t l = static_cast<std::size_t>(lanes);
+    stride_ = (l + kBatchLaneMultiple - 1) / kBatchLaneMultiple *
+              kBatchLaneMultiple;
+    re_.assign(dim_ * stride_, 0.0);
+    im_.assign(dim_ * stride_, 0.0);
+    for (int b = 0; b < lanes_; ++b)
+        re_[b] = 1.0;
+}
+
+Amp
+BatchedStateVector::amplitude(int lane, Bits index) const
+{
+    require(lane >= 0 && lane < lanes_ && index < dim_,
+            "BatchedStateVector::amplitude: out of range");
+    const std::size_t at = index * stride_ + lane;
+    return Amp(re_[at], im_[at]);
+}
+
+void
+BatchedStateVector::fillFrom(const StateVector &state)
+{
+    require(state.numQubits() == numQubits_,
+            "BatchedStateVector::fillFrom: qubit count mismatch");
+    const double *sre = state.reData();
+    const double *sim = state.imData();
+    for (std::size_t i = 0; i < dim_; ++i) {
+        const std::size_t row = i * stride_;
+        for (int b = 0; b < lanes_; ++b) {
+            re_[row + b] = sre[i];
+            im_[row + b] = sim[i];
+        }
+    }
+}
+
+void
+BatchedStateVector::setLane(int lane, const StateVector &state)
+{
+    require(lane >= 0 && lane < lanes_,
+            "BatchedStateVector::setLane: lane out of range");
+    require(state.numQubits() == numQubits_,
+            "BatchedStateVector::setLane: qubit count mismatch");
+    const double *sre = state.reData();
+    const double *sim = state.imData();
+    for (std::size_t i = 0; i < dim_; ++i) {
+        re_[i * stride_ + lane] = sre[i];
+        im_[i * stride_ + lane] = sim[i];
+    }
+}
+
+StateVector
+BatchedStateVector::extractLane(int lane) const
+{
+    require(lane >= 0 && lane < lanes_,
+            "BatchedStateVector::extractLane: lane out of range");
+    StateVector state(numQubits_);
+    double *sre = state.reData();
+    double *sim = state.imData();
+    for (std::size_t i = 0; i < dim_; ++i) {
+        sre[i] = re_[i * stride_ + lane];
+        sim[i] = im_[i * stride_ + lane];
+    }
+    return state;
+}
+
+void
+BatchedStateVector::apply1q(const Mat2 &m, int q)
+{
+    require(q >= 0 && q < numQubits_,
+            "BatchedStateVector::apply1q: qubit out of range");
+    const double mc[8] = {m[0].real(), m[0].imag(), m[1].real(),
+                          m[1].imag(), m[2].real(), m[2].imag(),
+                          m[3].real(), m[3].imag()};
+    activeKernels().batch1q(re_.data(), im_.data(), dim_,
+                            std::size_t{1} << q, stride_, mc);
+}
+
+void
+BatchedStateVector::applyDiagonal(Amp d0, Amp d1, int q)
+{
+    require(q >= 0 && q < numQubits_,
+            "BatchedStateVector::applyDiagonal: qubit out of range");
+    const double dc[4] = {d0.real(), d0.imag(), d1.real(), d1.imag()};
+    activeKernels().batchDiag(re_.data(), im_.data(), dim_,
+                              std::size_t{1} << q, stride_, dc);
+}
+
+void
+BatchedStateVector::applyPhase(Amp phase, int q)
+{
+    require(q >= 0 && q < numQubits_,
+            "BatchedStateVector::applyPhase: qubit out of range");
+    activeKernels().batchPhase(re_.data(), im_.data(), dim_,
+                               std::size_t{1} << q, stride_,
+                               phase.real(), phase.imag());
+}
+
+void
+BatchedStateVector::applyX(int q)
+{
+    require(q >= 0 && q < numQubits_,
+            "BatchedStateVector::applyX: qubit out of range");
+    activeKernels().batchX(re_.data(), im_.data(), dim_,
+                           std::size_t{1} << q, stride_);
+}
+
+void
+BatchedStateVector::applyY(int q)
+{
+    require(q >= 0 && q < numQubits_,
+            "BatchedStateVector::applyY: qubit out of range");
+    activeKernels().batchY(re_.data(), im_.data(), dim_,
+                           std::size_t{1} << q, stride_);
+}
+
+void
+BatchedStateVector::applyCX(int control, int target)
+{
+    require(control >= 0 && control < numQubits_ &&
+            target >= 0 && target < numQubits_ && control != target,
+            "BatchedStateVector::applyCX: bad qubit pair");
+    activeKernels().batchCX(re_.data(), im_.data(), dim_,
+                            std::size_t{1} << control,
+                            std::size_t{1} << target, stride_);
+}
+
+void
+BatchedStateVector::applyCZ(int a, int b)
+{
+    require(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_ &&
+            a != b, "BatchedStateVector::applyCZ: bad qubit pair");
+    activeKernels().batchCZ(re_.data(), im_.data(), dim_,
+                            std::size_t{1} << a, std::size_t{1} << b,
+                            stride_);
+}
+
+void
+BatchedStateVector::applySwap(int a, int b)
+{
+    require(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_ &&
+            a != b, "BatchedStateVector::applySwap: bad qubit pair");
+    activeKernels().batchSwap(re_.data(), im_.data(), dim_,
+                              std::size_t{1} << a,
+                              std::size_t{1} << b, stride_);
+}
+
+void
+BatchedStateVector::applyGate(const Gate &gate)
+{
+    switch (gate.kind) {
+      case GateKind::CX:
+        applyCX(gate.q0, gate.q1);
+        return;
+      case GateKind::CZ:
+        applyCZ(gate.q0, gate.q1);
+        return;
+      case GateKind::Swap:
+        applySwap(gate.q0, gate.q1);
+        return;
+      case GateKind::X:
+        applyX(gate.q0);
+        return;
+      case GateKind::Y:
+        applyY(gate.q0);
+        return;
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+        applyPhase(gateMatrix(gate.kind)[3], gate.q0);
+        return;
+      case GateKind::Rz: {
+        const Mat2 m = gateMatrix(GateKind::Rz, gate.theta);
+        applyDiagonal(m[0], m[3], gate.q0);
+        return;
+      }
+      default:
+        apply1q(gateMatrix(gate.kind, gate.theta), gate.q0);
+        return;
+    }
+}
+
+void
+BatchedStateVector::applyXLane(int lane, int q)
+{
+    require(lane >= 0 && lane < lanes_ && q >= 0 && q < numQubits_,
+            "BatchedStateVector::applyXLane: out of range");
+    const std::size_t mask = std::size_t{1} << q;
+    for (std::size_t base = 0; base < dim_; base += mask << 1) {
+        for (std::size_t i = base; i < base + mask; ++i) {
+            const std::size_t p0 = i * stride_ + lane;
+            const std::size_t p1 = (i | mask) * stride_ + lane;
+            const double tr = re_[p0], ti = im_[p0];
+            re_[p0] = re_[p1];
+            im_[p0] = im_[p1];
+            re_[p1] = tr;
+            im_[p1] = ti;
+        }
+    }
+}
+
+void
+BatchedStateVector::applyYLane(int lane, int q)
+{
+    require(lane >= 0 && lane < lanes_ && q >= 0 && q < numQubits_,
+            "BatchedStateVector::applyYLane: out of range");
+    const std::size_t mask = std::size_t{1} << q;
+    for (std::size_t base = 0; base < dim_; base += mask << 1) {
+        for (std::size_t i = base; i < base + mask; ++i) {
+            const std::size_t p0 = i * stride_ + lane;
+            const std::size_t p1 = (i | mask) * stride_ + lane;
+            const double a0r = re_[p0], a0i = im_[p0];
+            const double a1r = re_[p1], a1i = im_[p1];
+            re_[p0] = a1i;
+            im_[p0] = -a1r;
+            re_[p1] = -a0i;
+            im_[p1] = a0r;
+        }
+    }
+}
+
+void
+BatchedStateVector::applyPhaseLane(int lane, Amp phase, int q)
+{
+    require(lane >= 0 && lane < lanes_ && q >= 0 && q < numQubits_,
+            "BatchedStateVector::applyPhaseLane: out of range");
+    const std::size_t mask = std::size_t{1} << q;
+    const double pr = phase.real(), pi = phase.imag();
+    for (std::size_t base = mask; base < dim_; base += mask << 1) {
+        for (std::size_t j = base; j < base + mask; ++j) {
+            const std::size_t p1 = j * stride_ + lane;
+            const double ar = re_[p1], ai = im_[p1];
+            re_[p1] = pr * ar - pi * ai;
+            im_[p1] = pr * ai + pi * ar;
+        }
+    }
+}
+
+} // namespace hammer::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Batch of B dense state vectors in amplitude-major SoA layout.
+ *
+ * Plane layout: re_[i * stride + b] holds the real component of
+ * amplitude i in lane b.  Amplitude-major means the innermost (lane)
+ * dimension is contiguous, so a gate on ANY qubit — including qubit
+ * 0, where the single-state layout degrades to adjacent scalar
+ * pairs — streams full-width vectors over the lanes.
+ *
+ * The lane stride is the lane count rounded up to
+ * kBatchLaneMultiple, so every kernel tier's vector width divides it
+ * and the batched kernels never need a scalar tail.  Padding lanes
+ * are zero-initialised and processed uniformly: every gate kernel is
+ * linear, so zero lanes stay zero and never contaminate real lanes.
+ *
+ * Determinism contract: lane b of a batch after any gate sequence is
+ * bit-identical to a single StateVector pushed through the same
+ * sequence — each lane sees exactly the per-amplitude formulas of the
+ * single-state kernels, in the same per-amplitude order (the lane
+ * dimension is data-parallel; no cross-lane arithmetic exists).  The
+ * per-lane injection helpers (applyXLane etc.) use those same
+ * formulas on one lane's strided column.
+ */
+
+#ifndef HAMMER_SIM_BATCHED_STATEVECTOR_HPP
+#define HAMMER_SIM_BATCHED_STATEVECTOR_HPP
+
+#include <cstddef>
+
+#include "common/aligned.hpp"
+#include "common/bitops.hpp"
+#include "sim/gate.hpp"
+#include "sim/statevector.hpp"
+
+namespace hammer::sim {
+
+/**
+ * B-lane batch of n-qubit state vectors sharing one gate sweep.
+ */
+class BatchedStateVector
+{
+  public:
+    /**
+     * Initialise every active lane to |0...0>.
+     *
+     * @param num_qubits Qubit count, in [1, 24].
+     * @param lanes Number of trajectory states, >= 1.
+     */
+    BatchedStateVector(int num_qubits, int lanes);
+
+    int numQubits() const { return numQubits_; }
+    int lanes() const { return lanes_; }
+    std::size_t dimension() const { return dim_; }
+    /** Doubles per amplitude row (lanes padded for vector width). */
+    std::size_t stride() const { return stride_; }
+
+    /** Amplitude of basis state @p index in lane @p lane. */
+    Amp amplitude(int lane, common::Bits index) const;
+
+    /** Broadcast @p state into every active lane. */
+    void fillFrom(const StateVector &state);
+
+    /** Overwrite lane @p lane with @p state. */
+    void setLane(int lane, const StateVector &state);
+
+    /** Copy lane @p lane out into a StateVector. */
+    StateVector extractLane(int lane) const;
+
+    // -- Batched gates: applied to every lane in one SoA pass.
+    void apply1q(const Mat2 &m, int q);
+    void applyDiagonal(Amp d0, Amp d1, int q);
+    void applyPhase(Amp phase, int q);
+    void applyX(int q);
+    void applyY(int q);
+    void applyCX(int control, int target);
+    void applyCZ(int a, int b);
+    void applySwap(int a, int b);
+
+    /** Apply any Gate to every lane (specialised dispatch). */
+    void applyGate(const Gate &gate);
+
+    // -- Per-lane injections: one trajectory's Pauli error between
+    //    shared gates.  Scalar strided walks over the lane's column,
+    //    same formulas as the single-state kernels.
+    void applyXLane(int lane, int q);
+    void applyYLane(int lane, int q);
+    void applyPhaseLane(int lane, Amp phase, int q);
+
+  private:
+    int numQubits_;
+    int lanes_;
+    std::size_t dim_;
+    std::size_t stride_;
+    common::AlignedVector<double> re_;
+    common::AlignedVector<double> im_;
+};
+
+} // namespace hammer::sim
+
+#endif // HAMMER_SIM_BATCHED_STATEVECTOR_HPP

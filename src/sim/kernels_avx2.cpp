@@ -1,0 +1,51 @@
+/**
+ * @file
+ * AVX2 kernel tier: 4-wide double vectors.
+ *
+ * Compiled with -mavx2; callable only after the CPUID probe confirms
+ * host support (kernel_table.cpp).  The table initialiser is a
+ * constant expression, so merely linking this TU executes no AVX2
+ * instructions on older hosts.
+ *
+ * Only _mm256_mul_pd/add_pd/sub_pd/xor_pd are used — deliberately no
+ * FMA even where the host has it, because contracted a*b+c rounds
+ * once instead of twice and would break bit-identity with the scalar
+ * tier.
+ */
+
+#if (defined(__x86_64__) || defined(_M_X64)) &&                        \
+    !defined(HAMMER_DISABLE_SIMD)
+
+#include <immintrin.h>
+
+#include "sim/kernels.hpp"
+#include "sim/kernels_generic.hpp"
+
+namespace hammer::sim {
+namespace {
+
+struct VAvx2
+{
+    using Reg = __m256d;
+    static constexpr std::size_t width = 4;
+    static Reg load(const double *p) { return _mm256_loadu_pd(p); }
+    static void store(double *p, Reg v) { _mm256_storeu_pd(p, v); }
+    static Reg set1(double x) { return _mm256_set1_pd(x); }
+    static Reg add(Reg a, Reg b) { return _mm256_add_pd(a, b); }
+    static Reg sub(Reg a, Reg b) { return _mm256_sub_pd(a, b); }
+    static Reg mul(Reg a, Reg b) { return _mm256_mul_pd(a, b); }
+    // Sign-bit flip, not 0-x: matches scalar unary minus for +/-0.0.
+    static Reg neg(Reg a)
+    {
+        return _mm256_xor_pd(a, _mm256_set1_pd(-0.0));
+    }
+};
+
+} // namespace
+
+const KernelTable kAvx2Kernels =
+    detail::makeKernelTable<VAvx2>(KernelTier::Avx2);
+
+} // namespace hammer::sim
+
+#endif // x86-64

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * NEON kernel tier: 2-wide double vectors (AArch64 only, where
+ * Advanced SIMD is architecturally guaranteed).
+ *
+ * vnegq_f64 is an IEEE-754 sign flip and vmulq/vaddq/vsubq round like
+ * their scalar counterparts; no fused ops are used, so this tier is
+ * bit-identical to the scalar reference just like the x86 tiers.
+ */
+
+#if defined(__aarch64__) && !defined(HAMMER_DISABLE_SIMD)
+
+#include <arm_neon.h>
+
+#include "sim/kernels.hpp"
+#include "sim/kernels_generic.hpp"
+
+namespace hammer::sim {
+namespace {
+
+struct VNeon
+{
+    using Reg = float64x2_t;
+    static constexpr std::size_t width = 2;
+    static Reg load(const double *p) { return vld1q_f64(p); }
+    static void store(double *p, Reg v) { vst1q_f64(p, v); }
+    static Reg set1(double x) { return vdupq_n_f64(x); }
+    static Reg add(Reg a, Reg b) { return vaddq_f64(a, b); }
+    static Reg sub(Reg a, Reg b) { return vsubq_f64(a, b); }
+    static Reg mul(Reg a, Reg b) { return vmulq_f64(a, b); }
+    static Reg neg(Reg a) { return vnegq_f64(a); }
+};
+
+} // namespace
+
+const KernelTable kNeonKernels =
+    detail::makeKernelTable<VNeon>(KernelTier::Neon);
+
+} // namespace hammer::sim
+
+#endif // aarch64

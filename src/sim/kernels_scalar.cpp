@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Scalar kernel tier: the bit-identity reference for every other
+ * tier.
+ *
+ * This TU is compiled with compiler autovectorisation disabled (see
+ * CMakeLists.txt) so the scalar tier is an honest width-1 baseline —
+ * both for the bench's speedup denominators and for the forced-tier
+ * parity suite, which compares wider tiers against these exact loops.
+ */
+
+#include "sim/kernels.hpp"
+#include "sim/kernels_generic.hpp"
+
+namespace hammer::sim {
+
+const KernelTable kScalarKernels =
+    detail::makeKernelTable<detail::VScalar>(KernelTier::Scalar);
+
+} // namespace hammer::sim

@@ -16,7 +16,13 @@ runCircuit(const Circuit &circuit)
 std::vector<double>
 idealProbabilities(const Circuit &circuit)
 {
-    return runCircuit(circuit).probabilities();
+    const StateVector state = runCircuit(circuit);
+    const double *re = state.reData();
+    const double *im = state.imData();
+    std::vector<double> probs(state.dimension());
+    for (std::size_t i = 0; i < probs.size(); ++i)
+        probs[i] = re[i] * re[i] + im[i] * im[i];
+    return probs;
 }
 
 } // namespace hammer::sim

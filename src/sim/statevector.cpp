@@ -5,52 +5,38 @@
 #include <numeric>
 
 #include "common/logging.hpp"
+#include "sim/kernels.hpp"
 
 namespace hammer::sim {
 
 using common::Bits;
 using common::require;
 
-namespace {
-
-/**
- * Expand a (n-2)-bit loop counter into an n-bit basis index with zero
- * bits at two positions, given the below-masks (2^p - 1) of the lower
- * and higher position.  Standard statevector-simulator bit-insertion:
- * each step shifts the counter bits at/above the position up by one,
- * leaving a zero slot at the position itself.
- */
-inline std::size_t
-expandPair(std::size_t k, std::size_t low_below, std::size_t high_below)
-{
-    const std::size_t i = (k & low_below) | ((k & ~low_below) << 1);
-    return (i & high_below) | ((i & ~high_below) << 1);
-}
-
-} // namespace
-
 StateVector::StateVector(int num_qubits)
     : numQubits_(num_qubits)
 {
     require(num_qubits >= 1 && num_qubits <= 24,
             "StateVector: qubit count must be in [1, 24]");
-    amps_.assign(std::size_t{1} << num_qubits, Amp(0.0));
-    amps_[0] = Amp(1.0);
+    const std::size_t dim = std::size_t{1} << num_qubits;
+    re_.assign(dim, 0.0);
+    im_.assign(dim, 0.0);
+    re_[0] = 1.0;
 }
 
 Amp
 StateVector::amplitude(Bits index) const
 {
-    require(index < amps_.size(), "StateVector::amplitude: out of range");
-    return amps_[index];
+    require(index < re_.size(), "StateVector::amplitude: out of range");
+    return Amp(re_[index], im_[index]);
 }
 
 void
 StateVector::setAmplitude(Bits index, Amp value)
 {
-    require(index < amps_.size(),
+    require(index < re_.size(),
             "StateVector::setAmplitude: out of range");
-    amps_[index] = value;
+    re_[index] = value.real();
+    im_[index] = value.imag();
 }
 
 void
@@ -58,35 +44,16 @@ StateVector::apply1q(const Mat2 &m, int q)
 {
     require(q >= 0 && q < numQubits_, "apply1q: qubit out of range");
     const std::size_t mask = std::size_t{1} << q;
-    const std::size_t dim = amps_.size();
-    // Unpack the matrix and work on raw components: the textbook
-    // product/sum below is exactly what std::complex arithmetic
+    // Unpacked row-major matrix components: the textbook product/sum
+    // the kernels compute is exactly what std::complex arithmetic
     // computes for finite values, minus the NaN-recovery branch that
     // blocks vectorisation (bit-identical results; the property
     // tests in tests/sim/test_kernels.cpp pin this).
-    const double m0r = m[0].real(), m0i = m[0].imag();
-    const double m1r = m[1].real(), m1i = m[1].imag();
-    const double m2r = m[2].real(), m2i = m[2].imag();
-    const double m3r = m[3].real(), m3i = m[3].imag();
-    double *d = reinterpret_cast<double *>(amps_.data());
-    // Half-space iteration: every block of 2*mask indices splits into
-    // a |0> half and a |1> half exactly `mask` apart; walking the |0>
-    // half visits each pair once with no per-element branch.
-    for (std::size_t base = 0; base < dim; base += mask << 1) {
-        for (std::size_t i = base; i < base + mask; ++i) {
-            const std::size_t j = i | mask;
-            const double a0r = d[2 * i], a0i = d[2 * i + 1];
-            const double a1r = d[2 * j], a1i = d[2 * j + 1];
-            d[2 * i] = (m0r * a0r - m0i * a0i) +
-                       (m1r * a1r - m1i * a1i);
-            d[2 * i + 1] = (m0r * a0i + m0i * a0r) +
-                           (m1r * a1i + m1i * a1r);
-            d[2 * j] = (m2r * a0r - m2i * a0i) +
-                       (m3r * a1r - m3i * a1i);
-            d[2 * j + 1] = (m2r * a0i + m2i * a0r) +
-                           (m3r * a1i + m3i * a1r);
-        }
-    }
+    const double mc[8] = {m[0].real(), m[0].imag(), m[1].real(),
+                          m[1].imag(), m[2].real(), m[2].imag(),
+                          m[3].real(), m[3].imag()};
+    activeKernels().apply1q(re_.data(), im_.data(), re_.size(), mask,
+                            mc);
 }
 
 void
@@ -95,21 +62,9 @@ StateVector::applyDiagonal(Amp d0, Amp d1, int q)
     require(q >= 0 && q < numQubits_,
             "applyDiagonal: qubit out of range");
     const std::size_t mask = std::size_t{1} << q;
-    const std::size_t dim = amps_.size();
-    const double d0r = d0.real(), d0i = d0.imag();
-    const double d1r = d1.real(), d1i = d1.imag();
-    double *d = reinterpret_cast<double *>(amps_.data());
-    for (std::size_t base = 0; base < dim; base += mask << 1) {
-        for (std::size_t i = base; i < base + mask; ++i) {
-            const std::size_t j = i | mask;
-            const double a0r = d[2 * i], a0i = d[2 * i + 1];
-            const double a1r = d[2 * j], a1i = d[2 * j + 1];
-            d[2 * i] = d0r * a0r - d0i * a0i;
-            d[2 * i + 1] = d0r * a0i + d0i * a0r;
-            d[2 * j] = d1r * a1r - d1i * a1i;
-            d[2 * j + 1] = d1r * a1i + d1i * a1r;
-        }
-    }
+    const double dc[4] = {d0.real(), d0.imag(), d1.real(), d1.imag()};
+    activeKernels().applyDiag(re_.data(), im_.data(), re_.size(), mask,
+                              dc);
 }
 
 void
@@ -117,18 +72,8 @@ StateVector::applyPhase(Amp phase, int q)
 {
     require(q >= 0 && q < numQubits_, "applyPhase: qubit out of range");
     const std::size_t mask = std::size_t{1} << q;
-    const std::size_t dim = amps_.size();
-    const double pr = phase.real(), pi = phase.imag();
-    double *d = reinterpret_cast<double *>(amps_.data());
-    // Only the |1> half carries the phase; the |0> half is untouched
-    // (no loads, no multiplies).
-    for (std::size_t base = mask; base < dim; base += mask << 1) {
-        for (std::size_t j = base; j < base + mask; ++j) {
-            const double ar = d[2 * j], ai = d[2 * j + 1];
-            d[2 * j] = pr * ar - pi * ai;
-            d[2 * j + 1] = pr * ai + pi * ar;
-        }
-    }
+    activeKernels().applyPhase(re_.data(), im_.data(), re_.size(),
+                               mask, phase.real(), phase.imag());
 }
 
 void
@@ -136,11 +81,7 @@ StateVector::applyX(int q)
 {
     require(q >= 0 && q < numQubits_, "applyX: qubit out of range");
     const std::size_t mask = std::size_t{1} << q;
-    const std::size_t dim = amps_.size();
-    for (std::size_t base = 0; base < dim; base += mask << 1) {
-        for (std::size_t i = base; i < base + mask; ++i)
-            std::swap(amps_[i], amps_[i | mask]);
-    }
+    activeKernels().applyX(re_.data(), im_.data(), re_.size(), mask);
 }
 
 void
@@ -148,18 +89,7 @@ StateVector::applyY(int q)
 {
     require(q >= 0 && q < numQubits_, "applyY: qubit out of range");
     const std::size_t mask = std::size_t{1} << q;
-    const std::size_t dim = amps_.size();
-    // Y = [[0, -i], [i, 0]]: a0' = -i*a1, a1' = i*a0 — a swap with
-    // component shuffles, no multiplies.
-    for (std::size_t base = 0; base < dim; base += mask << 1) {
-        for (std::size_t i = base; i < base + mask; ++i) {
-            const std::size_t j = i | mask;
-            const Amp a0 = amps_[i];
-            const Amp a1 = amps_[j];
-            amps_[i] = Amp(a1.imag(), -a1.real());
-            amps_[j] = Amp(-a0.imag(), a0.real());
-        }
-    }
+    activeKernels().applyY(re_.data(), im_.data(), re_.size(), mask);
 }
 
 void
@@ -168,18 +98,9 @@ StateVector::applyCX(int control, int target)
     require(control >= 0 && control < numQubits_ &&
             target >= 0 && target < numQubits_ && control != target,
             "applyCX: bad qubit pair");
-    const std::size_t cmask = std::size_t{1} << control;
-    const std::size_t tmask = std::size_t{1} << target;
-    const std::size_t low_below = std::min(cmask, tmask) - 1;
-    const std::size_t high_below = std::max(cmask, tmask) - 1;
-    const std::size_t quarter = amps_.size() >> 2;
-    // Quarter-space iteration: enumerate the (control=1, target=0)
-    // indices directly and swap with their target=1 partners.
-    for (std::size_t k = 0; k < quarter; ++k) {
-        const std::size_t i =
-            expandPair(k, low_below, high_below) | cmask;
-        std::swap(amps_[i], amps_[i | tmask]);
-    }
+    activeKernels().applyCX(re_.data(), im_.data(), re_.size(),
+                            std::size_t{1} << control,
+                            std::size_t{1} << target);
 }
 
 void
@@ -187,16 +108,8 @@ StateVector::applyCZ(int a, int b)
 {
     require(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_ &&
             a != b, "applyCZ: bad qubit pair");
-    const std::size_t amask = std::size_t{1} << a;
-    const std::size_t bmask = std::size_t{1} << b;
-    const std::size_t low_below = std::min(amask, bmask) - 1;
-    const std::size_t high_below = std::max(amask, bmask) - 1;
-    const std::size_t quarter = amps_.size() >> 2;
-    for (std::size_t k = 0; k < quarter; ++k) {
-        const std::size_t i =
-            expandPair(k, low_below, high_below) | amask | bmask;
-        amps_[i] = -amps_[i];
-    }
+    activeKernels().applyCZ(re_.data(), im_.data(), re_.size(),
+                            std::size_t{1} << a, std::size_t{1} << b);
 }
 
 void
@@ -204,16 +117,9 @@ StateVector::applySwap(int a, int b)
 {
     require(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_ &&
             a != b, "applySwap: bad qubit pair");
-    const std::size_t amask = std::size_t{1} << a;
-    const std::size_t bmask = std::size_t{1} << b;
-    const std::size_t low_below = std::min(amask, bmask) - 1;
-    const std::size_t high_below = std::max(amask, bmask) - 1;
-    const std::size_t quarter = amps_.size() >> 2;
-    // Swap amplitudes of ...a=1,b=0... and ...a=0,b=1...
-    for (std::size_t k = 0; k < quarter; ++k) {
-        const std::size_t i = expandPair(k, low_below, high_below);
-        std::swap(amps_[i | amask], amps_[i | bmask]);
-    }
+    activeKernels().applySwap(re_.data(), im_.data(), re_.size(),
+                              std::size_t{1} << a,
+                              std::size_t{1} << b);
 }
 
 void
@@ -256,26 +162,20 @@ StateVector::applyGate(const Gate &gate)
 double
 StateVector::probability(Bits index) const
 {
-    require(index < amps_.size(),
+    require(index < re_.size(),
             "StateVector::probability: out of range");
-    return std::norm(amps_[index]);
-}
-
-std::vector<double>
-StateVector::probabilities() const
-{
-    std::vector<double> probs(amps_.size());
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        probs[i] = std::norm(amps_[i]);
-    return probs;
+    return re_[index] * re_[index] + im_[index] * im_[index];
 }
 
 double
 StateVector::normSquared() const
 {
+    // Sequential accumulation in index order: an ordered reduction,
+    // deliberately not vectorised or reassociated so the total is
+    // bit-identical for every kernel tier and thread count.
     double total = 0.0;
-    for (const Amp &a : amps_)
-        total += std::norm(a);
+    for (std::size_t i = 0; i < re_.size(); ++i)
+        total += re_[i] * re_[i] + im_[i] * im_[i];
     return total;
 }
 
@@ -285,8 +185,10 @@ StateVector::normalize()
     const double n2 = normSquared();
     require(n2 > 0.0, "StateVector::normalize: zero state");
     const double inv = 1.0 / std::sqrt(n2);
-    for (Amp &a : amps_)
-        a *= inv;
+    for (std::size_t i = 0; i < re_.size(); ++i) {
+        re_[i] *= inv;
+        im_[i] *= inv;
+    }
 }
 
 Bits
@@ -299,12 +201,12 @@ Bits
 StateVector::sampleOutcome(common::Rng &rng, double norm_total) const
 {
     double r = rng.uniform() * norm_total;
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-        r -= std::norm(amps_[i]);
+    for (std::size_t i = 0; i < re_.size(); ++i) {
+        r -= re_[i] * re_[i] + im_[i] * im_[i];
         if (r < 0.0)
             return i;
     }
-    return amps_.size() - 1;
+    return re_.size() - 1;
 }
 
 std::vector<Bits>
@@ -335,12 +237,14 @@ StateVector::sampleShots(common::Rng &rng, int shots,
     // Single CDF sweep: outcome(r) is the first index whose running
     // prefix sum exceeds r — the upper_bound semantics of a
     // materialised-CDF binary search, without the 2^n CDF array.
+    // Probabilities are fused into the sweep from the SoA planes; no
+    // intermediate probability vector exists.
     std::vector<Bits> out(draws.size());
     std::size_t pos = 0;
     double acc = 0.0;
-    for (std::size_t i = 0; i < amps_.size() && pos < order.size();
+    for (std::size_t i = 0; i < re_.size() && pos < order.size();
          ++i) {
-        acc += std::norm(amps_[i]);
+        acc += re_[i] * re_[i] + im_[i] * im_[i];
         while (pos < order.size() && draws[order[pos]] < acc) {
             out[order[pos]] = i;
             ++pos;
@@ -349,7 +253,7 @@ StateVector::sampleShots(common::Rng &rng, int shots,
     // Draws at or beyond the accumulated total (rounding) land on the
     // last basis state.
     for (; pos < order.size(); ++pos)
-        out[order[pos]] = amps_.size() - 1;
+        out[order[pos]] = re_.size() - 1;
     return out;
 }
 

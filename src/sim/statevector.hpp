@@ -1,13 +1,21 @@
 /**
  * @file
- * Dense state-vector backend.
+ * Dense state-vector backend, structure-of-arrays layout.
  *
  * Qubit i maps to bit i of the basis-state index.  At the paper's
  * scale (<= 24 qubits) a dense complex vector is at most 256 MiB;
  * the benchmarks stay well below that.
  *
- * Gate application is organised as a small family of specialised
- * kernels instead of one generic 2x2 routine:
+ * Amplitudes live in two separate 64-byte-aligned double planes
+ * (re_/im_) instead of interleaved std::complex pairs: the gate
+ * kernels then stream contiguous same-component runs, which is what
+ * lets the SSE2/AVX2/NEON tiers (sim/kernels.hpp) issue full-width
+ * vector loads.  Gate application dispatches through the runtime
+ * kernel table (activeKernels()); all tiers run the same per-lane
+ * formulas in the same order, so results are bit-identical to the
+ * historical interleaved scalar engine.
+ *
+ * The kernel family is unchanged from the scalar engine:
  *
  *  - apply1q      — stride-based half-space iteration over
  *                   (pair, pair+2^q) amplitude pairs, no per-element
@@ -21,11 +29,8 @@
  *                   arithmetic at all.
  *  - applyCZ      — quarter-space sign flip.
  *
- * Every specialised kernel performs, per amplitude, the same
- * floating-point operations the generic 2x2 routine would (the zero
- * and one matrix entries contribute exactly +-0 products), so
- * switching kernels never changes results beyond the sign of zero —
- * see tests/sim/test_kernels.cpp.
+ * Norm accumulation and CDF sampling are ordered reductions and stay
+ * scalar-sequential regardless of the dispatched tier.
  */
 
 #ifndef HAMMER_SIM_STATEVECTOR_HPP
@@ -34,6 +39,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/bitops.hpp"
 #include "common/rng.hpp"
 #include "sim/gate.hpp"
@@ -50,7 +56,15 @@ class StateVector
     explicit StateVector(int num_qubits);
 
     int numQubits() const { return numQubits_; }
-    std::size_t dimension() const { return amps_.size(); }
+    std::size_t dimension() const { return re_.size(); }
+
+    /** Real-component plane (length 2^n, 64-byte aligned). */
+    const double *reData() const { return re_.data(); }
+    double *reData() { return re_.data(); }
+
+    /** Imaginary-component plane (length 2^n, 64-byte aligned). */
+    const double *imData() const { return im_.data(); }
+    double *imData() { return im_.data(); }
 
     /** Amplitude of basis state @p index. */
     Amp amplitude(common::Bits index) const;
@@ -96,9 +110,6 @@ class StateVector
     /** Probability of measuring basis state @p index. */
     double probability(common::Bits index) const;
 
-    /** Full measurement distribution |amp|^2 (length 2^n). */
-    std::vector<double> probabilities() const;
-
     /** Sum of |amp|^2 (should stay 1 up to rounding). */
     double normSquared() const;
 
@@ -130,7 +141,9 @@ class StateVector
      * RNG stream is identical to sampling one by one), sorts them,
      * and resolves every shot in a single O(2^n + shots) sweep of the
      * implicit CDF, instead of shots x log(2^n) binary searches over
-     * a materialised 2^n-entry CDF array.
+     * a materialised 2^n-entry CDF array.  Per-state probabilities
+     * are computed on the fly from the SoA planes inside the sweep —
+     * no intermediate probability vector is ever materialised.
      */
     std::vector<common::Bits> sampleShots(common::Rng &rng,
                                           int shots) const;
@@ -141,7 +154,8 @@ class StateVector
 
   private:
     int numQubits_;
-    std::vector<Amp> amps_;
+    common::AlignedVector<double> re_;
+    common::AlignedVector<double> im_;
 };
 
 } // namespace hammer::sim

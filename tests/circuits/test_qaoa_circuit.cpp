@@ -51,8 +51,8 @@ TEST(QaoaCircuit, SingleLayerBeatsRandomGuessing)
     const Graph g = hammer::graph::ring(6);
     const QaoaParams params = linearRampParams(1);
     const auto state = hammer::sim::runCircuit(qaoaCircuit(g, params));
-    const auto dist = hammer::core::Distribution::fromDense(
-        6, state.probabilities());
+    const auto dist = hammer::core::Distribution::fromProbabilityFn(
+        6, [&](std::size_t i) { return state.probability(i); });
     EXPECT_LT(hammer::qaoa::costExpectation(dist, g), -0.5);
 }
 
@@ -62,8 +62,9 @@ TEST(QaoaCircuit, MoreLayersImproveIdealCostRatio)
     auto cr_at = [&](int p) {
         const auto state = hammer::sim::runCircuit(
             qaoaCircuit(g, linearRampParams(p)));
-        const auto dist = hammer::core::Distribution::fromDense(
-            6, state.probabilities());
+        const auto dist =
+            hammer::core::Distribution::fromProbabilityFn(
+                6, [&](std::size_t i) { return state.probability(i); });
         return hammer::qaoa::costRatio(dist, g);
     };
     EXPECT_GT(cr_at(3), cr_at(1))

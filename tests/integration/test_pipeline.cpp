@@ -137,8 +137,8 @@ TEST(Pipeline, HammerReducesTvdToIdealQaoa)
     const auto g = hammer::graph::ring(8);
     const auto circuit = qaoaCircuit(g, linearRampParams(2));
     const auto ideal_state = hammer::sim::runCircuit(circuit);
-    const Distribution ideal =
-        Distribution::fromDense(8, ideal_state.probabilities());
+    const Distribution ideal = Distribution::fromProbabilityFn(
+        8, [&](std::size_t i) { return ideal_state.probability(i); });
 
     ChannelSampler sampler(machinePreset("machineA").scaled(2.0));
     const auto routed = trivialRouting(circuit);

@@ -237,8 +237,8 @@ TEST(ChannelSampler, RoutedCircuitSuffersMoreThanUnrouted)
 
     Rng rng_a(8), rng_b(9);
     const auto ideal_state = hammer::sim::runCircuit(circuit);
-    const auto ideal = Distribution::fromDense(
-        8, ideal_state.probabilities());
+    const auto ideal = Distribution::fromProbabilityFn(
+        8, [&](std::size_t i) { return ideal_state.probability(i); });
     const auto d_unrouted = sampler.sample(unrouted, 8, 12000, rng_a);
     const auto d_routed = sampler.sample(routed, 8, 12000, rng_b);
     EXPECT_GT(hammer::metrics::classicalFidelity(d_unrouted, ideal),

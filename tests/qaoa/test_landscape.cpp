@@ -26,8 +26,9 @@ idealProducer(const Graph &g)
         params.betas = {beta};
         const auto state = hammer::sim::runCircuit(
             hammer::circuits::qaoaCircuit(g, params));
-        return Distribution::fromDense(g.numVertices(),
-                                       state.probabilities());
+        return Distribution::fromProbabilityFn(
+            g.numVertices(),
+            [&](std::size_t i) { return state.probability(i); });
     };
 }
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run a test binary under a forced kernel tier.
+#
+# Usage: run_tier_suite.sh <hammer_cli> <tier> <test-binary> [args...]
+#
+# Exits 77 (the ctest SKIP_RETURN_CODE) when this host cannot run the
+# requested tier, so the same parity test list works on any machine —
+# an sse2-only box skips the avx2 leg instead of failing it.
+set -u
+
+cli="$1"
+tier="$2"
+shift 2
+
+supported=$("$cli" --kernels | grep '^supported tiers:') || {
+    echo "run_tier_suite: could not query supported tiers" >&2
+    exit 1
+}
+if ! grep -qw "$tier" <<<"$supported"; then
+    echo "kernel tier '$tier' unsupported on this host ($supported); skipping"
+    exit 77
+fi
+
+HAMMER_KERNELS="$tier" exec "$@"

@@ -96,6 +96,7 @@
 #include "core/io.hpp"
 #include "net/router.hpp"
 #include "net/shard_worker.hpp"
+#include "sim/kernels.hpp"
 
 namespace {
 
@@ -158,7 +159,10 @@ usage(int exit_code)
         "--listen); SIGTERM drains cleanly\n"
         "  --listen <addr>   shard listen address "
         "(unix:/path | tcp:host:port)\n"
-        "  --list <what>     workloads | backends | mitigations\n");
+        "  --list <what>     workloads | backends | mitigations\n"
+        "diagnostics:\n"
+        "  --kernels         print the dispatched simulation kernel "
+        "tier (ISA), vector and batch widths, and exit\n");
     std::exit(exit_code);
 }
 
@@ -200,6 +204,27 @@ emit(const hammer::api::Result &result, const std::string &format,
         hammer::core::writeDistributionCsv(
             std::cout, truncated(result.mitigated, top));
     }
+}
+
+/**
+ * --kernels: report the dispatched kernel tier.  The "supported
+ * tiers" line is machine-parsed by tests/sim/run_tier_suite.sh to
+ * decide whether a forced-tier parity leg runs or skips.
+ */
+int
+printKernels()
+{
+    namespace sim = hammer::sim;
+    const sim::KernelTable &active = sim::activeKernels();
+    std::printf("active tier: %s\n", sim::tierName(active.tier));
+    std::printf("vector width: %d doubles\n", active.lanes);
+    std::printf("batch lane multiple: %d doubles\n",
+                static_cast<int>(sim::kBatchLaneMultiple));
+    std::printf("supported tiers:");
+    for (sim::KernelTier tier : sim::supportedTiers())
+        std::printf(" %s", sim::tierName(tier));
+    std::printf("\n");
+    return 0;
 }
 
 /** --list <what>: enumerate one registry. */
@@ -645,6 +670,8 @@ main(int argc, char **argv)
             shard_mode = true;
         } else if (arg == "--listen") {
             listen_address = next_value("--listen");
+        } else if (arg == "--kernels") {
+            return printKernels();
         } else if (arg == "--list") {
             return listRegistry(next_value("--list"));
         } else if (arg == "--machine") {
