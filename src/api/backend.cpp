@@ -1,5 +1,6 @@
 #include "api/backend.hpp"
 
+#include "api/autoplan.hpp"
 #include "api/service.hpp"
 #include "common/logging.hpp"
 #include "noise/exact_sampler.hpp"
@@ -96,8 +97,15 @@ defaultBackendRegistry()
 {
     BackendRegistry registry;
     registry.add("trajectory", [](const BackendSpec &spec) {
+        // Batching-planner constants (dispatch overhead, injection
+        // weight, checkpoint budget) come from the active
+        // calibration; the compiled-in table reproduces the old
+        // hand-tuned defaults, and none of them change histograms.
+        ensureEnvCalibrationLoaded();
         return std::make_unique<noise::TrajectorySampler>(
-            resolveNoiseModel(spec), spec.trajectories);
+            resolveNoiseModel(spec), spec.trajectories,
+            plan::replayOptionsFor(plan::PlanChoice{},
+                                   plan::activeCalibration()));
     });
     registry.add("channel", [](const BackendSpec &spec) {
         return std::make_unique<noise::ChannelSampler>(
@@ -114,6 +122,9 @@ defaultBackendRegistry()
     });
     registry.add("service", [](const BackendSpec &spec) {
         return std::make_unique<ServiceSampler>(spec);
+    });
+    registry.add("auto", [](const BackendSpec &spec) {
+        return std::make_unique<AutoSampler>(spec);
     });
     return registry;
 }

@@ -83,6 +83,9 @@ void validateBackendSpec(const BackendSpec &spec);
  *   service       queued front door: batched execution routed
  *                 through ExecutionService::shared()'s job queue,
  *                 delegating to BackendSpec::serviceBackend
+ *   auto          cost-model-selected: ranks candidate plans under
+ *                 the active plan::CalibrationTable and executes the
+ *                 cheapest, bit-identical to that backend
  */
 class BackendRegistry
 {

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "api/autoplan.hpp"
 #include "api/json.hpp"
 #include "common/checksum.hpp"
 #include "common/logging.hpp"
@@ -241,6 +242,7 @@ struct ExecutionService::JobHandle::Job
     std::uint64_t id = 0;
     std::string label;      ///< Spec label ("" = workload spec).
     bool fromCache = false; ///< Satisfied from the result LRU.
+    double estimatedCost = 0.0; ///< Admission-time predicted seconds.
     std::shared_future<Result> future;
 };
 
@@ -256,6 +258,13 @@ ExecutionService::JobHandle::servedFromCache() const
 {
     require(valid(), "JobHandle: invalid handle");
     return job_->fromCache;
+}
+
+double
+ExecutionService::JobHandle::estimatedCost() const
+{
+    require(valid(), "JobHandle: invalid handle");
+    return job_->estimatedCost;
 }
 
 // ---------------------------------------------------------------------------
@@ -348,8 +357,20 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
     const auto fullKey = canonicalSpecKey(spec);
     const auto execKey = canonicalExecKey(spec);
 
+    // Admission control: predict the job's cost before it touches
+    // the queue.  The prediction orders same-priority jobs (cheap
+    // before expensive) via the pool's aged-FIFO bias, capped so an
+    // expensive job is overtaken by at most costBiasCap later
+    // submissions — starvation-proof by construction.
+    const double predicted = estimateSpecCost(spec);
+    const std::uint64_t costBias = std::min<std::uint64_t>(
+        options_.costBiasCap,
+        static_cast<std::uint64_t>(
+            std::max(0.0, predicted * options_.costBiasPerSecond)));
+
     auto job = std::make_shared<JobHandle::Job>();
     job->label = spec.label;
+    job->estimatedCost = predicted;
 
     // The job's future comes from an explicit promise (not the
     // pool's) so the in-flight entry can be registered before the
@@ -413,6 +434,13 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
         if (cached) {
             ++stats_.completed;
             job->fromCache = true;
+        } else {
+            // Queue high-water mark, counting this job's slot.
+            const std::uint64_t depth =
+                static_cast<std::uint64_t>(pool_->queuedJobs()) + 1;
+            if (pool_->threadCount() > 1 &&
+                depth > stats_.queuePeakDepth)
+                stats_.queuePeakDepth = depth;
         }
 
         // This submit owns the execution: register it before any
@@ -452,7 +480,7 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
 
     pool_->submit(
         [this, spec = std::move(spec), fullKey, execKey, promise,
-         jobId = job->id] {
+         predicted, jobId = job->id] {
             WorkerScope scope;
             // CPU time of this worker thread, not wall-clock: on an
             // oversubscribed machine concurrent workers time-slice
@@ -513,8 +541,14 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
                                               std::move(entry));
                         inflightJobs_.erase(*fullKey);
                     }
+                    const double busy = busyElapsed();
                     ++stats_.completed;
-                    stats_.busySeconds += busyElapsed();
+                    stats_.busySeconds += busy;
+                    // Calibration-drift telemetry: executed jobs
+                    // accumulate prediction and measurement side by
+                    // side.
+                    stats_.predictedCostSeconds += predicted;
+                    stats_.measuredCostSeconds += busy;
                 }
                 promise->set_value(std::move(result));
             } catch (...) {
@@ -528,7 +562,7 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
                 promise->set_exception(std::current_exception());
             }
         },
-        priority);
+        priority, costBias);
 
     return JobHandle(job);
 }
@@ -887,6 +921,11 @@ serviceStatsJson(const ServiceStats &stats, int workers)
     json.key("coalesce_dropped").value(stats.coalesceDropped);
     json.key("wait_timeouts").value(stats.waitTimeouts);
     json.key("shutdown_rejections").value(stats.shutdownRejections);
+    json.key("queue_peak_depth").value(stats.queuePeakDepth);
+    json.key("predicted_cost_seconds")
+        .value(stats.predictedCostSeconds);
+    json.key("measured_cost_seconds")
+        .value(stats.measuredCostSeconds);
     json.key("busy_seconds").value(stats.busySeconds);
     json.endObject();
     return json.str();

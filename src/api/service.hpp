@@ -185,6 +185,23 @@ struct ExecutionServiceOptions
      * end-to-end (retry, then WorkerLostError).
      */
     std::shared_ptr<common::FaultInjector> faultInjector;
+
+    /**
+     * Admission control: scale from a job's predicted cost
+     * (estimateSpecCost, seconds) to its queue order bias.  Within a
+     * priority level the queue runs by (submission sequence + bias),
+     * so cheap jobs overtake expensive ones that arrived just before
+     * them.  0 disables cost-aware ordering (pure FIFO).
+     */
+    double costBiasPerSecond = 256.0;
+
+    /**
+     * Cap on the admission bias — the starvation bound.  However
+     * expensive a job looks, at most this many later cheap
+     * submissions can overtake it before it runs (the aging term:
+     * newer jobs' sequence numbers eventually exceed seq + cap).
+     */
+    std::uint64_t costBiasCap = 4096;
 };
 
 /**
@@ -255,6 +272,24 @@ struct ServiceStats
     std::uint64_t shutdownRejections = 0;
 
     /**
+     * High-water mark of the pool's job queue depth, observed at
+     * submit time (counts the submitting job).  0 on a 1-worker
+     * service — jobs run inline, the queue never grows.
+     */
+    std::uint64_t queuePeakDepth = 0;
+
+    /**
+     * Sum of predicted job costs (estimateSpecCost, seconds) over
+     * successfully executed jobs, with the matching measured CPU
+     * seconds alongside — the calibration-drift telemetry: when
+     * measured/predicted wanders from ~1, re-fit with
+     * hammer_calibrate.  Cache hits and coalesced attaches are
+     * excluded from both sides.
+     */
+    double predictedCostSeconds = 0.0;
+    double measuredCostSeconds = 0.0;
+
+    /**
      * Wall-clock seconds spent actually running jobs (all attempts,
      * summed across workers).  Machine-independent-ish measure of
      * compute consumed: cache hits and coalesced attaches add
@@ -323,6 +358,15 @@ class ExecutionService
 
         /** True when submit() satisfied this job from the LRU. */
         bool servedFromCache() const;
+
+        /**
+         * Predicted execution cost in seconds (estimateSpecCost at
+         * admission time); the value the queue's cost-aware
+         * ordering used.  Cache hits and coalesced attaches carry
+         * the same prediction even though they cost nothing to
+         * serve.
+         */
+        double estimatedCost() const;
 
       private:
         friend class ExecutionService;

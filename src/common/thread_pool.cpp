@@ -120,7 +120,8 @@ ThreadPool::passesFaultGate(std::uint64_t seq)
 }
 
 void
-ThreadPool::enqueueJob(std::function<void()> run, int priority)
+ThreadPool::enqueueJob(std::function<void()> run, int priority,
+                       std::uint64_t orderBias)
 {
     if (threadCount_ == 1) {
         // No dedicated workers: run inline, as parallelFor does.
@@ -137,7 +138,9 @@ ThreadPool::enqueueJob(std::function<void()> run, int priority)
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        jobs_.push(QueuedJob{priority, jobSeq_++, std::move(run)});
+        const std::uint64_t seq = jobSeq_++;
+        jobs_.push(
+            QueuedJob{priority, seq, seq + orderBias, std::move(run)});
     }
     wake_.notify_one();
 }

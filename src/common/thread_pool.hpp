@@ -93,20 +93,27 @@ class ThreadPool
      * caller before submit() returns (there are no dedicated workers
      * to hand it to), mirroring parallelFor's inline fast path.
      *
+     * @p orderBias ages a job within its priority level: the FIFO
+     * tiebreak compares (submission sequence + orderBias), so a job
+     * with bias B yields to up to B later zero-bias submissions and
+     * then runs — the starvation-proof "estimated cost" ordering
+     * admission control uses (api::ExecutionService).  Bias never
+     * crosses priority levels.
+     *
      * Jobs still queued when the pool is destroyed are discarded —
      * their futures throw std::future_error (broken_promise) from
      * get() — so tearing a pool down never executes a stale backlog;
      * jobs already started by a worker are joined to completion.
      */
     template <typename F>
-    auto submit(F &&fn, int priority = 0)
+    auto submit(F &&fn, int priority = 0, std::uint64_t orderBias = 0)
         -> std::future<std::invoke_result_t<std::decay_t<F>>>
     {
         using R = std::invoke_result_t<std::decay_t<F>>;
         auto task = std::make_shared<std::packaged_task<R()>>(
             std::forward<F>(fn));
         std::future<R> future = task->get_future();
-        enqueueJob([task] { (*task)(); }, priority);
+        enqueueJob([task] { (*task)(); }, priority, orderBias);
         return future;
     }
 
@@ -202,18 +209,20 @@ class ThreadPool
     struct QueuedJob
     {
         int priority = 0;
-        std::uint64_t seq = 0; // FIFO tiebreak within a priority
+        std::uint64_t seq = 0;      // Submission sequence (fault key).
+        std::uint64_t orderKey = 0; // seq + orderBias: aged FIFO rank.
         std::function<void()> run;
 
         bool operator<(const QueuedJob &other) const
         {
             if (priority != other.priority)
                 return priority < other.priority;
-            return seq > other.seq;
+            return orderKey > other.orderKey;
         }
     };
 
-    void enqueueJob(std::function<void()> run, int priority);
+    void enqueueJob(std::function<void()> run, int priority,
+                    std::uint64_t orderBias);
     void workerLoop(int slot);
     void runRound(int slot);
 

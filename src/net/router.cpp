@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "api/autoplan.hpp"
 #include "api/json.hpp"
 #include "api/service.hpp"
 #include "common/checksum.hpp"
@@ -47,6 +48,7 @@ ShardRouter::ShardRouter(ShardRouterOptions options)
         shard->address = address;
         shards_.push_back(std::move(shard));
     }
+    pendingCost_.assign(shards_.size(), 0.0);
     if (options_.heartbeatIntervalMs > 0)
         heartbeat_ = std::thread(&ShardRouter::heartbeatLoop, this);
 }
@@ -94,6 +96,7 @@ ShardRouter::submit(const std::string &line)
         api::canonicalExecKey(parsed.spec);
     const std::uint64_t hash =
         mix64(common::fnv1a64(execKey ? *execKey : line));
+    const double cost = api::estimateSpecCost(parsed.spec);
 
     std::uint64_t id = 0;
     {
@@ -104,6 +107,30 @@ ShardRouter::submit(const std::string &line)
         Job job;
         job.line = line;
         job.hash = hash;
+        job.cost = cost;
+
+        // Home shard: the affinity map wins (repeats of a key must
+        // keep hitting the shard whose caches hold it); a never-seen
+        // key has no cache to protect, so take the less-loaded of
+        // its two hash candidates by estimated pending cost.
+        const std::size_t n = shards_.size();
+        const auto it = affinity_.find(hash);
+        if (it != affinity_.end()) {
+            job.base = it->second;
+        } else {
+            const std::size_t c0 = hash % n;
+            const std::size_t c1 = (hash + 1) % n;
+            job.base =
+                pendingCost_[c1] < pendingCost_[c0] ? c1 : c0;
+            if (job.base != c0)
+                ++stats_.costSteered;
+            // Bounded memory: the map only needs to cover the warm
+            // working set; a full reset only costs re-balancing.
+            if (affinity_.size() >= 65536)
+                affinity_.clear();
+            affinity_.emplace(hash, job.base);
+        }
+        pendingCost_[job.base] += cost;
         jobs_.emplace(id, std::move(job));
         ++stats_.submitted;
         stats_.busySeconds +=
@@ -122,7 +149,7 @@ ShardRouter::dispatchJob(std::uint64_t id)
     for (;;) {
         int attempt = 0;
         std::string line;
-        std::uint64_t hash = 0;
+        std::size_t base = 0;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (stopping_)
@@ -138,6 +165,7 @@ ShardRouter::dispatchJob(std::uint64_t id)
                     "job " + std::to_string(id) + ": " +
                     std::to_string(options_.maxAttempts) +
                     " dispatch attempts exhausted";
+                settleJobCost(job);
                 jobsCv_.notify_all();
                 return;
             }
@@ -145,11 +173,11 @@ ShardRouter::dispatchJob(std::uint64_t id)
             if (attempt > 0)
                 ++stats_.retries;
             line = job.line;
-            hash = job.hash;
+            base = job.base;
         }
 
         const std::size_t index =
-            (hash + static_cast<std::uint64_t>(attempt)) % n;
+            (base + static_cast<std::uint64_t>(attempt)) % n;
 
         // Chaos seam first, before any liveness check: the key
         // sequence a same-seed replay consults must depend only on
@@ -207,6 +235,17 @@ ShardRouter::dispatchJob(std::uint64_t id)
         }
         return;
     }
+}
+
+void
+ShardRouter::settleJobCost(const Job &job)
+{
+    if (job.base >= pendingCost_.size())
+        return;
+    double &pending = pendingCost_[job.base];
+    pending -= job.cost;
+    if (pending < 0.0)
+        pending = 0.0;
 }
 
 std::shared_ptr<Socket>
@@ -376,6 +415,7 @@ ShardRouter::handleJobFrame(std::size_t index, FrameType type,
             job.state = Job::State::Done;
             job.resultJson = parsed.body;
             job.shard = -1;
+            settleJobCost(job);
             ++stats_.resultsReceived;
             jobsCv_.notify_all();
         } else {
@@ -384,6 +424,7 @@ ShardRouter::handleJobFrame(std::size_t index, FrameType type,
                 parsed.kind.empty() ? "internal" : parsed.kind;
             job.errorMessage = parsed.body;
             job.shard = -1;
+            settleJobCost(job);
             ++stats_.errorsReceived;
             jobsCv_.notify_all();
         }

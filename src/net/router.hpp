@@ -8,7 +8,11 @@
  * key (api::canonicalExecKey): identical executions always land on
  * the same shard, so the fleet's result/exec caches and in-flight
  * coalescing keep their full hit rates — cache affinity is the whole
- * point of hashing by exec key rather than round-robin.
+ * point of hashing by exec key rather than round-robin.  A key the
+ * router has *never* seen has no cache to protect yet, so its home
+ * shard is picked by estimated cost (api::estimateSpecCost): the
+ * less loaded of the key's two hash candidates, remembered in an
+ * affinity map so later repeats still coalesce.
  *
  * Failure semantics (the distributed mirror of ExecutionService's):
  *
@@ -153,6 +157,14 @@ struct RouterStats
     std::uint64_t heartbeatsSent = 0;  ///< Probes written.
 
     /**
+     * Never-seen exec keys whose home shard was steered off the pure
+     * hash slot because the alternative candidate carried less
+     * estimated pending cost (cost-aware admission at the fleet
+     * level).
+     */
+    std::uint64_t costSteered = 0;
+
+    /**
      * Wall-clock seconds the router spent on its serial per-job work
      * (spec parsing + affinity hashing).  The router-side term of
      * bench_shard_throughput's critical-path model.
@@ -266,6 +278,8 @@ class ShardRouter
 
         std::string line;
         std::uint64_t hash = 0;
+        std::size_t base = 0; ///< Home shard (affinity or least-loaded).
+        double cost = 0.0;    ///< Estimated seconds (load accounting).
         int attempt = 0; ///< Next attempt number to dispatch with.
         int shard = -1;  ///< Shard awaiting a response (-1 = none).
         State state = State::Pending;
@@ -279,11 +293,18 @@ class ShardRouter
 
     /**
      * Drive one job to a dispatched (or terminally failed) state:
-     * pick shard (hash + attempt) % n, consult the ShardSend seam,
+     * pick shard (base + attempt) % n, consult the ShardSend seam,
      * connect if needed, send.  Loops over attempts; send failures
      * mark the shard dead and re-route its other pending jobs.
      */
     void dispatchJob(std::uint64_t id);
+
+    /**
+     * Settle a job's load accounting: subtract its estimated cost
+     * from its home shard's pending total.  Caller holds mutex_;
+     * called exactly once, when the job reaches a terminal state.
+     */
+    void settleJobCost(const Job &job);
 
     /**
      * Connection for shard @p index, (re)connecting within the
@@ -316,6 +337,10 @@ class ShardRouter
     std::condition_variable jobsCv_;  ///< Job completions.
     std::condition_variable statsCv_; ///< StatsReply arrivals.
     std::unordered_map<std::uint64_t, Job> jobs_;
+    /** exec-key hash -> home shard (cache affinity, bounded). */
+    std::unordered_map<std::uint64_t, std::size_t> affinity_;
+    /** Estimated seconds of unresolved work homed on each shard. */
+    std::vector<double> pendingCost_;
     std::uint64_t nextJobId_ = 0;
     RouterStats stats_;
     bool stopping_ = false;

@@ -248,6 +248,16 @@ CachedExactSampler::sampleBatch(const circuits::RoutedCircuit &routed,
     return merged.toDistribution(measured_qubits);
 }
 
+bool
+CachedExactSampler::isCached(const circuits::RoutedCircuit &routed,
+                             int measured_qubits) const
+{
+    ExactCache &cache = exactCache();
+    const std::string key = exactKey(routed, measured_qubits, model_);
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return cache.distributions.find(key) != cache.distributions.end();
+}
+
 std::size_t
 CachedExactSampler::cacheSize()
 {

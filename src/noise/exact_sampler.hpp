@@ -106,6 +106,15 @@ class CachedExactSampler final : public NoisySampler
     std::shared_ptr<const core::Distribution> cachedDistribution(
         const circuits::RoutedCircuit &routed, int measured_qubits) const;
 
+    /**
+     * Pure probe: true when the exact distribution for this
+     * (circuit, model, measured qubits) is already cached.  Never
+     * computes or counts as a lookup — the cost model uses it to
+     * price the warm-cache plan without perturbing hit statistics.
+     */
+    bool isCached(const circuits::RoutedCircuit &routed,
+                  int measured_qubits) const;
+
     /** Number of distributions currently cached (process-wide). */
     static std::size_t cacheSize();
 

@@ -66,6 +66,24 @@ struct ReplayOptions
      * the historical single-state path).
      */
     int batchLanes = 8;
+
+    /**
+     * Fixed per-gate dispatch cost, expressed as equivalent amplitude
+     * rows.  Batched replay amortises only this fixed part across
+     * lanes, so it decides when an SoA sweep beats single-state
+     * replays.  The default matches the hand calibration of the
+     * original batching planner; plan::CalibrationTable carries a
+     * fitted value (plan::replayOptionsFor).
+     */
+    double dispatchOverheadRows = 512.0;
+
+    /**
+     * Relative cost of one per-lane error injection versus one
+     * batched gate application (a strided pass drags every padded
+     * lane through the cache).  Same calibration story as
+     * dispatchOverheadRows.
+     */
+    double injectionWeight = 4.0 / 3.0;
 };
 
 /** Work accounting for the replay engine (gate applications). */

@@ -255,14 +255,15 @@ TrajectorySampler::sampleBatch(const circuits::RoutedCircuit &routed,
     //
     // The model, in amplitude-row units: a gate application costs
     // (overhead + rows), where `overhead` is the fixed per-gate
-    // dispatch cost expressed as equivalent rows (~512 amplitudes on
-    // current hardware).  Batching amortises only that fixed part
-    // across lanes, so it pays off on small, overhead-dominated
-    // states; for large states the sweep is bandwidth-bound and a
-    // lane stays as cheap alone as in a batch.  A per-lane error
-    // injection is a strided pass that drags every padded lane
-    // through the cache — about 4/3 of a whole batched gate — which
-    // makes event-dense trajectories poor batching candidates.
+    // dispatch cost expressed as equivalent rows
+    // (options_.dispatchOverheadRows, calibrated).  Batching
+    // amortises only that fixed part across lanes, so it pays off on
+    // small, overhead-dominated states; for large states the sweep
+    // is bandwidth-bound and a lane stays as cheap alone as in a
+    // batch.  A per-lane error injection is a strided pass that
+    // drags every padded lane through the cache — about one
+    // injectionWeight of a whole batched gate — which makes
+    // event-dense trajectories poor batching candidates.
     std::vector<WorkItem> items;
     std::vector<std::size_t> noisy;
     for (std::size_t idx = 0; idx < pending.size(); ++idx) {
@@ -283,7 +284,7 @@ TrajectorySampler::sampleBatch(const circuits::RoutedCircuit &routed,
     const std::size_t lanes =
         static_cast<std::size_t>(engine.batchLanes());
     const std::size_t gates = engine.numGates();
-    const double overhead = 512.0 /
+    const double overhead = options_.dispatchOverheadRows /
         static_cast<double>(engine.cleanState().dimension());
     for (std::size_t at = 0; at < noisy.size();) {
         const std::size_t chunk_start = pending[noisy[at]].start;
@@ -303,7 +304,7 @@ TrajectorySampler::sampleBatch(const circuits::RoutedCircuit &routed,
         const double batched_cost =
             (overhead + static_cast<double>(padded)) *
                 static_cast<double>(sweep) +
-            (4.0 / 3.0) * static_cast<double>(padded) *
+            options_.injectionWeight * static_cast<double>(padded) *
                 static_cast<double>(chunk_events);
         const double single_cost = (overhead + 1.0) *
             static_cast<double>(single_work + chunk_events);

@@ -28,8 +28,9 @@ TEST(BackendRegistry, GlobalKnowsTheBuiltinBackends)
     EXPECT_TRUE(registry.contains("exact"));
     EXPECT_TRUE(registry.contains("exact-cached"));
     EXPECT_TRUE(registry.contains("service"));
+    EXPECT_TRUE(registry.contains("auto"));
     EXPECT_FALSE(registry.contains("remote"));
-    EXPECT_EQ(registry.names().size(), 5u);
+    EXPECT_EQ(registry.names().size(), 6u);
 }
 
 TEST(BackendRegistry, DuplicateRegistrationThrows)

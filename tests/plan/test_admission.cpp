@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Cost-aware admission control: the thread pool's aged-FIFO order
+ * bias (the mechanism) and the ExecutionService's estimated-cost
+ * bias + drift telemetry (the policy), across 1/2/4 workers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "api/service.hpp"
+#include "common/thread_pool.hpp"
+
+namespace {
+
+using hammer::api::ExecutionService;
+using hammer::api::ExecutionServiceOptions;
+using hammer::api::ExperimentSpec;
+using hammer::common::ThreadPool;
+
+ExperimentSpec
+bvSpec(int size, std::uint64_t seed)
+{
+    ExperimentSpec spec;
+    spec.workload = "bv:" + std::to_string(size);
+    spec.backend = "channel";
+    spec.backendSpec.shots = 1000;
+    spec.backendSpec.seed = seed;
+    return spec;
+}
+
+/**
+ * Park every dedicated worker of @p pool on a gate job, so the test
+ * thread can drain the queue deterministically via tryRunOneJob.
+ * Returns the release promise; destroy after draining.
+ */
+class ParkedWorkers
+{
+  public:
+    explicit ParkedWorkers(ThreadPool &pool)
+        : release_(gate_.get_future().share())
+    {
+        const int workers = pool.threadCount() - 1;
+        std::vector<std::future<void>> started;
+        for (int i = 0; i < workers; ++i) {
+            auto flag = std::make_shared<std::promise<void>>();
+            started.push_back(flag->get_future());
+            auto release = release_;
+            parked_.push_back(pool.submit([flag, release] {
+                flag->set_value();
+                release.wait();
+            }));
+        }
+        for (auto &flag : started)
+            flag.wait();
+    }
+
+    ~ParkedWorkers()
+    {
+        gate_.set_value();
+        for (auto &job : parked_)
+            job.wait();
+    }
+
+  private:
+    std::promise<void> gate_;
+    std::shared_future<void> release_;
+    std::vector<std::future<void>> parked_;
+};
+
+} // namespace
+
+TEST(OrderBias, AgesAJobBehindLaterCheapSubmissions)
+{
+    for (const int threads : {2, 4}) {
+        ThreadPool pool(threads);
+        ParkedWorkers parked(pool);
+
+        std::mutex mutex;
+        std::vector<std::string> order;
+        const auto record = [&](const char *name) {
+            return [&order, &mutex, name] {
+                const std::lock_guard<std::mutex> lock(mutex);
+                order.emplace_back(name);
+            };
+        };
+
+        // "expensive" carries a large bias; the cheap jobs submitted
+        // after it must run first (aged FIFO within the priority).
+        auto expensive =
+            pool.submit(record("expensive"), 0, /*orderBias=*/10);
+        auto cheap1 = pool.submit(record("cheap1"));
+        auto cheap2 = pool.submit(record("cheap2"));
+        auto cheap3 = pool.submit(record("cheap3"));
+
+        while (pool.tryRunOneJob()) {
+        }
+        expensive.wait();
+        cheap1.wait();
+        cheap2.wait();
+        cheap3.wait();
+
+        const std::vector<std::string> expected = {
+            "cheap1", "cheap2", "cheap3", "expensive"};
+        EXPECT_EQ(order, expected) << threads << " threads";
+    }
+}
+
+TEST(OrderBias, BiasIsAStarvationBound)
+{
+    ThreadPool pool(2);
+    ParkedWorkers parked(pool);
+
+    std::mutex mutex;
+    std::vector<int> order;
+    const auto record = [&](int id) {
+        return [&order, &mutex, id] {
+            const std::lock_guard<std::mutex> lock(mutex);
+            order.push_back(id);
+        };
+    };
+
+    // Bias 3: the job yields to at most 3 later zero-bias
+    // submissions, however many keep arriving after that.
+    auto biased = pool.submit(record(-1), 0, /*orderBias=*/3);
+    std::vector<std::future<void>> cheap;
+    for (int i = 0; i < 8; ++i)
+        cheap.push_back(pool.submit(record(i)));
+
+    while (pool.tryRunOneJob()) {
+    }
+    biased.wait();
+    for (auto &job : cheap)
+        job.wait();
+
+    ASSERT_EQ(order.size(), 9u);
+    std::size_t position = order.size();
+    for (std::size_t i = 0; i < order.size(); ++i)
+        if (order[i] == -1)
+            position = i;
+    EXPECT_LE(position, 3u)
+        << "bias 3 must not starve past 3 cheap jobs";
+}
+
+TEST(OrderBias, NeverCrossesPriorityLevels)
+{
+    ThreadPool pool(2);
+    ParkedWorkers parked(pool);
+
+    std::mutex mutex;
+    std::vector<std::string> order;
+    const auto record = [&](const char *name) {
+        return [&order, &mutex, name] {
+            const std::lock_guard<std::mutex> lock(mutex);
+            order.emplace_back(name);
+        };
+    };
+
+    auto low = pool.submit(record("low"), /*priority=*/0);
+    auto high = pool.submit(record("high"), /*priority=*/1,
+                            /*orderBias=*/1000000);
+    while (pool.tryRunOneJob()) {
+    }
+    low.wait();
+    high.wait();
+
+    const std::vector<std::string> expected = {"high", "low"};
+    EXPECT_EQ(order, expected);
+}
+
+TEST(OrderBias, SingleThreadPoolRunsInline)
+{
+    ThreadPool pool(1);
+    bool ran = false;
+    auto job = pool.submit([&ran] { ran = true; }, 0,
+                           /*orderBias=*/1000);
+    EXPECT_TRUE(ran) << "inline path must ignore the bias";
+    job.wait();
+}
+
+TEST(ServiceAdmission, TracksPredictedAndMeasuredCost)
+{
+    for (const int workers : {1, 2, 4}) {
+        ExecutionServiceOptions options;
+        options.workers = workers;
+        ExecutionService service(options);
+
+        std::vector<ExperimentSpec> specs;
+        for (std::uint64_t seed = 1; seed <= 6; ++seed)
+            specs.push_back(bvSpec(6, seed));
+        std::vector<ExecutionService::JobHandle> handles;
+        for (const ExperimentSpec &spec : specs) {
+            handles.push_back(service.submit(spec));
+            EXPECT_GT(handles.back().estimatedCost(), 0.0);
+        }
+        for (auto &handle : handles)
+            (void)service.wait(handle);
+
+        const auto stats = service.stats();
+        EXPECT_GT(stats.predictedCostSeconds, 0.0)
+            << workers << " workers";
+        EXPECT_GT(stats.measuredCostSeconds, 0.0)
+            << workers << " workers";
+        if (workers == 1) {
+            EXPECT_EQ(stats.queuePeakDepth, 0u)
+                << "inline execution never queues";
+        }
+    }
+}
+
+TEST(ServiceAdmission, CostBiasNeverChangesResults)
+{
+    ExecutionServiceOptions plain;
+    plain.workers = 2;
+    plain.costBiasPerSecond = 0.0;
+    ExecutionService unbiased(plain);
+
+    ExecutionServiceOptions aggressive;
+    aggressive.workers = 2;
+    aggressive.costBiasPerSecond = 1e9;
+    aggressive.costBiasCap = 64;
+    ExecutionService biased(aggressive);
+
+    std::vector<ExperimentSpec> specs;
+    specs.push_back(bvSpec(8, 1));
+    specs.push_back(bvSpec(6, 2));
+    specs.push_back(bvSpec(7, 3));
+    specs.push_back(bvSpec(6, 4));
+
+    const auto a = unbiased.runMany(specs);
+    const auto b = biased.runMany(specs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].raw.entries().size(),
+                  b[i].raw.entries().size());
+        for (std::size_t e = 0; e < a[i].raw.entries().size(); ++e) {
+            EXPECT_EQ(a[i].raw.entries()[e].outcome,
+                      b[i].raw.entries()[e].outcome);
+            EXPECT_EQ(a[i].raw.entries()[e].probability,
+                      b[i].raw.entries()[e].probability);
+        }
+    }
+}
+
+TEST(ServiceAdmission, QueuePeakDepthAppearsInStatsJson)
+{
+    ExecutionServiceOptions options;
+    options.workers = 2;
+    ExecutionService service(options);
+    std::vector<ExperimentSpec> specs;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        specs.push_back(bvSpec(6, seed));
+    (void)service.runMany(specs);
+
+    const std::string json = hammer::api::serviceStatsJson(
+        service.stats(), service.workers());
+    EXPECT_NE(json.find("\"queue_peak_depth\""), std::string::npos);
+    EXPECT_NE(json.find("\"predicted_cost_seconds\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"measured_cost_seconds\""),
+              std::string::npos);
+}

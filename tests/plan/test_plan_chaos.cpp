@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Chaos leg for the `auto` backend: under injected worker deaths the
+ * service still answers every auto-planned job with a Result that is
+ * bit-identical to an undisturbed run — the cost model picks plans,
+ * it never touches the deterministic replay contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "api/service.hpp"
+#include "chaos/fault_plan.hpp"
+#include "core/distribution.hpp"
+
+namespace {
+
+using hammer::api::ExecutionService;
+using hammer::api::ExecutionServiceOptions;
+using hammer::api::ExperimentSpec;
+using hammer::api::Pipeline;
+using hammer::api::Result;
+using hammer::chaos::FaultPlan;
+using hammer::chaos::FaultPlanOptions;
+using hammer::core::Distribution;
+
+constexpr std::chrono::milliseconds kDeadline{30000};
+
+bool
+identical(const Distribution &a, const Distribution &b)
+{
+    if (a.numBits() != b.numBits() || a.support() != b.support())
+        return false;
+    for (std::size_t i = 0; i < a.entries().size(); ++i) {
+        if (a.entries()[i].outcome != b.entries()[i].outcome ||
+            a.entries()[i].probability != b.entries()[i].probability)
+            return false;
+    }
+    return true;
+}
+
+std::vector<ExperimentSpec>
+autoSpecs()
+{
+    std::vector<ExperimentSpec> specs;
+    for (std::uint64_t seed : {1, 2, 3}) {
+        ExperimentSpec bv;
+        bv.workload = "bv:6";
+        bv.backend = "auto";
+        bv.backendSpec.shots = 1500;
+        bv.backendSpec.trajectories = 25;
+        bv.backendSpec.seed = seed;
+        specs.push_back(bv);
+
+        ExperimentSpec qaoa;
+        qaoa.workload = "qaoa:ring:6:1";
+        qaoa.backend = "auto";
+        qaoa.backendSpec.shots = 1200;
+        qaoa.backendSpec.trajectories = 25;
+        qaoa.backendSpec.seed = seed;
+        specs.push_back(qaoa);
+    }
+    return specs;
+}
+
+} // namespace
+
+TEST(PlanChaos, AutoSurvivesWorkerDeathsBitIdentically)
+{
+    const auto specs = autoSpecs();
+
+    // Undisturbed reference: the synchronous pipeline.
+    const Pipeline pipeline;
+    std::vector<Result> expected;
+    for (const ExperimentSpec &spec : specs)
+        expected.push_back(pipeline.run(spec));
+
+    for (const int workers : {1, 2, 4}) {
+        FaultPlanOptions faults;
+        faults.workerKillRate = 0.2;
+        ExecutionServiceOptions options;
+        options.workers = workers;
+        options.maxRetries = 6;
+        options.faultInjector = std::make_shared<FaultPlan>(99, faults);
+        ExecutionService service(options);
+
+        std::vector<ExecutionService::JobHandle> handles;
+        for (const ExperimentSpec &spec : specs)
+            handles.push_back(service.submit(spec));
+        for (std::size_t i = 0; i < handles.size(); ++i) {
+            const auto result = service.waitFor(handles[i], kDeadline);
+            ASSERT_TRUE(result.has_value())
+                << workers << " workers, job " << i;
+            EXPECT_TRUE(identical(expected[i].raw, result->raw))
+                << workers << " workers, job " << i << ": raw";
+            EXPECT_TRUE(
+                identical(expected[i].mitigated, result->mitigated))
+                << workers << " workers, job " << i << ": mitigated";
+        }
+    }
+}
+
+TEST(PlanChaos, SameSeedReplaysTheSameFaultsAndResults)
+{
+    const auto specs = autoSpecs();
+    const auto runOnce = [&specs] {
+        FaultPlanOptions faults;
+        faults.workerKillRate = 0.25;
+        ExecutionServiceOptions options;
+        options.workers = 2;
+        options.maxRetries = 6;
+        options.faultInjector =
+            std::make_shared<FaultPlan>(4242, faults);
+        ExecutionService service(options);
+        return service.runMany(specs);
+    };
+
+    const std::vector<Result> first = runOnce();
+    const std::vector<Result> second = runOnce();
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_TRUE(identical(first[i].raw, second[i].raw))
+            << "job " << i << ": raw diverged across replays";
+        EXPECT_TRUE(
+            identical(first[i].mitigated, second[i].mitigated))
+            << "job " << i << ": mitigated diverged across replays";
+    }
+}

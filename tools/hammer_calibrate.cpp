@@ -1,0 +1,185 @@
+/**
+ * @file
+ * hammer_calibrate — fit cost-model coefficients from bench
+ * telemetry.
+ *
+ * Reads one or more BENCH_plan.json files (bench/plan_accuracy.cpp
+ * output), rebuilds each grid cell's feature vector from its workload
+ * spec (the grid seed/shots/trajectories are recorded in the
+ * telemetry, so the reconstruction is exact), pairs it with the
+ * measured wall-clock, and runs plan::Calibrator::fit.  The fitted
+ * table lands in calibration.json, ready for `hammer --calibration`
+ * or $HAMMER_CALIBRATION.
+ *
+ * Re-fit procedure (see README "Plan selection & admission control"):
+ *
+ *   HAMMER_BENCH_JSON=1 ./build/bench_plan_accuracy
+ *   ./build/hammer_calibrate BENCH_plan.json -o calibration.json
+ *   HAMMER_CALIBRATION=calibration.json ./build/hammer ...
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "api/autoplan.hpp"
+#include "plan/cost_model.hpp"
+
+namespace {
+
+using namespace hammer;
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [-o <calibration.json>] <BENCH_plan.json>...\n"
+        "\n"
+        "Fits plan::CalibrationTable coefficients from plan-accuracy\n"
+        "bench telemetry and writes the table as calibration.json\n"
+        "(default output: calibration.json in the working directory).\n",
+        argv0);
+    return code;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot read " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/**
+ * Harvest the calibration samples of one BENCH_plan.json document.
+ * Returns the number of samples added.
+ */
+std::size_t
+harvest(const std::string &path, plan::Calibrator &calibrator)
+{
+    const api::JsonValue doc = api::parseJson(readFile(path));
+    const api::JsonValue &metrics = doc.at("metrics");
+
+    const std::uint64_t grid_seed = static_cast<std::uint64_t>(
+        metrics.at("grid_seed").asNumber());
+    const int shots =
+        static_cast<int>(metrics.at("grid_shots").asNumber());
+    const int trajectories = static_cast<int>(
+        metrics.at("grid_trajectories").asNumber());
+
+    api::BackendSpec backendSpec;
+    backendSpec.shots = shots;
+    backendSpec.trajectories = trajectories;
+    backendSpec.seed = grid_seed;
+    const noise::NoiseModel model =
+        api::resolveNoiseModel(backendSpec);
+
+    std::size_t added = 0;
+    const std::string prefix = "measured_ms__";
+    for (const auto &[key, value] : metrics.members()) {
+        if (key.rfind(prefix, 0) != 0)
+            continue;
+        const std::string rest = key.substr(prefix.size());
+        const std::size_t sep = rest.find("__");
+        if (sep == std::string::npos)
+            continue;
+        const std::string backend = rest.substr(0, sep);
+        const std::string cell = rest.substr(sep + 2);
+        // `auto` rows duplicate whichever backend auto selected;
+        // fitting them would double-weight those cells.
+        if (backend == "auto")
+            continue;
+
+        common::Rng rng(grid_seed);
+        const api::Workload workload =
+            api::WorkloadRegistry::global().make(cell, rng);
+
+        plan::CalibrationSample sample;
+        sample.features = plan::extractFeatures(
+            workload.routed.circuit, model, shots, trajectories);
+        sample.choice.backend = backend;
+        sample.measuredSeconds = value.asNumber() / 1e3;
+        calibrator.addSample(sample);
+        ++added;
+    }
+    return added;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hammer;
+
+    std::string output = "calibration.json";
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help")
+            return usage(argv[0], 0);
+        if (arg == "-o" || arg == "--output") {
+            if (i + 1 >= argc)
+                return usage(argv[0], 2);
+            output = argv[++i];
+            continue;
+        }
+        inputs.push_back(arg);
+    }
+    if (inputs.empty())
+        return usage(argv[0], 2);
+
+    try {
+        plan::Calibrator calibrator;
+        for (const std::string &path : inputs) {
+            const std::size_t added = harvest(path, calibrator);
+            std::printf("%s: %zu samples\n", path.c_str(), added);
+        }
+        if (calibrator.sampleCount() == 0) {
+            std::fprintf(stderr,
+                         "%s: no measured_ms__ samples found\n",
+                         argv[0]);
+            return 1;
+        }
+
+        const plan::CalibrationTable seed =
+            plan::defaultCalibrationTable();
+        const plan::CalibrationTable fitted = calibrator.fit(seed);
+
+        std::printf("fitted %zu samples -> version %d\n",
+                    calibrator.sampleCount(), fitted.version);
+        std::printf("  dense1q_row_ns  %8.3f (seed %.3f)\n",
+                    fitted.dense1qRowNs, seed.dense1qRowNs);
+        std::printf("  diag_row_ns     %8.3f (seed %.3f)\n",
+                    fitted.diagRowNs, seed.diagRowNs);
+        std::printf("  perm_row_ns     %8.3f (seed %.3f)\n",
+                    fitted.permRowNs, seed.permRowNs);
+        std::printf("  twoq_row_ns     %8.3f (seed %.3f)\n",
+                    fitted.twoqRowNs, seed.twoqRowNs);
+        std::printf("  shot_ns         %8.3f (seed %.3f)\n",
+                    fitted.shotNs, seed.shotNs);
+        std::printf("  channel_flip_ns %8.3f (seed %.3f)\n",
+                    fitted.channelFlipNs, seed.channelFlipNs);
+
+        std::ofstream out(output);
+        if (!out) {
+            std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                         output.c_str());
+            return 1;
+        }
+        out << api::calibrationJson(fitted) << '\n';
+        std::printf("wrote %s\n", output.c_str());
+        return 0;
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+        return 1;
+    }
+}

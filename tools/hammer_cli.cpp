@@ -92,7 +92,9 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "api/autoplan.hpp"
 #include "common/thread_pool.hpp"
+#include "plan/cost_model.hpp"
 #include "core/io.hpp"
 #include "net/router.hpp"
 #include "net/shard_worker.hpp"
@@ -125,8 +127,17 @@ usage(int exit_code)
         "  --sample <spec>   bv:<n>[:<key>] | ghz:<n> | "
         "qaoa:[<family>:]<n>:<p> | mirror:<n>[:<depth>]\n"
         "  --machine <name>  noise preset (default machineA)\n"
-        "  --backend <b>     trajectory | channel | exact "
-        "(default trajectory)\n"
+        "  --backend <b>     trajectory | channel | exact | "
+        "exact-cached | auto (default trajectory);\n"
+        "                    auto ranks candidate plans under the "
+        "active cost calibration and runs the cheapest\n"
+        "  --explain-plan    with --sample: print the ranked "
+        "candidate plans (predicted cost, top cost groups)\n"
+        "                    instead of executing, and exit\n"
+        "  --calibration <f> load cost-model coefficients from a "
+        "calibration.json (see hammer_calibrate;\n"
+        "                    $HAMMER_CALIBRATION does the same "
+        "without the flag)\n"
         "  --shots <k>       shot budget (default 8192)\n"
         "  --trajectories <t> noise trajectories (default 250)\n"
         "  --threads <N>     worker threads (default: HAMMER_THREADS "
@@ -403,14 +414,16 @@ serve(std::istream &input, int threads, int top, int deadline_ms,
         stderr,
         "hammer_cli: served %llu job(s) on %d worker(s): "
         "%llu executed, %llu coalesced, %llu cache hit(s) "
-        "(hit rate %.2f), %llu exec result(s) shared\n",
+        "(hit rate %.2f), %llu exec result(s) shared, "
+        "peak queue depth %llu\n",
         static_cast<unsigned long long>(stats.submitted),
         service.workers(),
         static_cast<unsigned long long>(stats.executeRuns),
         static_cast<unsigned long long>(stats.coalesced),
         static_cast<unsigned long long>(stats.resultCache.hits),
         stats.resultCache.hitRate(),
-        static_cast<unsigned long long>(stats.executeShared));
+        static_cast<unsigned long long>(stats.executeShared),
+        static_cast<unsigned long long>(stats.queuePeakDepth));
     std::fprintf(stderr, "%s\n",
                  serviceStatsJson(stats, service.workers()).c_str());
     return failures == 0 ? 0 : 1;
@@ -589,6 +602,7 @@ main(int argc, char **argv)
 
     std::string sample_spec;
     std::string backend = "trajectory";
+    bool explain_plan = false;
     api::BackendSpec backend_spec;
     backend_spec.machine = "machineA";
     bool print_time = false;
@@ -656,6 +670,19 @@ main(int argc, char **argv)
             }
         } else if (arg == "--sample") {
             sample_spec = next_value("--sample");
+        } else if (arg == "--explain-plan") {
+            explain_plan = true;
+        } else if (arg == "--calibration") {
+            const char *path = next_value("--calibration");
+            try {
+                plan::setActiveCalibration(
+                    api::loadCalibrationFile(path));
+            } catch (const std::exception &error) {
+                std::fprintf(stderr,
+                             "hammer_cli: --calibration %s: %s\n",
+                             path, error.what());
+                return 2;
+            }
         } else if (arg == "--serve") {
             serve_mode = true;
             serve_path = next_value("--serve");
@@ -745,6 +772,20 @@ main(int argc, char **argv)
         }
 
         api::Result result;
+        if (explain_plan) {
+            if (sample_spec.empty()) {
+                std::fprintf(stderr,
+                             "hammer_cli: --explain-plan needs "
+                             "--sample <spec>\n");
+                return 2;
+            }
+            api::ExperimentSpec spec;
+            spec.workload = sample_spec;
+            spec.backend = backend;
+            spec.backendSpec = backend_spec;
+            std::fputs(api::explainPlan(spec).c_str(), stdout);
+            return 0;
+        }
         if (!sample_spec.empty()) {
             // Self-contained demo path: one pipeline run.
             api::ExperimentSpec spec;
