@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Resilience-policy goodput bench: a kill-and-flap overload campaign
+ * (one unreachable shard in the fleet, plus seeded send-kills and
+ * probe-denies on the live one) routed twice over identical fault
+ * streams — once with no policies, once with circuit breakers and
+ * the retry budget enabled.
+ *
+ * Three gates ride in the exit code:
+ *
+ *   identity   every surviving result byte-identical (canonical
+ *              form) to a fault-free local ExecutionService run
+ *   goodput    policy goodput (completed jobs / wall second) at
+ *              least 1.3x the no-policy baseline
+ *   stalls     zero unbounded-retry stalls: every job in both runs
+ *              resolves (completed + failed == submitted) and the
+ *              policy run's total re-dispatches stay within the
+ *              maxAttempts * jobs hard bound
+ *
+ * The goodput gap is structural, not scheduler noise: the baseline
+ * re-pays the full reconnect loop every time a job's home hash
+ * lands on the unreachable shard, while the breaker quarantines
+ * that endpoint after `breakerFailureThreshold` touches and the
+ * budget converts correlated retry storms into fast typed failures.
+ *
+ * Emits BENCH_resil.json.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "chaos/fault_plan.hpp"
+#include "net/router.hpp"
+#include "net/shard_worker.hpp"
+#include "support/report.hpp"
+
+namespace {
+
+using namespace hammer;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+/**
+ * Enough distinct exec keys that the affinity hash homes a healthy
+ * fraction of the campaign on each shard — including the dead one.
+ */
+std::vector<std::string>
+makeLines()
+{
+    const int seeds = api::smokeCount(60, 24);
+    const int shots = api::smokeShots(2048);
+    std::vector<std::string> lines;
+    for (int seed = 1; seed <= seeds; ++seed)
+        lines.push_back("bv:7,channel," + std::to_string(shots) +
+                        "," + std::to_string(seed));
+    return lines;
+}
+
+/** One campaign pass: serial submit -> wait, outcomes recorded. */
+struct CampaignRun
+{
+    std::vector<std::string> results; ///< Canonical JSON, "" = failed.
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    double wallSeconds = 0.0;
+    net::RouterStats stats;
+};
+
+CampaignRun
+runCampaign(net::ShardRouter &router,
+            const std::vector<std::string> &lines)
+{
+    CampaignRun run;
+    const auto start = std::chrono::steady_clock::now();
+    for (const std::string &line : lines) {
+        const std::uint64_t id = router.submit(line);
+        try {
+            run.results.push_back(
+                api::canonicalResultJson(router.wait(id)));
+            ++run.completed;
+        } catch (const std::exception &) {
+            run.results.emplace_back();
+            ++run.failed;
+        }
+    }
+    run.wallSeconds = secondsSince(start);
+    run.stats = router.stats();
+    return run;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::BenchReport report("resil");
+
+    // Per-job parallelism off: the bench measures policy behaviour
+    // under transport-level overload, not kernel thread scaling.
+    ::setenv("HAMMER_THREADS", "1", 1);
+
+    char tmpl[] = "/tmp/hammer_bench_resil_XXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    if (!dir) {
+        std::perror("mkdtemp");
+        return 2;
+    }
+    const std::string live_socket =
+        std::string(dir) + "/live.sock";
+    // Nothing ever listens here: the permanently-down half of the
+    // kill-and-flap fleet.
+    const std::string dead_socket =
+        std::string(dir) + "/dead.sock";
+
+    net::ShardWorker live_worker("unix:" + live_socket,
+                                 net::ShardWorkerOptions{});
+    std::thread live_thread([&live_worker] { live_worker.run(); });
+
+    const std::vector<std::string> lines = makeLines();
+    std::printf("== Resilience goodput under overload (%zu jobs, "
+                "1 live + 1 dead shard) ==\n",
+                lines.size());
+
+    // Fault-free local run: the identity reference.
+    std::vector<std::string> expected;
+    {
+        api::ExecutionServiceOptions options;
+        options.workers = 1;
+        api::ExecutionService service{options};
+        std::vector<api::ExecutionService::JobHandle> handles;
+        for (const std::string &line : lines) {
+            const api::SpecLine parsed = api::parseSpecLine(line);
+            handles.push_back(
+                service.submit(parsed.spec, parsed.priority));
+        }
+        for (const auto &handle : handles)
+            expected.push_back(api::canonicalResultJson(
+                service.wait(handle).json(-1)));
+    }
+
+    // Identical chaos for both passes: the flap component (send
+    // kills on the live shard, denied half-open probes) rides on
+    // the same plan seed.
+    const auto makeFaults = [] {
+        chaos::FaultPlanOptions faults;
+        faults.shardSendKillRate = 0.1;
+        faults.breakerProbeDenyRate = 0.25;
+        return faults;
+    };
+    const auto baseOptions = [&] {
+        net::ShardRouterOptions options;
+        options.addresses = {"unix:" + live_socket,
+                             "unix:" + dead_socket};
+        options.maxAttempts = 8;
+        options.reconnectAttempts = 4;
+        options.reconnectDelayMs = 15;
+        options.faultInjector =
+            std::make_shared<chaos::FaultPlan>(4242, makeFaults());
+        return options;
+    };
+
+    // Pass 1: no policies — every dead-homed job re-pays the
+    // reconnect loop, every failure retries until maxAttempts.
+    CampaignRun baseline;
+    {
+        net::ShardRouterOptions options = baseOptions();
+        net::ShardRouter router{options};
+        baseline = runCampaign(router, lines);
+    }
+    std::printf("baseline: %zu/%zu completed in %.3f s "
+                "(%.1f jobs/s), %llu dispatches\n",
+                baseline.completed, lines.size(),
+                baseline.wallSeconds,
+                static_cast<double>(baseline.completed) /
+                    baseline.wallSeconds,
+                static_cast<unsigned long long>(
+                    baseline.stats.dispatched));
+
+    // Pass 2: breakers + retry budget on, same fault stream.
+    CampaignRun policy;
+    {
+        net::ShardRouterOptions options = baseOptions();
+        options.breakerFailureThreshold = 2;
+        options.breakerBackoffBaseMs = 250.0;
+        options.breakerMaxBackoffDoublings = 4;
+        options.breakerSeed = 4242;
+        options.retryBudget = true;
+        net::ShardRouter router{options};
+        policy = runCampaign(router, lines);
+    }
+    std::printf("policy:   %zu/%zu completed in %.3f s "
+                "(%.1f jobs/s), %llu dispatches, %llu breaker "
+                "skips, %llu trips\n",
+                policy.completed, lines.size(), policy.wallSeconds,
+                static_cast<double>(policy.completed) /
+                    policy.wallSeconds,
+                static_cast<unsigned long long>(
+                    policy.stats.dispatched),
+                static_cast<unsigned long long>(
+                    policy.stats.breakerSkips),
+                static_cast<unsigned long long>(
+                    policy.stats.breakerTrips));
+
+    int failures = 0;
+
+    // Gate 1: identity — survivors are bit-identical to the
+    // fault-free local run, in both passes.
+    std::size_t mismatches = 0;
+    for (const CampaignRun *run : {&baseline, &policy})
+        for (std::size_t i = 0; i < lines.size(); ++i)
+            if (!run->results[i].empty() &&
+                run->results[i] != expected[i]) {
+                if (mismatches == 0)
+                    std::fprintf(
+                        stderr,
+                        "first mismatch, job %zu (%s):\n"
+                        "  expected: %.200s\n"
+                        "  got:      %.200s\n",
+                        i, lines[i].c_str(), expected[i].c_str(),
+                        run->results[i].c_str());
+                ++mismatches;
+            }
+    if (mismatches > 0) {
+        std::printf("FAIL: %zu surviving results differ from the "
+                    "fault-free run\n",
+                    mismatches);
+        ++failures;
+    }
+
+    // Gate 2: goodput — completed jobs per wall second, >= 1.3x.
+    const double baseline_goodput =
+        static_cast<double>(baseline.completed) /
+        baseline.wallSeconds;
+    const double policy_goodput =
+        static_cast<double>(policy.completed) / policy.wallSeconds;
+    const double gain = policy_goodput / baseline_goodput;
+    std::printf("goodput: baseline %.1f jobs/s, policy %.1f jobs/s "
+                "-> %.2fx (floor 1.30x)\n",
+                baseline_goodput, policy_goodput, gain);
+    if (gain < 1.3) {
+        std::printf("FAIL: goodput gain %.2fx below the 1.30x "
+                    "floor\n",
+                    gain);
+        ++failures;
+    }
+
+    // Gate 3: zero unbounded-retry stalls.  Every job resolves, and
+    // the policy run's total re-dispatches respect the hard bound.
+    const std::uint64_t retry_bound =
+        static_cast<std::uint64_t>(lines.size()) * 8;
+    if (baseline.completed + baseline.failed != lines.size() ||
+        policy.completed + policy.failed != lines.size()) {
+        std::printf("FAIL: a campaign left unresolved jobs\n");
+        ++failures;
+    }
+    if (policy.stats.retries > retry_bound) {
+        std::printf("FAIL: policy retries %llu exceed the "
+                    "maxAttempts bound %llu\n",
+                    static_cast<unsigned long long>(
+                        policy.stats.retries),
+                    static_cast<unsigned long long>(retry_bound));
+        ++failures;
+    }
+    // The whole point of the policies: quarantining the dead shard
+    // must actually cut transport work, not just wall time.
+    if (policy.stats.breakerTrips == 0 ||
+        policy.stats.breakerSkips == 0) {
+        std::printf("FAIL: the campaign never exercised the "
+                    "breakers\n");
+        ++failures;
+    }
+
+    report.metric("jobs", static_cast<double>(lines.size()));
+    report.metric("goodput_gain", gain);
+    report.metric("baseline_goodput_jobs_per_s", baseline_goodput);
+    report.metric("policy_goodput_jobs_per_s", policy_goodput);
+    report.metric("baseline_completed",
+                  static_cast<double>(baseline.completed));
+    report.metric("policy_completed",
+                  static_cast<double>(policy.completed));
+    report.metric("baseline_wall_seconds", baseline.wallSeconds);
+    report.metric("policy_wall_seconds", policy.wallSeconds);
+    report.metric("policy_breaker_trips",
+                  static_cast<double>(policy.stats.breakerTrips));
+    report.metric("policy_breaker_skips",
+                  static_cast<double>(policy.stats.breakerSkips));
+    report.metric(
+        "policy_breaker_fast_fails",
+        static_cast<double>(policy.stats.breakerFastFails));
+    report.metric(
+        "policy_retry_budget_exhausted",
+        static_cast<double>(policy.stats.retryBudgetExhausted));
+    report.note("identity",
+                mismatches == 0 ? "bit-identical" : "MISMATCH");
+
+    live_worker.stop();
+    live_thread.join();
+    ::unlink(live_socket.c_str());
+    ::rmdir(dir);
+
+    return failures == 0 ? 0 : 1;
+}

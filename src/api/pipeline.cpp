@@ -98,6 +98,11 @@ Result::writeJson(std::ostream &out, int max_outcomes) const
     json.key("shots").value(shots);
     json.key("seed").value(seed);
 
+    // Emitted only when set: non-degraded results keep their exact
+    // historical byte layout (golden files, bit-identity replays).
+    if (degraded)
+        json.key("degraded").value(true);
+
     if (workload && !workload->correctOutcomes.empty()) {
         json.key("correct_outcomes").beginArray();
         for (const auto outcome : workload->correctOutcomes)

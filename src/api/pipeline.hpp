@@ -105,6 +105,16 @@ struct Result
     /** HAMMER counters (zero when no hammer stage ran). */
     core::HammerStats hammerStats;
 
+    /**
+     * True when this result is a degraded substitute: a cached
+     * lower-trajectory-budget run, or a local fallback executed
+     * because every remote shard's circuit breaker was open.  A
+     * degraded result is always explicitly flagged (writeJson emits
+     * "degraded": true only in that case) and never cached under
+     * the requested spec's key.
+     */
+    bool degraded = false;
+
     /** Per-stage wall-clock, in pipeline order. */
     std::vector<StageTiming> timings;
 

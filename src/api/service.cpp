@@ -1,9 +1,11 @@
 #include "api/service.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <iostream>
 #include <limits>
 #include <thread>
 #include <utility>
@@ -82,6 +84,18 @@ appendField(std::string &key, const char *name,
     key += '|';
 }
 
+/**
+ * Retry-budget key class of a spec: backend + workload family (the
+ * registry key up to the first ':').  Coarse on purpose — a budget
+ * should throttle a whole traffic class, not one parameterisation.
+ */
+std::string
+retryKeyClass(const ExperimentSpec &spec)
+{
+    const std::size_t colon = spec.workload.find(':');
+    return spec.backend + "|" + spec.workload.substr(0, colon);
+}
+
 /** Process-wide RemoteExecutor slot (see service.hpp). */
 std::mutex remoteExecutorMutex;
 RemoteExecutor remoteExecutorHook;
@@ -135,6 +149,16 @@ WorkerLostError::WorkerLostError(std::uint64_t job_id, int attempts)
 ServiceShutdownError::ServiceShutdownError()
     : ServiceError("ExecutionService: shut down (no new submits "
                    "accepted)")
+{
+}
+
+DeadlineInfeasibleError::DeadlineInfeasibleError(double predicted_ms,
+                                                 double deadline_ms)
+    : ServiceError("ExecutionService: deadline infeasible "
+                   "(predicted completion " +
+                   jsonNumber(predicted_ms) + " ms, deadline " +
+                   jsonNumber(deadline_ms) + " ms)"),
+      predictedMs_(predicted_ms), deadlineMs_(deadline_ms)
 {
 }
 
@@ -300,6 +324,88 @@ ExecutionService::fault(common::FaultSite site,
     return options_.faultInjector->at(site, key);
 }
 
+resil::RetryBudget &
+ExecutionService::budgetForLocked(const std::string &keyClass)
+{
+    const auto it = retryBudgets_.find(keyClass);
+    if (it != retryBudgets_.end())
+        return it->second;
+    return retryBudgets_
+        .emplace(keyClass,
+                 resil::RetryBudget(options_.retryBudgetOptions))
+        .first->second;
+}
+
+std::shared_ptr<const Result>
+ExecutionService::degradedSubstituteLocked(const ExperimentSpec &spec)
+{
+    if (!resultCache_)
+        return nullptr;
+    ExperimentSpec reduced = spec;
+    reduced.backendSpec.trajectories = 0;
+    const auto reducedKey = canonicalSpecKey(reduced);
+    if (!reducedKey)
+        return nullptr;
+    const auto indexed = degradedIndex_.find(*reducedKey);
+    if (indexed == degradedIndex_.end())
+        return nullptr;
+
+    // Best substitute: the highest cached trajectory budget still
+    // strictly below the request's (equal budgets would have been a
+    // plain cache hit already).  Index entries can outlive their LRU
+    // slot, so every candidate re-verifies against the cache and
+    // stale ones are pruned as they are found.
+    std::vector<int> &budgets = indexed->second;
+    std::shared_ptr<const Result> best;
+    int bestBudget = 0;
+    for (std::size_t i = 0; i < budgets.size();) {
+        const int budget = budgets[i];
+        reduced.backendSpec.trajectories = budget;
+        const auto fullKey = canonicalSpecKey(reduced);
+        auto *hit = fullKey ? resultCache_->get(*fullKey) : nullptr;
+        if (!hit) {
+            budgets[i] = budgets.back();
+            budgets.pop_back();
+            continue;
+        }
+        if (budget < spec.backendSpec.trajectories &&
+            budget > bestBudget &&
+            (!options_.verifyCache ||
+             resultChecksum(*hit->value) == hit->checksum)) {
+            best = hit->value;
+            bestBudget = budget;
+        }
+        ++i;
+    }
+    if (budgets.empty())
+        degradedIndex_.erase(indexed);
+    return best;
+}
+
+bool
+ExecutionService::recordDriftLocked(double predicted,
+                                    double measured)
+{
+    if (options_.driftWindow == 0)
+        return false;
+    driftWindowPredicted_ += predicted;
+    driftWindowMeasured_ += measured;
+    if (++driftWindowCount_ < options_.driftWindow)
+        return false;
+    const double ratio = driftWindowPredicted_ > 0.0
+                             ? driftWindowMeasured_ /
+                                   driftWindowPredicted_
+                             : 0.0;
+    driftWindowPredicted_ = 0.0;
+    driftWindowMeasured_ = 0.0;
+    driftWindowCount_ = 0;
+    const bool drifted = ratio < options_.driftBandLow ||
+                         ratio > options_.driftBandHigh;
+    if (drifted)
+        ++stats_.calibrationDriftAlerts;
+    return drifted;
+}
+
 ExecutionService::~ExecutionService() = default;
 
 int
@@ -322,7 +428,8 @@ ExecutionService::shared()
 }
 
 ExecutionService::JobHandle
-ExecutionService::submit(ExperimentSpec spec, int priority)
+ExecutionService::submit(ExperimentSpec spec, int priority,
+                         double deadlineMs)
 {
     // Fail fast at the boundary: a malformed budget throws from
     // submit() itself rather than from a detached worker.
@@ -379,6 +486,7 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
     auto promise = std::make_shared<std::promise<Result>>();
 
     std::shared_ptr<const Result> cached;
+    std::shared_ptr<const Result> degraded;
     int registerDelayMillis = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -415,17 +523,58 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
             }
         }
 
+        // Deadline-aware admission + load shedding: a job whose
+        // predicted completion — the accepted backlog's predicted
+        // cost spread across the workers, plus its own — already
+        // misses its deadline is shed here, before it burns any
+        // compute.  The ShedDecision seam is consulted first (its
+        // own sequence, one consult per admission, so same-seed
+        // campaigns replay identical decisions); Kill forces the
+        // shed regardless of the deadline.
+        if (!cached) {
+            const bool forced =
+                fault(common::FaultSite::ShedDecision,
+                      ++shedSequence_)
+                    .kind == common::FaultAction::Kind::Kill;
+            const double predictedCompletionMs =
+                (pendingPredictedCost_ /
+                     std::max(1, pool_->threadCount()) +
+                 predicted) *
+                1000.0;
+            const bool infeasible =
+                deadlineMs > 0.0 &&
+                predictedCompletionMs > deadlineMs;
+            if (forced || infeasible) {
+                if (options_.degradedServing)
+                    degraded = degradedSubstituteLocked(spec);
+                if (!degraded) {
+                    ++stats_.deadlineRejections;
+                    if (forced)
+                        ++stats_.shedForced;
+                    throw DeadlineInfeasibleError(
+                        predictedCompletionMs,
+                        infeasible ? deadlineMs : 0.0);
+                }
+            }
+        }
+
         // Backpressure, only for jobs that would actually enqueue
         // (cache hits and coalesced attaches cost no queue slot).
         // Rejected submits are not counted as submitted, preserving
         // completed + coalesced == submitted at idle.
-        if (!cached && options_.maxQueueDepth > 0 &&
+        if (!cached && !degraded && options_.maxQueueDepth > 0 &&
             pool_->threadCount() > 1) {
             const std::size_t depth = pool_->queuedJobs();
             if (depth >= options_.maxQueueDepth) {
-                ++stats_.queueRejections;
-                throw QueueSaturatedError(depth,
-                                          options_.maxQueueDepth);
+                // An overloaded service may serve a stale-but-
+                // honest substitute instead of rejecting outright.
+                if (options_.degradedServing)
+                    degraded = degradedSubstituteLocked(spec);
+                if (!degraded) {
+                    ++stats_.queueRejections;
+                    throw QueueSaturatedError(
+                        depth, options_.maxQueueDepth);
+                }
             }
         }
 
@@ -434,6 +583,10 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
         if (cached) {
             ++stats_.completed;
             job->fromCache = true;
+        } else if (degraded) {
+            ++stats_.completed;
+            ++stats_.degradedServed;
+            job->fromCache = true;
         } else {
             // Queue high-water mark, counting this job's slot.
             const std::uint64_t depth =
@@ -441,11 +594,17 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
             if (pool_->threadCount() > 1 &&
                 depth > stats_.queuePeakDepth)
                 stats_.queuePeakDepth = depth;
+            // Admission accounting: this job's predicted cost is
+            // backlog until its worker settles it, and its key
+            // class earns one retry-budget deposit.
+            pendingPredictedCost_ += predicted;
+            if (options_.retryBudget)
+                budgetForLocked(retryKeyClass(spec)).deposit();
         }
 
         // This submit owns the execution: register it before any
         // concurrent identical submit can look the key up.
-        if (!cached) {
+        if (!cached && !degraded) {
             job->future = promise->get_future().share();
             if (fullKey && options_.coalesce) {
                 const common::FaultAction action =
@@ -478,8 +637,22 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
         return JobHandle(job);
     }
 
+    if (degraded) {
+        // Degraded-result contract: the substitute is a copy of the
+        // cached lower-budget result, explicitly flagged.  It is
+        // never silently substituted and never re-cached under the
+        // requested key.
+        Result substitute = *degraded;
+        substitute.degraded = true;
+        std::promise<Result> ready;
+        ready.set_value(std::move(substitute));
+        job->future = ready.get_future().share();
+        return JobHandle(job);
+    }
+
     pool_->submit(
-        [this, spec = std::move(spec), fullKey, execKey, promise,
+        [this, keyClass = retryKeyClass(spec),
+         spec = std::move(spec), fullKey, execKey, promise,
          predicted, jobId = job->id] {
             WorkerScope scope;
             // CPU time of this worker thread, not wall-clock: on an
@@ -515,6 +688,20 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
                             throw WorkerLostError(jobId,
                                                   attempt + 1);
                         }
+                        // Each retry withdraws from the spec's
+                        // key-class budget; an exhausted budget
+                        // fails the job instead of retrying, so a
+                        // flapping dependency cannot soak the pool
+                        // in unbounded retries.
+                        if (options_.retryBudget &&
+                            !budgetForLocked(keyClass)
+                                 .tryWithdraw()) {
+                            ++stats_.retryBudgetExhausted;
+                            throw resil::RetryBudgetExhaustedError(
+                                "ExecutionService (job " +
+                                    std::to_string(jobId) + ")",
+                                attempt + 1);
+                        }
                         ++stats_.retries;
                     }
                 }
@@ -522,8 +709,11 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
                 // Checksummed from the genuine value; a Poison fault
                 // corrupts only the stored copy afterwards, so the
                 // next hit's verification must catch it.
+                // A degraded result (remote backend's local
+                // fallback) is never cached: the cache must only
+                // ever serve what the spec actually asked for.
                 Checked<Result> entry;
-                if (fullKey && resultCache_) {
+                if (fullKey && resultCache_ && !result.degraded) {
                     auto copy = std::make_shared<Result>(result);
                     entry.checksum = resultChecksum(*copy);
                     if (fault(common::FaultSite::CacheInsert,
@@ -533,6 +723,17 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
                         corruptDistribution(copy->mitigated);
                     entry.value = std::move(copy);
                 }
+                // Degraded-serving index entry for the cached copy:
+                // the spec with its trajectory budget zeroed is the
+                // family key lower-budget substitutes are found by.
+                std::optional<std::string> reducedKey;
+                if (entry.value && options_.degradedServing &&
+                    spec.backendSpec.trajectories > 0) {
+                    ExperimentSpec reduced = spec;
+                    reduced.backendSpec.trajectories = 0;
+                    reducedKey = canonicalSpecKey(reduced);
+                }
+                bool drifted = false;
                 {
                     std::lock_guard<std::mutex> lock(mutex_);
                     if (fullKey) {
@@ -540,6 +741,16 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
                             resultCache_->put(*fullKey,
                                               std::move(entry));
                         inflightJobs_.erase(*fullKey);
+                    }
+                    if (reducedKey) {
+                        auto &budgets =
+                            degradedIndex_[*reducedKey];
+                        const int budget =
+                            spec.backendSpec.trajectories;
+                        if (std::find(budgets.begin(),
+                                      budgets.end(),
+                                      budget) == budgets.end())
+                            budgets.push_back(budget);
                     }
                     const double busy = busyElapsed();
                     ++stats_.completed;
@@ -549,7 +760,20 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
                     // side.
                     stats_.predictedCostSeconds += predicted;
                     stats_.measuredCostSeconds += busy;
+                    pendingPredictedCost_ =
+                        std::max(0.0,
+                                 pendingPredictedCost_ - predicted);
+                    drifted = recordDriftLocked(predicted, busy);
                 }
+                if (drifted)
+                    std::cerr << "calibration_drift: predicted/"
+                                 "measured cost ratio left ["
+                              << options_.driftBandLow << ", "
+                              << options_.driftBandHigh
+                              << "] over the last "
+                              << options_.driftWindow
+                              << " jobs — recalibrate "
+                                 "(hammer_cli calibrate)\n";
                 promise->set_value(std::move(result));
             } catch (...) {
                 {
@@ -558,6 +782,9 @@ ExecutionService::submit(ExperimentSpec spec, int priority)
                         inflightJobs_.erase(*fullKey);
                     ++stats_.completed;
                     stats_.busySeconds += busyElapsed();
+                    pendingPredictedCost_ =
+                        std::max(0.0,
+                                 pendingPredictedCost_ - predicted);
                 }
                 promise->set_exception(std::current_exception());
             }
@@ -921,6 +1148,13 @@ serviceStatsJson(const ServiceStats &stats, int workers)
     json.key("coalesce_dropped").value(stats.coalesceDropped);
     json.key("wait_timeouts").value(stats.waitTimeouts);
     json.key("shutdown_rejections").value(stats.shutdownRejections);
+    json.key("deadline_rejections").value(stats.deadlineRejections);
+    json.key("shed_forced").value(stats.shedForced);
+    json.key("degraded_served").value(stats.degradedServed);
+    json.key("retry_budget_exhausted")
+        .value(stats.retryBudgetExhausted);
+    json.key("calibration_drift_alerts")
+        .value(stats.calibrationDriftAlerts);
     json.key("queue_peak_depth").value(stats.queuePeakDepth);
     json.key("predicted_cost_seconds")
         .value(stats.predictedCostSeconds);
@@ -986,6 +1220,11 @@ parseJsonSpecField(SpecLine &parsed, const std::string &key,
                          std::numeric_limits<int>::max()))
             common::fatal("must be an integer");
         parsed.priority = static_cast<int>(number);
+    } else if (key == "deadline_ms") {
+        const double number = value.asNumber();
+        if (!(number > 0.0) || !std::isfinite(number))
+            common::fatal("must be a positive number");
+        parsed.deadlineMs = number;
     } else {
         common::fatal("unknown key");
     }
@@ -1180,6 +1419,12 @@ resultFromJson(const std::string &json)
         static_cast<int>(jsonIntField(doc.at("shots"), 0));
     result.seed = static_cast<std::uint64_t>(
         jsonIntField(doc.at("seed"), 0));
+
+    if (const JsonValue *flag = doc.find("degraded")) {
+        require(flag->isBool(),
+                "result json: degraded must be a boolean");
+        result.degraded = flag->asBool();
+    }
 
     if (const JsonValue *correct = doc.find("correct_outcomes")) {
         // writeJson only emits correct_outcomes off a Workload, so

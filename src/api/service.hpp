@@ -52,6 +52,7 @@
 #include "core/distribution.hpp"
 #include "noise/exact_sampler.hpp"
 #include "noise/sampler.hpp"
+#include "resil/resil.hpp"
 
 namespace hammer::api {
 
@@ -113,6 +114,27 @@ class ServiceShutdownError final : public ServiceError
 {
   public:
     ServiceShutdownError();
+};
+
+/**
+ * submit() rejected a job whose predicted completion (queue backlog
+ * cost plus its own predicted cost, both from estimateSpecCost)
+ * already exceeds its deadline: shedding up front instead of burning
+ * compute on a result nobody will wait for.  deadlineMs() is 0 for a
+ * chaos-forced shed (FaultSite::ShedDecision).
+ */
+class DeadlineInfeasibleError final : public ServiceError
+{
+  public:
+    DeadlineInfeasibleError(double predicted_ms, double deadline_ms);
+
+    /** Predicted completion (backlog + own cost), milliseconds. */
+    double predictedMs() const { return predictedMs_; }
+    double deadlineMs() const { return deadlineMs_; }
+
+  private:
+    double predictedMs_;
+    double deadlineMs_;
 };
 
 /**
@@ -202,6 +224,40 @@ struct ExecutionServiceOptions
      * newer jobs' sequence numbers eventually exceed seq + cap).
      */
     std::uint64_t costBiasCap = 4096;
+
+    /**
+     * Retry budgets (off by default): one token bucket per key
+     * class (backend + workload family), deposited on every
+     * accepted job and withdrawn on every worker-death retry.  A
+     * denied withdrawal fails the job with
+     * resil::RetryBudgetExhaustedError from wait() — correlated
+     * worker deaths degrade to typed errors instead of a retry
+     * storm re-running the whole backlog.
+     */
+    bool retryBudget = false;
+    resil::RetryBudgetOptions retryBudgetOptions;
+
+    /**
+     * Degraded-mode serving (off by default): a submit that would
+     * be shed (deadline infeasible) or rejected (queue saturated)
+     * is instead served a cached same-spec result computed at a
+     * *lower* trajectory budget, when one exists — explicitly
+     * flagged (Result::degraded, "degraded": true in its JSON) and
+     * never inserted back into any cache, so a degraded histogram
+     * is never silently substituted for the real one.
+     */
+    bool degradedServing = false;
+
+    /**
+     * Calibration-drift alerting: once driftWindow executed jobs
+     * accumulate, the window's measured/predicted cost ratio is
+     * checked against [driftBandLow, driftBandHigh]; leaving the
+     * band emits one `calibration_drift` line on stderr, bumps
+     * calibrationDriftAlerts and restarts the window.  0 disables.
+     */
+    std::size_t driftWindow = 0;
+    double driftBandLow = 0.5;
+    double driftBandHigh = 2.0;
 };
 
 /**
@@ -270,6 +326,31 @@ struct ServiceStats
 
     /** Submits rejected with ServiceShutdownError after shutdown(). */
     std::uint64_t shutdownRejections = 0;
+
+    /**
+     * Submits shed with DeadlineInfeasibleError (predicted
+     * completion past the deadline, or a chaos-forced shed), the
+     * forced subset counted separately.
+     */
+    std::uint64_t deadlineRejections = 0;
+    std::uint64_t shedForced = 0;
+
+    /**
+     * Jobs served a cached lower-trajectory substitute under
+     * degradedServing — every one carried Result::degraded == true.
+     */
+    std::uint64_t degradedServed = 0;
+
+    /** Jobs failed because their key class's retry budget ran dry. */
+    std::uint64_t retryBudgetExhausted = 0;
+
+    /**
+     * Drift windows whose measured/predicted cost ratio left
+     * [driftBandLow, driftBandHigh] — each also emitted one
+     * `calibration_drift` line on stderr (re-fit with
+     * hammer_calibrate when these accumulate).
+     */
+    std::uint64_t calibrationDriftAlerts = 0;
 
     /**
      * High-water mark of the pool's job queue depth, observed at
@@ -401,8 +482,19 @@ class ExecutionService
      * identical in-flight job keeps that job's queue position — its
      * own @p priority is not applied retroactively (deduplication
      * wins over reprioritisation).
+     *
+     * @p deadlineMs > 0 enables deadline-aware admission: when the
+     * job's predicted completion — the queue's accepted-but-
+     * unfinished predicted cost divided across the workers, plus
+     * this job's own predicted cost — already exceeds the deadline,
+     * the submit is shed up front with DeadlineInfeasibleError (or
+     * served a degraded substitute under degradedServing) instead
+     * of timing out in waitFor() after burning compute.  Cache hits
+     * and coalesced attaches are never shed: they cost nothing to
+     * serve.
      */
-    JobHandle submit(ExperimentSpec spec, int priority = 0);
+    JobHandle submit(ExperimentSpec spec, int priority = 0,
+                     double deadlineMs = 0.0);
 
     /** Block until @p handle's job finishes and return its Result. */
     Result wait(const JobHandle &handle) const;
@@ -513,6 +605,28 @@ class ExecutionService
     common::FaultAction fault(common::FaultSite site,
                               std::uint64_t key) const;
 
+    /**
+     * The retry-budget bucket of @p keyClass, created on first use
+     * with retryBudgetOptions.  Caller holds mutex_.
+     */
+    resil::RetryBudget &budgetForLocked(const std::string &keyClass);
+
+    /**
+     * A verified cached same-spec/lower-trajectory Result usable as
+     * a degraded substitute for @p spec, or nullptr.  Caller holds
+     * mutex_.
+     */
+    std::shared_ptr<const Result>
+    degradedSubstituteLocked(const ExperimentSpec &spec);
+
+    /**
+     * Fold one executed job's (predicted, measured) cost pair into
+     * the drift window; true when the window closed out of band
+     * (caller emits the stderr line outside the lock).  Caller
+     * holds mutex_.
+     */
+    bool recordDriftLocked(double predicted, double measured);
+
     const Pipeline pipeline_;
     const ExecutionServiceOptions options_;
 
@@ -534,6 +648,31 @@ class ExecutionService
         std::shared_future<std::shared_ptr<const ExecOutcome>>>
         inflightExec_;
 
+    /** Per-key-class retry buckets (lazy; empty when budgets off). */
+    std::unordered_map<std::string, resil::RetryBudget>
+        retryBudgets_;
+
+    /**
+     * Degraded-serving index: reduced spec key (trajectories zeroed
+     * out) -> the trajectory budgets with a cached Result, so an
+     * overloaded submit can find a same-spec/lower-trajectory
+     * substitute without scanning the LRU.  Entries may outlive
+     * their cache slot; lookups re-verify against the cache.
+     */
+    std::unordered_map<std::string, std::vector<int>>
+        degradedIndex_;
+
+    /** Predicted seconds of accepted-but-unfinished executed jobs. */
+    double pendingPredictedCost_ = 0.0;
+
+    /** ShedDecision seam sequence (one consult per admission). */
+    std::uint64_t shedSequence_ = 0;
+
+    /** Calibration-drift sliding window accumulators. */
+    double driftWindowPredicted_ = 0.0;
+    double driftWindowMeasured_ = 0.0;
+    std::size_t driftWindowCount_ = 0;
+
     // Declared last: destroyed first, so queued jobs drained by the
     // pool destructor still see live caches and counters.
     std::unique_ptr<common::ThreadPool> pool_;
@@ -541,12 +680,14 @@ class ExecutionService
 
 /**
  * One parsed serving request: the experiment plus its queue
- * priority.
+ * priority and optional per-job deadline (0 = none), the latter fed
+ * to deadline-aware admission.
  */
 struct SpecLine
 {
     ExperimentSpec spec;
     int priority = 0;
+    double deadlineMs = 0.0;
 };
 
 /**
@@ -570,7 +711,9 @@ struct SpecLine
  * MitigationChain::name() renders.  "priority" (JSON key or 8th CSV
  * field, default 0, negatives allowed) maps straight onto submit()'s
  * priority argument, so remote clients reach the same priority queue
- * in-process callers do.
+ * in-process callers do.  "deadline_ms" (JSON only, positive
+ * milliseconds) maps onto submit()'s deadline for deadline-aware
+ * admission.
  *
  * @throws std::invalid_argument naming the offending field on any
  *         malformed input.

@@ -76,6 +76,20 @@ FaultPlan::peek(FaultSite site, std::uint64_t key) const
             return {FaultAction::Kind::Stall, options_.stallMillis};
         break;
     }
+    case FaultSite::BreakerProbe: {
+        const bool deny = rng.bernoulli(options_.breakerProbeDenyRate);
+        const bool stall =
+            rng.bernoulli(options_.breakerProbeStallRate);
+        if (deny)
+            return {FaultAction::Kind::Kill, 0};
+        if (stall)
+            return {FaultAction::Kind::Stall, options_.stallMillis};
+        break;
+    }
+    case FaultSite::ShedDecision:
+        if (rng.bernoulli(options_.shedForceRate))
+            return {FaultAction::Kind::Kill, 0};
+        break;
     }
     return FaultAction::none();
 }

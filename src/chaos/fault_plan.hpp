@@ -64,6 +64,14 @@ struct FaultPlanOptions
     /** P(stall) per shard->router result frame. */
     double shardRecvStallRate = 0.0;
 
+    /** P(denied probe) per half-open breaker probe admission. */
+    double breakerProbeDenyRate = 0.0;
+    /** P(stall) per breaker probe admission. */
+    double breakerProbeStallRate = 0.0;
+
+    /** P(forced shed) per service admission decision. */
+    double shedForceRate = 0.0;
+
     /** Stall/delay duration handed back with those actions. */
     int stallMillis = 5;
     int delayMillis = 1;

@@ -76,6 +76,23 @@ enum class FaultSite
      * Stall delays delivery.
      */
     ShardRecv,
+
+    /**
+     * A half-open circuit breaker about to admit its single probe
+     * request (key = shard * 256 + episode).  Kill denies the probe
+     * — the breaker stays open for another backoff episode, as if
+     * the probe had been sent and failed; Stall delays it.
+     */
+    BreakerProbe,
+
+    /**
+     * ExecutionService admission deciding whether to shed one
+     * submitted job (key = submission sequence number).  Kill forces
+     * the shed — the submit is rejected with DeadlineInfeasibleError
+     * exactly as if the predicted completion had missed its
+     * deadline.
+     */
+    ShedDecision,
 };
 
 /** What the injector decided for one site visit. */

@@ -43,17 +43,35 @@ remoteSpecLine(const api::ExperimentSpec &spec)
 }
 
 void
-enableRemoteBackend(std::shared_ptr<ShardRouter> router)
+enableRemoteBackend(std::shared_ptr<ShardRouter> router,
+                    RemoteBackendOptions options)
 {
     if (!router)
         throw std::invalid_argument(
             "enableRemoteBackend: null router");
     api::setRemoteExecutor(
-        [router = std::move(router)](
+        [router = std::move(router), options](
             const api::ExperimentSpec &spec) -> api::Result {
             const std::string line = remoteSpecLine(spec);
-            const std::uint64_t id = router->submit(line);
-            return api::resultFromJson(router->wait(id));
+            if (!options.degradedLocalFallback) {
+                const std::uint64_t id = router->submit(line);
+                return api::resultFromJson(router->wait(id));
+            }
+            try {
+                const std::uint64_t id = router->submit(line);
+                return api::resultFromJson(router->wait(id));
+            } catch (const BreakerOpenError &) {
+                // Degraded mode: every shard's breaker is open, so
+                // serve the job from local compute.  Re-parsing the
+                // wire line keeps the histograms bit-identical to
+                // what a shard would have produced; the flag is the
+                // only difference.
+                api::SpecLine parsed = api::parseSpecLine(line);
+                api::Result result =
+                    api::Pipeline().run(parsed.spec);
+                result.degraded = true;
+                return result;
+            }
         });
 }
 

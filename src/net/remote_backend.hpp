@@ -43,12 +43,29 @@ namespace hammer::net {
  */
 std::string remoteSpecLine(const api::ExperimentSpec &spec);
 
+/** Behaviour knobs for the remote backend hook. */
+struct RemoteBackendOptions
+{
+    /**
+     * When every shard's circuit breaker is open (the router fails
+     * fast with BreakerOpenError), run the job locally through a
+     * Pipeline over the global registries instead of failing.  The
+     * fallback parses the exact spec line the wire would have
+     * carried, so its histograms are bit-identical to the remote
+     * result — but the Result comes back flagged degraded = true
+     * (and is never silently substituted for a remote one).  Off by
+     * default: a breaker-open fleet fails loudly.
+     */
+    bool degradedLocalFallback = false;
+};
+
 /**
  * Install the RemoteExecutor hook over @p router.  The router must
  * outlive the hook (the shared_ptr keeps it alive); re-enabling
  * replaces the previous hook.
  */
-void enableRemoteBackend(std::shared_ptr<ShardRouter> router);
+void enableRemoteBackend(std::shared_ptr<ShardRouter> router,
+                         RemoteBackendOptions options = {});
 
 /** Clear the hook: `remote` submits start failing at the boundary. */
 void disableRemoteBackend();

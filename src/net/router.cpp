@@ -49,6 +49,25 @@ ShardRouter::ShardRouter(ShardRouterOptions options)
         shards_.push_back(std::move(shard));
     }
     pendingCost_.assign(shards_.size(), 0.0);
+    if (options_.affinityCapacity < 1)
+        throw std::invalid_argument(
+            "ShardRouter: affinityCapacity must be >= 1");
+    if (options_.breakerFailureThreshold > 0) {
+        breakers_.reserve(shards_.size());
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            resil::CircuitBreakerOptions breaker;
+            breaker.failureThreshold =
+                options_.breakerFailureThreshold;
+            breaker.backoffBaseMs = options_.breakerBackoffBaseMs;
+            breaker.maxBackoffDoublings =
+                options_.breakerMaxBackoffDoublings;
+            breaker.seed = options_.breakerSeed;
+            breaker.endpoint = i;
+            breakers_.emplace_back(breaker);
+        }
+    }
+    if (options_.retryBudget)
+        retryBudget_.emplace(options_.retryBudgetOptions);
     if (options_.heartbeatIntervalMs > 0)
         heartbeat_ = std::thread(&ShardRouter::heartbeatLoop, this);
 }
@@ -80,6 +99,35 @@ ShardRouter::fault(common::FaultSite site, std::uint64_t key) const
     if (!options_.faultInjector)
         return common::FaultAction::none();
     return options_.faultInjector->at(site, key);
+}
+
+void
+ShardRouter::recordBreakerFailure(
+    std::size_t index, std::chrono::steady_clock::time_point now)
+{
+    if (breakers_.empty())
+        return;
+    resil::CircuitBreaker &breaker = breakers_[index];
+    const bool wasOpen =
+        breaker.state() == resil::CircuitBreaker::State::Open;
+    breaker.onFailure(now);
+    if (!wasOpen &&
+        breaker.state() == resil::CircuitBreaker::State::Open)
+        ++stats_.breakerTrips;
+}
+
+void
+ShardRouter::rememberAffinity(std::uint64_t hash, std::size_t shard)
+{
+    if (affinity_.size() >= options_.affinityCapacity) {
+        const std::uint64_t coldest = affinityLru_.back();
+        affinityLru_.pop_back();
+        affinity_.erase(coldest);
+        ++stats_.affinityEvictions;
+    }
+    affinityLru_.push_front(hash);
+    affinity_.emplace(hash,
+                      AffinityEntry{shard, affinityLru_.begin()});
 }
 
 std::uint64_t
@@ -116,7 +164,11 @@ ShardRouter::submit(const std::string &line)
         const std::size_t n = shards_.size();
         const auto it = affinity_.find(hash);
         if (it != affinity_.end()) {
-            job.base = it->second;
+            job.base = it->second.shard;
+            // Touch: a repeat key is warm — move it to the LRU
+            // front so eviction always takes the coldest key.
+            affinityLru_.splice(affinityLru_.begin(), affinityLru_,
+                                it->second.pos);
         } else {
             const std::size_t c0 = hash % n;
             const std::size_t c1 = (hash + 1) % n;
@@ -124,13 +176,11 @@ ShardRouter::submit(const std::string &line)
                 pendingCost_[c1] < pendingCost_[c0] ? c1 : c0;
             if (job.base != c0)
                 ++stats_.costSteered;
-            // Bounded memory: the map only needs to cover the warm
-            // working set; a full reset only costs re-balancing.
-            if (affinity_.size() >= 65536)
-                affinity_.clear();
-            affinity_.emplace(hash, job.base);
+            rememberAffinity(hash, job.base);
         }
         pendingCost_[job.base] += cost;
+        if (retryBudget_)
+            retryBudget_->deposit();
         jobs_.emplace(id, std::move(job));
         ++stats_.submitted;
         stats_.busySeconds +=
@@ -146,6 +196,10 @@ void
 ShardRouter::dispatchJob(std::uint64_t id)
 {
     const std::size_t n = shards_.size();
+    // Consecutive breaker refusals within this dispatch: reaching a
+    // full rotation means every shard's breaker is refusing right
+    // now — the fleet-wide-outage fast-fail condition.
+    std::size_t breakerDenials = 0;
     for (;;) {
         int attempt = 0;
         std::string line;
@@ -170,14 +224,94 @@ ShardRouter::dispatchJob(std::uint64_t id)
                 return;
             }
             attempt = job.attempt++;
-            if (attempt > 0)
+            if (attempt > 0) {
                 ++stats_.retries;
+                // The budget caps the *global* re-dispatch rate:
+                // every job's retries draw from one bucket refilled
+                // by admissions, so correlated failures degrade to
+                // typed errors instead of a retry storm.
+                if (retryBudget_ && !retryBudget_->tryWithdraw()) {
+                    job.state = Job::State::Failed;
+                    job.errorKind = "retry_budget";
+                    job.errorMessage =
+                        "job " + std::to_string(id) +
+                        ": retry budget exhausted at attempt " +
+                        std::to_string(attempt);
+                    ++stats_.retryBudgetExhausted;
+                    settleJobCost(job);
+                    jobsCv_.notify_all();
+                    return;
+                }
+            }
             line = job.line;
             base = job.base;
         }
 
         const std::size_t index =
             (base + static_cast<std::uint64_t>(attempt)) % n;
+
+        if (!breakers_.empty()) {
+            bool admitted = false;
+            bool probe = false;
+            int episode = 0;
+            const auto now = std::chrono::steady_clock::now();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                resil::CircuitBreaker &breaker = breakers_[index];
+                const bool wasClosed =
+                    breaker.state() ==
+                    resil::CircuitBreaker::State::Closed;
+                admitted = breaker.allowRequest(now);
+                if (admitted && !wasClosed) {
+                    probe = true;
+                    episode = breaker.episodes();
+                    ++stats_.breakerProbes;
+                }
+                if (!admitted)
+                    ++stats_.breakerSkips;
+            }
+            if (!admitted) {
+                if (++breakerDenials >= n) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    Job &job = jobs_.at(id);
+                    if (job.state != Job::State::Pending ||
+                        job.shard >= 0)
+                        return;
+                    job.state = Job::State::Failed;
+                    job.errorKind = "breaker_open";
+                    job.errorMessage =
+                        "job " + std::to_string(id) +
+                        ": every shard's circuit breaker is open";
+                    ++stats_.breakerFastFails;
+                    settleJobCost(job);
+                    jobsCv_.notify_all();
+                    return;
+                }
+                continue;
+            }
+            breakerDenials = 0;
+            if (probe) {
+                // BreakerProbe seam: Kill denies the probe — the
+                // breaker re-opens with its next (longer) episode,
+                // exactly as if the probe had been sent and failed.
+                const common::FaultAction probeAction = fault(
+                    common::FaultSite::BreakerProbe,
+                    index * 256 +
+                        static_cast<std::uint64_t>(episode));
+                if (probeAction.kind ==
+                    common::FaultAction::Kind::Kill) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.breakerProbesDenied;
+                    recordBreakerFailure(index, now);
+                    continue;
+                }
+                if (probeAction.kind ==
+                    common::FaultAction::Kind::Stall)
+                    sleepMillis(probeAction.millis);
+            }
+        } else {
+            breakerDenials = 0;
+        }
 
         // Chaos seam first, before any liveness check: the key
         // sequence a same-seed replay consults must depend only on
@@ -198,8 +332,18 @@ ShardRouter::dispatchJob(std::uint64_t id)
             std::lock_guard<std::mutex> wlock(shard.writeMutex);
             const std::shared_ptr<Socket> conn =
                 ensureConnected(index);
-            if (!conn)
-                continue; // Unreachable: burn the attempt, rotate.
+            if (!conn) {
+                // Unreachable: burn the attempt and rotate — but
+                // give the breaker its failure credit first.  A
+                // refused connect is the canonical outage; without
+                // credit here an unreachable shard would never
+                // open its breaker, and every later job homed on
+                // it would re-pay the full reconnect loop.
+                std::lock_guard<std::mutex> lock(mutex_);
+                recordBreakerFailure(
+                    index, std::chrono::steady_clock::now());
+                continue;
+            }
             {
                 // Mark pending *before* the send: the response can
                 // race back on the reader thread mid-writeFrame.
@@ -302,6 +446,8 @@ ShardRouter::markDead(std::size_t index)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         Shard &shard = *shards_[index];
+        recordBreakerFailure(index,
+                             std::chrono::steady_clock::now());
         if (shard.connected) {
             shard.connected = false;
             if (shard.conn)
@@ -407,7 +553,8 @@ ShardRouter::handleJobFrame(std::size_t index, FrameType type,
             return;
         if (action.kind == common::FaultAction::Kind::Kill) {
             // Injected lost response: drop the frame, re-dispatch
-            // idempotently at the next attempt.
+            // idempotently at the next attempt.  No breaker credit:
+            // the replay pretends the frame never arrived.
             ++stats_.recvDropped;
             job.shard = -1;
             redispatch = true;
@@ -417,6 +564,11 @@ ShardRouter::handleJobFrame(std::size_t index, FrameType type,
             job.shard = -1;
             settleJobCost(job);
             ++stats_.resultsReceived;
+            // Any accepted response proves the shard alive — an
+            // Error frame included (the *job* failed, the shard
+            // answered) — so both arms close the breaker.
+            if (!breakers_.empty())
+                breakers_[index].onSuccess();
             jobsCv_.notify_all();
         } else {
             job.state = Job::State::Failed;
@@ -426,6 +578,8 @@ ShardRouter::handleJobFrame(std::size_t index, FrameType type,
             job.shard = -1;
             settleJobCost(job);
             ++stats_.errorsReceived;
+            if (!breakers_.empty())
+                breakers_[index].onSuccess();
             jobsCv_.notify_all();
         }
     }
@@ -448,6 +602,12 @@ ShardRouter::wait(std::uint64_t id)
     if (job.state == Job::State::Pending)
         throw RouterError("router stopped while job " +
                           std::to_string(id) + " was pending");
+    if (job.errorKind == "retry_budget")
+        throw resil::RetryBudgetExhaustedError(
+            "net::ShardRouter (job " + std::to_string(id) + ")",
+            job.attempt);
+    if (job.errorKind == "breaker_open")
+        throw BreakerOpenError(job.errorMessage);
     if (job.errorKind == "router")
         throw RouterError(job.errorMessage);
     throw RemoteJobError(job.errorKind, job.errorMessage);

@@ -48,8 +48,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -58,6 +60,7 @@
 #include "common/fault_injection.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "resil/resil.hpp"
 
 namespace hammer::net {
 
@@ -90,6 +93,21 @@ class RemoteJobError final : public RouterError
 
   private:
     std::string kind_;
+};
+
+/**
+ * Every shard's circuit breaker refused the dispatch — a fleet-wide
+ * outage as the breakers see it.  Thrown by wait() instead of
+ * burning the full reconnect/attempt budget; the remote backend
+ * catches exactly this to fall back to degraded local execution.
+ */
+class BreakerOpenError final : public RouterError
+{
+  public:
+    explicit BreakerOpenError(const std::string &what)
+        : RouterError(what)
+    {
+    }
 };
 
 /** Tuning knobs of one ShardRouter. */
@@ -138,6 +156,50 @@ struct ShardRouterOptions
     /** Payload bound handed to readFrame. */
     std::size_t maxFramePayload = kMaxFramePayload;
 
+    /**
+     * Circuit breakers: consecutive failures (send failures, shard
+     * deaths) that open one shard's breaker; 0 disables breakers
+     * entirely (the pre-resil behaviour).  An open shard is skipped
+     * during dispatch rotation; when every shard's breaker refuses,
+     * the job fails fast with BreakerOpenError instead of burning
+     * the reconnect budget against a fleet-wide outage.
+     */
+    int breakerFailureThreshold = 0;
+
+    /**
+     * Base backoff of a breaker's first open episode (ms); episode k
+     * waits base * 2^min(k-1, breakerMaxBackoffDoublings) scaled by
+     * a deterministic jitter in [0.5, 1.5).  Zero makes breaker
+     * decisions purely sequence-driven — what replay-determinism
+     * tests use, the same trick as disabling heartbeats.
+     */
+    double breakerBackoffBaseMs = 50.0;
+    int breakerMaxBackoffDoublings = 6;
+
+    /**
+     * Seed of the breakers' jitter streams: every backoff interval
+     * is a pure function of (seed, shard, episode) via Rng::fork, so
+     * same-seed campaigns replay the probe schedule bit-identically.
+     */
+    std::uint64_t breakerSeed = 0;
+
+    /**
+     * Global retry budget across all jobs (off by default): each
+     * submit deposits, each re-dispatch withdraws, and a denied
+     * withdrawal fails the job with RetryBudgetExhaustedError — the
+     * cap that turns a correlated-failure retry storm into typed
+     * errors.
+     */
+    bool retryBudget = false;
+    resil::RetryBudgetOptions retryBudgetOptions;
+
+    /**
+     * Entries kept in the sticky exec-key -> shard affinity map
+     * (true LRU: the coldest key is evicted, the warm working set
+     * keeps its cache affinity).  Minimum 1.
+     */
+    std::size_t affinityCapacity = 65536;
+
     /** Chaos seam (ShardSend/ShardRecv sites); null in production. */
     std::shared_ptr<common::FaultInjector> faultInjector;
 };
@@ -163,6 +225,16 @@ struct RouterStats
      * level).
      */
     std::uint64_t costSteered = 0;
+
+    // Resilience-policy counters (all zero when breakers/budgets
+    // are disabled).
+    std::uint64_t breakerTrips = 0;   ///< Transitions to Open (incl. reopens).
+    std::uint64_t breakerSkips = 0;   ///< Dispatch attempts an open breaker refused.
+    std::uint64_t breakerProbes = 0;  ///< Half-open probes admitted.
+    std::uint64_t breakerProbesDenied = 0; ///< Probes the chaos seam denied.
+    std::uint64_t breakerFastFails = 0;    ///< Jobs failed with every breaker open.
+    std::uint64_t retryBudgetExhausted = 0; ///< Jobs failed by budget denial.
+    std::uint64_t affinityEvictions = 0;    ///< Affinity LRU evictions.
 
     /**
      * Wall-clock seconds the router spent on its serial per-job work
@@ -292,6 +364,21 @@ class ShardRouter
                               std::uint64_t key) const;
 
     /**
+     * Report a shard failure to its breaker (no-op when breakers are
+     * disabled), counting the trip when the breaker transitions to
+     * Open.  Caller holds mutex_.
+     */
+    void recordBreakerFailure(std::size_t index,
+                              std::chrono::steady_clock::time_point
+                                  now);
+
+    /**
+     * Remember @p hash -> @p shard in the bounded affinity LRU,
+     * evicting the coldest key at capacity.  Caller holds mutex_.
+     */
+    void rememberAffinity(std::uint64_t hash, std::size_t shard);
+
+    /**
      * Drive one job to a dispatched (or terminally failed) state:
      * pick shard (base + attempt) % n, consult the ShardSend seam,
      * connect if needed, send.  Loops over attempts; send failures
@@ -337,8 +424,27 @@ class ShardRouter
     std::condition_variable jobsCv_;  ///< Job completions.
     std::condition_variable statsCv_; ///< StatsReply arrivals.
     std::unordered_map<std::uint64_t, Job> jobs_;
-    /** exec-key hash -> home shard (cache affinity, bounded). */
-    std::unordered_map<std::uint64_t, std::size_t> affinity_;
+
+    /**
+     * exec-key hash -> home shard, bounded by a true LRU
+     * (affinityCapacity): affinityLru_ orders keys most-recent
+     * first, each map entry holds its list position, and inserting
+     * at capacity evicts the back — long campaigns with unbounded
+     * distinct keys stay at a fixed footprint while the warm working
+     * set keeps its cache affinity.
+     */
+    struct AffinityEntry
+    {
+        std::size_t shard = 0;
+        std::list<std::uint64_t>::iterator pos;
+    };
+    std::unordered_map<std::uint64_t, AffinityEntry> affinity_;
+    std::list<std::uint64_t> affinityLru_;
+
+    /** Per-shard breakers (empty when disabled); guarded by mutex_. */
+    std::vector<resil::CircuitBreaker> breakers_;
+    /** Global retry budget (nullopt when off); guarded by mutex_. */
+    std::optional<resil::RetryBudget> retryBudget_;
     /** Estimated seconds of unresolved work homed on each shard. */
     std::vector<double> pendingCost_;
     std::uint64_t nextJobId_ = 0;

@@ -163,6 +163,18 @@ ShardWorker::serveConnection(Socket &conn)
                     frame.payload = encodeErrorPayload(
                         job.id, job.attempt, "worker_lost",
                         error.what());
+                } catch (const api::DeadlineInfeasibleError
+                             &error) {
+                    frame.type = FrameType::Error;
+                    frame.payload = encodeErrorPayload(
+                        job.id, job.attempt, "deadline_infeasible",
+                        error.what());
+                } catch (const resil::RetryBudgetExhaustedError
+                             &error) {
+                    frame.type = FrameType::Error;
+                    frame.payload = encodeErrorPayload(
+                        job.id, job.attempt, "retry_budget",
+                        error.what());
                 } catch (const api::ServiceError &error) {
                     frame.type = FrameType::Error;
                     frame.payload = encodeErrorPayload(
@@ -220,9 +232,15 @@ ShardWorker::serveConnection(Socket &conn)
                     api::SpecLine parsed =
                         api::parseSpecLine(payload.body);
                     out.handle = service_->submit(
-                        std::move(parsed.spec), parsed.priority);
+                        std::move(parsed.spec), parsed.priority,
+                        parsed.deadlineMs);
                     std::lock_guard<std::mutex> lock(mutex_);
                     ++stats_.submits;
+                } catch (const api::DeadlineInfeasibleError
+                             &error) {
+                    out.isError = true;
+                    out.kind = "deadline_infeasible";
+                    out.message = error.what();
                 } catch (const api::ServiceError &error) {
                     out.isError = true;
                     out.kind = "service";

@@ -1,0 +1,139 @@
+#include "resil/resil.hpp"
+
+#include <algorithm>
+
+#include "common/checksum.hpp"
+
+namespace hammer::resil {
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options)
+{
+    if (options_.failureThreshold < 1)
+        options_.failureThreshold = 1;
+    if (options_.backoffBaseMs < 0.0)
+        options_.backoffBaseMs = 0.0;
+    if (options_.maxBackoffDoublings < 0)
+        options_.maxBackoffDoublings = 0;
+}
+
+double
+CircuitBreaker::backoffMs(int episode) const
+{
+    if (episode < 1)
+        episode = 1;
+    const int doublings =
+        std::min(episode - 1, options_.maxBackoffDoublings);
+    const double base =
+        options_.backoffBaseMs *
+        static_cast<double>(std::uint64_t{1} << doublings);
+
+    // The jitter draw is a pure function of (seed, endpoint,
+    // episode): fork the seed stream on the fnv1a digest of the
+    // pair, exactly the chaos::FaultPlan idiom, so the schedule
+    // replays bit-identically and neighbouring endpoints never
+    // share a probe instant.
+    common::Fnv1a mix;
+    mix.add(options_.endpoint);
+    mix.add(static_cast<std::uint64_t>(episode));
+    common::Rng rng = common::Rng(options_.seed).fork(mix.digest());
+    const double jitter = 0.5 + rng.uniform();
+    return base * jitter;
+}
+
+bool
+CircuitBreaker::allowRequest(Clock::time_point now)
+{
+    switch (state_) {
+    case State::Closed:
+        return true;
+    case State::HalfOpen:
+        // One probe at a time; everyone else waits for its verdict.
+        if (probeInFlight_)
+            return false;
+        probeInFlight_ = true;
+        return true;
+    case State::Open: {
+        const auto wait = std::chrono::duration<double, std::milli>(
+            backoffMs(episodes_));
+        if (now - openedAt_ <
+            std::chrono::duration_cast<Clock::duration>(wait))
+            return false;
+        state_ = State::HalfOpen;
+        probeInFlight_ = true;
+        return true;
+    }
+    }
+    return false;
+}
+
+void
+CircuitBreaker::onSuccess()
+{
+    consecutiveFailures_ = 0;
+    probeInFlight_ = false;
+    state_ = State::Closed;
+}
+
+void
+CircuitBreaker::onFailure(Clock::time_point now)
+{
+    if (state_ == State::HalfOpen) {
+        // The probe failed: back to Open with a longer episode.
+        probeInFlight_ = false;
+        state_ = State::Open;
+        openedAt_ = now;
+        ++episodes_;
+        consecutiveFailures_ = 0;
+        return;
+    }
+    if (state_ == State::Open)
+        return; // already refusing; nothing to learn
+    if (++consecutiveFailures_ >= options_.failureThreshold) {
+        state_ = State::Open;
+        openedAt_ = now;
+        ++episodes_;
+        consecutiveFailures_ = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RetryBudget
+// ---------------------------------------------------------------------------
+
+RetryBudget::RetryBudget(RetryBudgetOptions options)
+    : options_(options)
+{
+    if (options_.maxTokens < 0.0)
+        options_.maxTokens = 0.0;
+    if (options_.tokensPerRetry <= 0.0)
+        options_.tokensPerRetry = 1.0;
+    if (options_.tokensPerDeposit < 0.0)
+        options_.tokensPerDeposit = 0.0;
+    tokens_ = std::clamp(options_.initialTokens, 0.0,
+                         options_.maxTokens);
+}
+
+void
+RetryBudget::deposit()
+{
+    tokens_ = std::min(tokens_ + options_.tokensPerDeposit,
+                       options_.maxTokens);
+}
+
+bool
+RetryBudget::tryWithdraw()
+{
+    if (tokens_ < options_.tokensPerRetry) {
+        ++denied_;
+        return false;
+    }
+    tokens_ -= options_.tokensPerRetry;
+    return true;
+}
+
+} // namespace hammer::resil

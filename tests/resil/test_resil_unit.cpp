@@ -1,0 +1,233 @@
+/**
+ * @file
+ * hammer::resil unit surface: the CircuitBreaker state machine under
+ * a logical clock (no sleeps anywhere), the deterministic jittered
+ * backoff schedule, and the clock-free RetryBudget token bucket.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "resil/resil.hpp"
+
+namespace {
+
+using hammer::resil::CircuitBreaker;
+using hammer::resil::CircuitBreakerOptions;
+using hammer::resil::RetryBudget;
+using hammer::resil::RetryBudgetOptions;
+
+using Clock = CircuitBreaker::Clock;
+
+/** Logical-clock helper: a duration of @p ms milliseconds. */
+Clock::duration
+millis(double ms)
+{
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+}
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailuresOnly)
+{
+    CircuitBreakerOptions options;
+    options.failureThreshold = 3;
+    CircuitBreaker breaker{options};
+    const Clock::time_point t0{};
+
+    // Two failures, a success, two more failures: never three in a
+    // row, so the breaker stays closed throughout.
+    breaker.onFailure(t0);
+    breaker.onFailure(t0);
+    breaker.onSuccess();
+    breaker.onFailure(t0);
+    breaker.onFailure(t0);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+    EXPECT_TRUE(breaker.allowRequest(t0));
+
+    breaker.onFailure(t0); // Third consecutive: trips.
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+    EXPECT_EQ(breaker.episodes(), 1);
+    EXPECT_FALSE(breaker.allowRequest(t0));
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsExactlyOneProbe)
+{
+    CircuitBreakerOptions options;
+    options.failureThreshold = 1;
+    options.backoffBaseMs = 40.0;
+    CircuitBreaker breaker{options};
+    const Clock::time_point t0{};
+
+    breaker.onFailure(t0);
+    ASSERT_EQ(breaker.state(), CircuitBreaker::State::Open);
+
+    const double backoff = breaker.backoffMs(1);
+    // Jitter keeps the interval inside [0.5, 1.5) * base.
+    EXPECT_GE(backoff, 0.5 * 40.0);
+    EXPECT_LT(backoff, 1.5 * 40.0);
+
+    // Before the episode's interval elapses: refused.
+    EXPECT_FALSE(breaker.allowRequest(t0 + millis(backoff * 0.5)));
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+
+    // At the interval: half-open, one probe and only one.
+    const Clock::time_point probe_time =
+        t0 + millis(backoff) + millis(1);
+    EXPECT_TRUE(breaker.allowRequest(probe_time));
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::HalfOpen);
+    EXPECT_FALSE(breaker.allowRequest(probe_time));
+
+    // Probe success closes and resets the failure streak.
+    breaker.onSuccess();
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+    EXPECT_TRUE(breaker.allowRequest(probe_time));
+}
+
+TEST(CircuitBreaker, ProbeFailureReopensWithLongerEpisode)
+{
+    CircuitBreakerOptions options;
+    options.failureThreshold = 1;
+    options.backoffBaseMs = 10.0;
+    CircuitBreakerOptions same = options;
+    CircuitBreaker breaker{options};
+    Clock::time_point now{};
+
+    breaker.onFailure(now);
+    EXPECT_EQ(breaker.episodes(), 1);
+
+    // Drive three failed probes; each re-opens with the next episode
+    // and a (nominally) doubled backoff.
+    for (int episode = 2; episode <= 4; ++episode) {
+        now += millis(breaker.backoffMs(episode - 1) + 1);
+        ASSERT_TRUE(breaker.allowRequest(now));
+        breaker.onFailure(now);
+        EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+        EXPECT_EQ(breaker.episodes(), episode);
+    }
+
+    // The nominal (pre-jitter) interval doubles per episode, so with
+    // jitter in [0.5, 1.5) episode k+2 always waits longer than
+    // episode k: 0.5 * 2^(k+1) >= 1.5 * 2^(k-1).
+    CircuitBreaker reference{same};
+    EXPECT_GT(reference.backoffMs(3), reference.backoffMs(1));
+    EXPECT_GT(reference.backoffMs(4), reference.backoffMs(2));
+}
+
+TEST(CircuitBreaker, BackoffScheduleIsAPureFunctionOfSeedAndEndpoint)
+{
+    CircuitBreakerOptions options;
+    options.seed = 99;
+    options.endpoint = 3;
+    options.backoffBaseMs = 25.0;
+    const CircuitBreaker first{options};
+    const CircuitBreaker second{options};
+    for (int episode = 1; episode <= 8; ++episode)
+        EXPECT_EQ(first.backoffMs(episode),
+                  second.backoffMs(episode))
+            << "episode " << episode;
+
+    // A different endpoint (same seed) draws a different jitter
+    // stream somewhere in the schedule.
+    options.endpoint = 4;
+    const CircuitBreaker other{options};
+    bool any_different = false;
+    for (int episode = 1; episode <= 8; ++episode)
+        any_different |= first.backoffMs(episode) !=
+                         other.backoffMs(episode);
+    EXPECT_TRUE(any_different);
+}
+
+TEST(CircuitBreaker, BackoffDoublingIsCapped)
+{
+    CircuitBreakerOptions options;
+    options.backoffBaseMs = 10.0;
+    options.maxBackoffDoublings = 2;
+    const CircuitBreaker breaker{options};
+    // Episodes beyond the cap keep the capped nominal interval; only
+    // jitter (bounded by 1.5x) differs.
+    for (int episode = 3; episode <= 10; ++episode) {
+        EXPECT_LT(breaker.backoffMs(episode), 1.5 * 10.0 * 4);
+        EXPECT_GE(breaker.backoffMs(episode), 0.5 * 10.0 * 4);
+    }
+}
+
+TEST(CircuitBreaker, ZeroBackoffIsSequenceDriven)
+{
+    CircuitBreakerOptions options;
+    options.failureThreshold = 1;
+    options.backoffBaseMs = 0.0;
+    CircuitBreaker breaker{options};
+    const Clock::time_point t0{};
+
+    // With a zero base the open interval elapses immediately: the
+    // very next allowRequest at the *same* logical instant admits
+    // the half-open probe.  This is what replay-determinism tests
+    // rely on — no wall-clock dependence anywhere.
+    breaker.onFailure(t0);
+    EXPECT_TRUE(breaker.allowRequest(t0));
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::HalfOpen);
+    breaker.onFailure(t0);
+    EXPECT_EQ(breaker.episodes(), 2);
+    EXPECT_TRUE(breaker.allowRequest(t0));
+}
+
+TEST(RetryBudget, WithdrawalsDenyWhenDry)
+{
+    RetryBudgetOptions options;
+    options.initialTokens = 2.0;
+    options.tokensPerDeposit = 0.0;
+    options.tokensPerRetry = 1.0;
+    RetryBudget budget{options};
+
+    EXPECT_TRUE(budget.tryWithdraw());
+    EXPECT_TRUE(budget.tryWithdraw());
+    EXPECT_FALSE(budget.tryWithdraw());
+    EXPECT_FALSE(budget.tryWithdraw());
+    EXPECT_EQ(budget.denied(), 2u);
+    EXPECT_EQ(budget.tokens(), 0.0);
+}
+
+TEST(RetryBudget, DepositsRefillAndSaturate)
+{
+    RetryBudgetOptions options;
+    options.initialTokens = 0.0;
+    options.tokensPerDeposit = 0.5;
+    options.maxTokens = 1.0;
+    options.tokensPerRetry = 1.0;
+    RetryBudget budget{options};
+
+    EXPECT_FALSE(budget.tryWithdraw());
+    budget.deposit();
+    EXPECT_FALSE(budget.tryWithdraw()) << "0.5 < 1 token";
+    budget.deposit();
+    EXPECT_TRUE(budget.tryWithdraw());
+
+    // Saturation: a long healthy streak cannot bank more than
+    // maxTokens worth of future retries.
+    for (int i = 0; i < 100; ++i)
+        budget.deposit();
+    EXPECT_EQ(budget.tokens(), 1.0);
+    EXPECT_TRUE(budget.tryWithdraw());
+    EXPECT_FALSE(budget.tryWithdraw());
+}
+
+TEST(RetryBudget, DeterministicAcrossIdenticalSequences)
+{
+    const auto drive = [] {
+        RetryBudgetOptions options;
+        options.initialTokens = 3.0;
+        options.tokensPerDeposit = 0.25;
+        RetryBudget budget{options};
+        std::uint64_t granted = 0;
+        for (int i = 0; i < 64; ++i) {
+            budget.deposit();
+            if (i % 3 == 0 && budget.tryWithdraw())
+                ++granted;
+        }
+        return std::make_pair(granted, budget.denied());
+    };
+    EXPECT_EQ(drive(), drive());
+}
+
+} // namespace

@@ -78,6 +78,7 @@
  *   --help             this text
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -155,9 +156,25 @@ usage(int exit_code)
         "                    a service_stats JSON line goes to "
         "stderr\n"
         "  --deadline <ms>   per-job completion deadline for --serve: "
-        "a job that misses it is\n"
-        "                    reported as timed out on stderr and "
-        "skipped instead of wedging the stream\n"
+        "a job whose predicted completion\n"
+        "                    already misses it is shed at admission "
+        "(deadline_infeasible), and a job that\n"
+        "                    misses it at runtime is reported as timed "
+        "out on stderr and skipped\n"
+        "                    instead of wedging the stream\n"
+        "  --retry-budget <t> cap retries with a t-token budget "
+        "(refilled by admissions): exhausted\n"
+        "                    budgets fail jobs typed retry_budget "
+        "instead of retrying unboundedly;\n"
+        "                    applies to the service (--serve) or the "
+        "router (--serve --shards)\n"
+        "  --degraded-ok     allow explicitly-flagged degraded "
+        "results: an overloaded --serve may\n"
+        "                    answer from a cached lower-trajectory "
+        "run (\"degraded\": true); with\n"
+        "                    --shards, arms per-shard circuit "
+        "breakers (threshold 3) so a dead\n"
+        "                    fleet fails fast as breaker_open\n"
         "  --canonical       emit results in submit order, canonical "
         "form (label/timings stripped):\n"
         "                    two runs over the same specs diff "
@@ -270,7 +287,7 @@ listRegistry(const std::string &what)
  */
 int
 serve(std::istream &input, int threads, int top, int deadline_ms,
-      bool canonical)
+      bool canonical, int retry_budget, bool degraded_ok)
 {
     using namespace hammer::api;
 
@@ -295,21 +312,44 @@ serve(std::istream &input, int threads, int top, int deadline_ms,
 
     ExecutionServiceOptions options;
     options.workers = threads;
+    // The serving path runs long enough for cost-model drift to
+    // matter: alert when a 64-job window's predicted/measured ratio
+    // leaves the calibration band.
+    options.driftWindow = 64;
+    if (retry_budget > 0) {
+        options.retryBudget = true;
+        options.retryBudgetOptions.initialTokens = retry_budget;
+        options.retryBudgetOptions.maxTokens =
+            std::max<double>(retry_budget,
+                             options.retryBudgetOptions.maxTokens);
+    }
+    options.degradedServing = degraded_ok;
     ExecutionService service{options};
 
+    int failures = 0;
     std::vector<ExecutionService::JobHandle> handles;
     handles.reserve(requests.size());
-    try {
-        for (const SpecLine &request : requests)
-            handles.push_back(
-                service.submit(request.spec, request.priority));
-    } catch (const std::exception &error) {
-        std::fprintf(stderr, "hammer_cli: --serve: %s\n",
-                     error.what());
-        return 2;
+    for (const SpecLine &request : requests) {
+        // A per-line "deadline_ms" wins; otherwise --deadline is
+        // the admission deadline for every job.
+        const double deadline = request.deadlineMs > 0.0
+                                    ? request.deadlineMs
+                                    : deadline_ms;
+        try {
+            handles.push_back(service.submit(
+                request.spec, request.priority, deadline));
+        } catch (const DeadlineInfeasibleError &error) {
+            // A shed is a per-job outcome, not a fatal one: the
+            // stream keeps serving the feasible jobs.
+            std::fprintf(stderr, "hammer_cli: --serve: %s\n",
+                         error.what());
+            ++failures;
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "hammer_cli: --serve: %s\n",
+                         error.what());
+            return 2;
+        }
     }
-
-    int failures = 0;
     if (canonical) {
         // Canonical mode trades streaming latency for diffability:
         // submit-order emission with label/timings stripped, so the
@@ -436,7 +476,8 @@ serve(std::istream &input, int threads, int top, int deadline_ms,
  */
 int
 serveShards(std::istream &input,
-            const std::vector<std::string> &addresses, bool canonical)
+            const std::vector<std::string> &addresses, bool canonical,
+            int retry_budget, bool degraded_ok)
 {
     using namespace hammer;
 
@@ -456,6 +497,19 @@ serveShards(std::istream &input,
     net::ShardRouterOptions options;
     options.addresses = addresses;
     options.heartbeatIntervalMs = 500;
+    if (retry_budget > 0) {
+        options.retryBudget = true;
+        options.retryBudgetOptions.initialTokens = retry_budget;
+        options.retryBudgetOptions.maxTokens =
+            std::max<double>(retry_budget,
+                             options.retryBudgetOptions.maxTokens);
+    }
+    if (degraded_ok)
+        // Per-shard circuit breakers: a flapping or dead shard is
+        // skipped after 3 consecutive failures, and a fleet with
+        // every breaker open fails fast (breaker_open) instead of
+        // burning the full attempt budget per job.
+        options.breakerFailureThreshold = 3;
     net::ShardRouter router{options};
 
     std::vector<std::uint64_t> ids;
@@ -530,12 +584,24 @@ shardSignalHandler(int)
  * signal handler must never do.
  */
 int
-runShard(const std::string &listen, int threads)
+runShard(const std::string &listen, int threads, int retry_budget,
+         bool degraded_ok)
 {
     using namespace hammer;
 
     net::ShardWorkerOptions options;
     options.service.workers = threads;
+    options.service.driftWindow = 64;
+    if (retry_budget > 0) {
+        options.service.retryBudget = true;
+        options.service.retryBudgetOptions.initialTokens =
+            retry_budget;
+        options.service.retryBudgetOptions.maxTokens =
+            std::max<double>(
+                retry_budget,
+                options.service.retryBudgetOptions.maxTokens);
+    }
+    options.service.degradedServing = degraded_ok;
     options.emitStats = true;
     try {
         net::ShardWorker worker(listen, options);
@@ -610,6 +676,8 @@ main(int argc, char **argv)
     std::string serve_path;
     bool serve_mode = false;
     int serve_deadline_ms = 0;
+    int retry_budget = 0;
+    bool degraded_ok = false;
     bool canonical = false;
     std::string shards_csv;
     bool shard_mode = false;
@@ -689,6 +757,11 @@ main(int argc, char **argv)
         } else if (arg == "--deadline") {
             serve_deadline_ms = parsePositiveInt(
                 next_value("--deadline"), "--deadline");
+        } else if (arg == "--retry-budget") {
+            retry_budget = parsePositiveInt(
+                next_value("--retry-budget"), "--retry-budget");
+        } else if (arg == "--degraded-ok") {
+            degraded_ok = true;
         } else if (arg == "--canonical") {
             canonical = true;
         } else if (arg == "--shards") {
@@ -734,7 +807,8 @@ main(int argc, char **argv)
                          "<addr>\n");
             return 2;
         }
-        return runShard(listen_address, backend_spec.threads);
+        return runShard(listen_address, backend_spec.threads,
+                        retry_budget, degraded_ok);
     }
 
     if (serve_mode) {
@@ -753,9 +827,10 @@ main(int argc, char **argv)
         }
         if (!shards_csv.empty())
             return serveShards(*input, splitAddresses(shards_csv),
-                               canonical);
+                               canonical, retry_budget, degraded_ok);
         return serve(*input, backend_spec.threads, top,
-                     serve_deadline_ms, canonical);
+                     serve_deadline_ms, canonical, retry_budget,
+                     degraded_ok);
     }
 
     try {
